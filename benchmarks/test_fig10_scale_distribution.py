@@ -1,0 +1,52 @@
+"""Fig. 10: distribution of the regressed scales on the validation split.
+
+The paper histograms the scales AdaScale actually uses on ImageNet VID for
+each multi-scale training set S_train; richer training sets shift the mass
+toward smaller scales (which is where the speed-up comes from).  This
+benchmark reports the distribution for the main bundle and compares it with
+the optimal-scale label distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+from repro.evaluation import format_table
+
+
+def test_fig10_scale_distribution(benchmark, vid_bundle, vid_method_results):
+    """Histogram of the scales chosen by AdaScale at test time."""
+    config = vid_bundle.config.adascale
+    result = vid_method_results["MS/AdaScale"]
+    bins = tuple(sorted(config.regressor_scales, reverse=True))
+    distribution = result.scale_distribution(bins=bins)
+    label_distribution = vid_bundle.labels.distribution()
+
+    rows = []
+    for scale in bins:
+        rows.append(
+            [
+                scale,
+                f"{100 * distribution.get(scale, 0.0):.1f}",
+                f"{100 * label_distribution.get(scale, 0.0):.1f}",
+            ]
+        )
+    table = format_table(
+        ["scale", "AdaScale test-time usage (%)", "optimal-scale labels (%)"],
+        rows,
+        title=f"Fig. 10 — regressed-scale distribution (S_train = {vid_bundle.config.training.train_scales})",
+    )
+    summary = (
+        f"Mean test-time scale {result.mean_scale:.0f}px vs maximum scale {config.max_scale}px; "
+        f"mean optimal-scale label {vid_bundle.labels.mean_scale():.0f}px."
+    )
+    write_result("fig10_scale_distribution", table + "\n\n" + summary)
+
+    # The regressor must actually use more than one scale, and its average must
+    # not exceed the fixed maximum (otherwise there is no speed-up to report).
+    assert len([s for s, f in distribution.items() if f > 0]) >= 2
+    assert result.mean_scale <= config.max_scale + 1e-6
+
+    # Benchmark the distribution computation (cheap, but part of the figure).
+    benchmark(lambda: result.scale_distribution(bins=bins))

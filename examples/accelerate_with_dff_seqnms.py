@@ -1,0 +1,127 @@
+"""Combine AdaScale with Deep Feature Flow and Seq-NMS (Fig. 7 of the paper).
+
+The paper's Fig. 7 shows that AdaScale is *complementary* to existing video
+object-detection acceleration techniques: applying it to R-FCN, DFF and
+Seq-NMS shifts the whole speed/accuracy Pareto frontier.  This example runs
+all six points on the synthetic validation split and prints the resulting
+(mAP, ms/frame, FPS) table.
+
+Usage::
+
+    python examples/accelerate_with_dff_seqnms.py [--seed 0] [--key-interval 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.acceleration import AdaScaleDFFDetector, DFFDetector, adascale_with_seqnms, seq_nms
+from repro.core import AdaScalePipeline
+from repro.evaluation import DetectionRecord, evaluate_detections, format_table
+from repro.presets import tiny_experiment_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--key-interval", type=int, default=3, help="DFF key-frame interval")
+    args = parser.parse_args()
+
+    config = tiny_experiment_config(args.seed)
+    bundle = AdaScalePipeline(config).run()
+    dataset = bundle.val_dataset
+    detector = bundle.ms_detector
+    adascale = bundle.adascale
+    max_scale = config.adascale.max_scale
+
+    rows = []
+
+    def add_row(name: str, records: list[DetectionRecord], runtimes: list[float]) -> None:
+        result = evaluate_detections(records, dataset.class_names)
+        mean_ms = 1000.0 * float(np.mean(runtimes))
+        rows.append([name, f"{100 * result.mean_ap:.1f}", f"{mean_ms:.1f}", f"{1000.0 / mean_ms:.1f}"])
+
+    # 1. Plain R-FCN at the fixed maximum scale.
+    records, runtimes = [], []
+    for snippet in dataset:
+        for frame in snippet:
+            result = detector.detect(frame.image, target_scale=max_scale, max_long_side=config.adascale.max_long_side)
+            records.append(DetectionRecord(result.boxes, result.scores, result.class_ids, frame.boxes, frame.labels))
+            runtimes.append(result.runtime_s)
+    add_row("R-FCN (fixed scale)", records, runtimes)
+    rfcn_records = records
+    rfcn_runtimes = list(runtimes)
+
+    # 2. R-FCN + AdaScale (Algorithm 1).
+    records, runtimes = [], []
+    for snippet in dataset:
+        frames = snippet.frames()
+        video = adascale.process_video(frames)
+        records.extend(video.to_records(frames))
+        runtimes.extend(video.runtimes_s)
+    add_row("AdaScale", records, runtimes)
+    adascale_records = records
+
+    # 3. Deep Feature Flow at the fixed maximum scale.
+    dff = DFFDetector(detector, key_frame_interval=args.key_interval, config=config.adascale)
+    records, runtimes = [], []
+    for snippet in dataset:
+        frames = snippet.frames()
+        output = dff.process_video(frames, scale=max_scale)
+        records.extend(output.to_records(frames))
+        runtimes.extend(output.runtimes_s)
+    add_row(f"DFF (interval {args.key_interval})", records, runtimes)
+
+    # 4. AdaScale + DFF: the regressor picks each key frame's scale.
+    combined = AdaScaleDFFDetector(detector, bundle.regressor, key_frame_interval=args.key_interval, config=config.adascale)
+    records, runtimes = [], []
+    for snippet in dataset:
+        frames = snippet.frames()
+        output = combined.process_video(frames)
+        records.extend(output.to_records(frames))
+        runtimes.extend(output.runtimes_s)
+    add_row("AdaScale + DFF", records, runtimes)
+
+    # 5. Seq-NMS on top of fixed-scale R-FCN (detection cost + post-processing cost).
+    import time as _time
+
+    records, runtimes = [], []
+    frame_cursor = 0
+    for snippet in dataset:
+        per_snippet = [r for r in rfcn_records if r.frame_id[0] == snippet.snippet_id]
+        start = _time.perf_counter()
+        rescored = seq_nms(per_snippet, num_classes=dataset.num_classes)
+        post_cost = (_time.perf_counter() - start) / max(len(per_snippet), 1)
+        records.extend(rescored)
+        for _ in per_snippet:
+            runtimes.append(rfcn_runtimes[frame_cursor] + post_cost)
+            frame_cursor += 1
+    add_row("Seq-NMS", records, runtimes)
+
+    # 6. AdaScale + Seq-NMS.
+    records, runtimes = [], []
+    for snippet in dataset:
+        frames = snippet.frames()
+        rescored, per_frame, _ = adascale_with_seqnms(adascale, frames, num_classes=dataset.num_classes)
+        records.extend(rescored)
+        runtimes.extend(per_frame)
+    add_row("AdaScale + Seq-NMS", records, runtimes)
+
+    print()
+    print(
+        format_table(
+            ["Method", "mAP (%)", "ms/frame", "FPS"],
+            rows,
+            title="Speed / accuracy comparison (paper Fig. 7)",
+        )
+    )
+    print(
+        "\nExpected qualitative outcome: the AdaScale variants sit up-and-left of their\n"
+        "non-adaptive counterparts — same or better mAP at a higher frame rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: train AdaScale end to end on a small synthetic video dataset.
+
+This script walks through the whole methodology of the paper (Fig. 2):
+
+1. build a synthetic video dataset (the ImageNet VID stand-in);
+2. train the compact R-FCN detector at a single scale (the SS baseline);
+3. fine-tune it with multi-scale training (S_train);
+4. label every training frame with its optimal scale (Eq. 2);
+5. train the scale regressor (Eq. 3 / Eq. 4);
+6. run adaptive-scale video inference (Algorithm 1) and compare it against
+   fixed-scale testing.
+
+Runtime: a couple of minutes on a laptop CPU.
+
+Usage::
+
+    python examples/quickstart.py [--seed 0] [--full]
+
+``--full`` uses the larger benchmark configuration instead of the tiny one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core import AdaScalePipeline
+from repro.evaluation import format_table
+from repro.presets import small_experiment_config, tiny_experiment_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger benchmark configuration (slower, better detector)",
+    )
+    args = parser.parse_args()
+
+    config = small_experiment_config(args.seed) if args.full else tiny_experiment_config(args.seed)
+    print(f"Scale set S        : {config.adascale.scales}")
+    print(f"Regressor scales   : {config.adascale.regressor_scales}")
+    print(f"Training scales    : {config.training.train_scales}")
+    print(f"Dataset            : {config.dataset.num_train_snippets} train / "
+          f"{config.dataset.num_val_snippets} val snippets, "
+          f"{config.dataset.num_classes} classes")
+
+    start = time.time()
+    pipeline = AdaScalePipeline(config)
+    bundle = pipeline.run()
+    print(f"\nPipeline finished in {time.time() - start:.0f}s")
+    print(f"Optimal-scale label distribution (train split): {bundle.labels.distribution()}")
+
+    # Compare the three headline methods of Table 1.
+    rows = []
+    for method in ("SS/SS", "MS/SS", "MS/AdaScale"):
+        result = bundle.evaluate_method(method)
+        rows.append(
+            [
+                method,
+                f"{100.0 * result.mean_ap:.1f}",
+                f"{result.runtime.median_ms:.1f}",
+                f"{result.mean_scale:.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Method", "mAP (%)", "Runtime (ms)", "Mean scale"],
+            rows,
+            title="AdaScale vs fixed-scale testing (validation split)",
+        )
+    )
+    print(
+        "\nExpected qualitative outcome (paper, Table 1): MS/AdaScale matches or beats the\n"
+        "fixed-scale baselines in mAP while running at a smaller average scale (faster)."
+    )
+
+
+if __name__ == "__main__":
+    main()

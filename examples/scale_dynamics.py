@@ -1,0 +1,84 @@
+"""Visualise AdaScale's per-frame scale decisions on individual video snippets.
+
+This reproduces the analysis of Fig. 9 of the paper in text form: for a few
+validation snippets the script prints, frame by frame, the scale AdaScale
+chose, the scale the optimal-scale metric would have chosen with ground truth
+(the "oracle"), and the size of the largest object — showing that
+
+* snippets dominated by a large object are processed at small scales,
+* snippets with only small objects stay near the maximum scale,
+* mixed snippets make the regressor jitter between scales.
+
+Usage::
+
+    python examples/scale_dynamics.py [--seed 0] [--snippets 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import AdaScalePipeline, optimal_scale_for_image
+from repro.evaluation import format_table
+from repro.presets import tiny_experiment_config
+
+
+def largest_object_fraction(frame) -> float:
+    """Shortest side of the largest annotated box, as a fraction of the frame."""
+    if frame.num_objects == 0:
+        return 0.0
+    sides = np.minimum(
+        frame.boxes[:, 2] - frame.boxes[:, 0], frame.boxes[:, 3] - frame.boxes[:, 1]
+    )
+    return float(sides.max() / min(frame.height, frame.width))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--snippets", type=int, default=3, help="number of snippets to trace")
+    args = parser.parse_args()
+
+    config = tiny_experiment_config(args.seed)
+    bundle = AdaScalePipeline(config).run()
+    adascale = bundle.adascale
+
+    for snippet in list(bundle.val_dataset)[: args.snippets]:
+        frames = snippet.frames()
+        video_result = adascale.process_video(frames)
+        rows = []
+        for frame, output in zip(frames, video_result.outputs):
+            oracle = optimal_scale_for_image(bundle.ms_detector, frame, config.adascale)
+            rows.append(
+                [
+                    frame.frame_index,
+                    f"{largest_object_fraction(frame):.2f}",
+                    output.scale_used,
+                    output.next_scale,
+                    oracle.optimal_scale,
+                    f"{output.regressed_target:+.2f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["frame", "largest obj (frac)", "scale used", "next scale", "oracle scale", "t"],
+                rows,
+                title=(
+                    f"Snippet {snippet.snippet_id}: AdaScale dynamics "
+                    f"(mean scale {video_result.mean_scale:.0f}, "
+                    f"{video_result.mean_runtime_ms:.1f} ms/frame)"
+                ),
+            )
+        )
+
+    print(
+        "\nReading the trace (paper Fig. 9): large objects → stable small scales;\n"
+        "small objects → stable large scales; mixed object sizes → scale jitter."
+    )
+
+
+if __name__ == "__main__":
+    main()

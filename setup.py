@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that fully offline environments without the ``wheel`` package can
+still do an editable install via ``python setup.py develop --no-deps``.
+"""
+
+from setuptools import setup
+
+setup()

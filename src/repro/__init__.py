@@ -1,0 +1,49 @@
+"""AdaScale reproduction: adaptive-scale video object detection.
+
+This package is a from-scratch, NumPy-only reproduction of
+
+    Chin, Ding, Marculescu.
+    "AdaScale: Towards Real-time Video Object Detection using Adaptive Scaling."
+    SysML (MLSys) 2019.
+
+It contains every substrate the paper depends on:
+
+* :mod:`repro.nn` — a small neural-network framework (conv / pooling / linear
+  layers with explicit forward *and* backward passes, SGD, LR schedules).
+* :mod:`repro.data` — synthetic video-object-detection datasets standing in for
+  ImageNet VID and mini YouTube-BoundingBoxes.
+* :mod:`repro.detection` — a compact R-FCN-style two-stage detector (anchors,
+  RPN, position-sensitive RoI pooling, detection losses, multi-scale training).
+* :mod:`repro.core` — the paper's contribution: the optimal-scale metric, the
+  scale regressor, scale-target coding, and the AdaScale video-inference loop.
+* :mod:`repro.acceleration` — Deep Feature Flow and Seq-NMS baselines plus their
+  AdaScale combinations (Fig. 7 of the paper).
+* :mod:`repro.evaluation` — VOC-style mAP, precision-recall curves, TP/FP
+  accounting and runtime/FLOP profiling.
+
+Quickstart
+----------
+>>> from repro import presets
+>>> bundle = presets.tiny_experiment(seed=0)          # doctest: +SKIP
+>>> result = bundle.evaluate_method("MS/AdaScale")    # doctest: +SKIP
+"""
+
+from repro.config import (
+    AdaScaleConfig,
+    DatasetConfig,
+    DetectorConfig,
+    ExperimentConfig,
+    RegressorConfig,
+    TrainingConfig,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "AdaScaleConfig",
+    "DatasetConfig",
+    "DetectorConfig",
+    "ExperimentConfig",
+    "RegressorConfig",
+    "TrainingConfig",
+]

@@ -1,0 +1,30 @@
+"""Video-acceleration baselines and their AdaScale combinations (Fig. 7).
+
+The paper shows AdaScale is complementary to existing video object-detection
+acceleration work: combining it with Deep Feature Flow gives an extra ~25%
+speed-up, and with Seq-NMS an extra ~61%, at equal or slightly better mAP.
+This package implements both techniques on top of the same detector used by
+the rest of the library:
+
+* :mod:`repro.acceleration.optical_flow` — a block-matching flow estimator;
+* :mod:`repro.acceleration.dff` — Deep Feature Flow: full detection on key
+  frames, feature warping + head-only inference on the frames in between;
+* :mod:`repro.acceleration.seqnms` — Seq-NMS: dynamic-programming linking and
+  rescoring of detections across the frames of a snippet;
+* :mod:`repro.acceleration.combined` — AdaScale+DFF and AdaScale+SeqNMS.
+"""
+
+from repro.acceleration.combined import AdaScaleDFFDetector, adascale_with_seqnms
+from repro.acceleration.dff import DFFDetector
+from repro.acceleration.optical_flow import estimate_flow, warp_features
+from repro.acceleration.seqnms import SeqNMSConfig, seq_nms
+
+__all__ = [
+    "AdaScaleDFFDetector",
+    "DFFDetector",
+    "SeqNMSConfig",
+    "adascale_with_seqnms",
+    "estimate_flow",
+    "seq_nms",
+    "warp_features",
+]

@@ -1,0 +1,99 @@
+"""AdaScale combined with the acceleration baselines (Fig. 7 of the paper).
+
+* **AdaScale + DFF** — key frames are processed at the scale the regressor
+  chose from the previous key frame (Algorithm 1 applied at key-frame rate);
+  intermediate frames reuse the key frame's warped features, so they inherit
+  the smaller scale's speed for free.
+* **AdaScale + Seq-NMS** — Seq-NMS is a post-processing step, so the
+  combination simply applies it to AdaScale's per-frame detections.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.acceleration.dff import DFFDetector, DFFOutput
+from repro.acceleration.seqnms import SeqNMSConfig, seq_nms
+from repro.config import AdaScaleConfig
+from repro.core.adascale import AdaScaleDetector
+from repro.core.regressor import ScaleRegressor
+from repro.core.scale_coding import decode_scale
+from repro.data.synthetic_vid import VideoFrame
+from repro.detection.rfcn import RFCNDetector
+from repro.evaluation.voc_ap import DetectionRecord
+
+__all__ = ["AdaScaleDFFDetector", "adascale_with_seqnms"]
+
+
+class AdaScaleDFFDetector:
+    """Deep Feature Flow whose key-frame scale is chosen by the scale regressor."""
+
+    def __init__(
+        self,
+        detector: RFCNDetector,
+        regressor: ScaleRegressor,
+        key_frame_interval: int = 4,
+        config: AdaScaleConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else AdaScaleConfig()
+        self.detector = detector
+        self.regressor = regressor
+        self.dff = DFFDetector(detector, key_frame_interval, self.config)
+        self.key_frame_interval = key_frame_interval
+
+    def process_video(self, frames: Sequence[VideoFrame] | Sequence[np.ndarray]) -> DFFOutput:
+        """Process one snippet with adaptive key-frame scaling."""
+        frames = list(frames)
+        output = DFFOutput()
+        scale = self.config.max_scale
+        key_scale = scale
+        index = 0
+        while index < len(frames):
+            # Process the group [key frame, following non-key frames] at the
+            # scale predicted from the previous key frame.
+            group = frames[index : index + self.key_frame_interval]
+            key_scale = scale
+            group_output = self.dff.process_video(group, scale=key_scale)
+            output.detections.extend(group_output.detections)
+            output.is_key_frame.extend(group_output.is_key_frame)
+            output.runtimes_s.extend(group_output.runtimes_s)
+            output.scales_used.extend(group_output.scales_used)
+
+            # Regress the next key frame's scale from the key frame's features.
+            key_detection = group_output.detections[0]
+            start = time.perf_counter()
+            target = self.regressor.predict(key_detection.features)
+            regress_time = time.perf_counter() - start
+            output.runtimes_s[-len(group)] += regress_time
+            image = group[0].image if isinstance(group[0], VideoFrame) else np.asarray(group[0])
+            base_size = float(min(image.shape[0], image.shape[1]) * key_detection.scale_factor)
+            scale = decode_scale(target, base_size, self.config.min_scale, self.config.max_scale)
+            index += len(group)
+        return output
+
+
+def adascale_with_seqnms(
+    adascale: AdaScaleDetector,
+    frames: Sequence[VideoFrame],
+    num_classes: int,
+    seqnms_config: SeqNMSConfig | None = None,
+) -> tuple[list[DetectionRecord], list[float], list[int]]:
+    """Run AdaScale over a snippet and post-process with Seq-NMS.
+
+    Returns ``(records, per_frame_runtimes_s, scales_used)``.  The Seq-NMS cost
+    is charged to the snippet's frames evenly (it is a per-snippet pass).
+    """
+    frames = list(frames)
+    video_result = adascale.process_video(frames)
+    records = video_result.to_records(frames)
+    start = time.perf_counter()
+    rescored = seq_nms(records, num_classes=num_classes, config=seqnms_config)
+    seqnms_time = time.perf_counter() - start
+    per_frame = [
+        runtime + seqnms_time / max(len(frames), 1) for runtime in video_result.runtimes_s
+    ]
+    return rescored, per_frame, video_result.scales_used

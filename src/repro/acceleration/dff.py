@@ -1,0 +1,170 @@
+"""Deep Feature Flow (Zhu et al., 2017b) on top of the R-FCN detector.
+
+DFF runs the expensive backbone only on sparse *key frames*.  For every other
+frame it estimates the motion between the key frame and the current frame,
+warps the cached key-frame features accordingly, and runs only the light
+detection head on the warped features.  The key-frame interval is the
+speed/accuracy knob swept in Fig. 7 of the AdaScale paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.acceleration.optical_flow import estimate_flow, warp_features
+from repro.config import AdaScaleConfig
+from repro.data.synthetic_vid import VideoFrame
+from repro.data.transforms import image_to_chw, normalize_image, resize_image
+from repro.detection.rfcn import DetectionResult, RFCNDetector
+from repro.evaluation.voc_ap import DetectionRecord
+
+__all__ = ["DFFOutput", "DFFDetector"]
+
+
+@dataclass
+class DFFOutput:
+    """Per-frame outputs of a DFF run over one snippet."""
+
+    detections: list[DetectionResult] = field(default_factory=list)
+    is_key_frame: list[bool] = field(default_factory=list)
+    runtimes_s: list[float] = field(default_factory=list)
+    scales_used: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    @property
+    def mean_runtime_ms(self) -> float:
+        """Mean per-frame runtime in milliseconds."""
+        if not self.runtimes_s:
+            return float("nan")
+        return 1000.0 * float(np.mean(self.runtimes_s))
+
+    def to_records(self, frames: Sequence[VideoFrame]) -> list[DetectionRecord]:
+        """Pair outputs with ground truth for evaluation."""
+        if len(frames) != len(self.detections):
+            raise ValueError("frames and detections must have equal length")
+        return [
+            DetectionRecord(
+                boxes=det.boxes,
+                scores=det.scores,
+                class_ids=det.class_ids,
+                gt_boxes=frame.boxes,
+                gt_labels=frame.labels,
+                frame_id=(frame.snippet_id, frame.frame_index),
+            )
+            for frame, det in zip(frames, self.detections)
+        ]
+
+
+class DFFDetector:
+    """Key-frame detection with flow-warped features on intermediate frames."""
+
+    def __init__(
+        self,
+        detector: RFCNDetector,
+        key_frame_interval: int = 4,
+        config: AdaScaleConfig | None = None,
+        flow_cell_size: int = 8,
+        flow_search_radius: int = 3,
+    ) -> None:
+        if key_frame_interval < 1:
+            raise ValueError(f"key_frame_interval must be >= 1, got {key_frame_interval}")
+        self.detector = detector
+        self.key_frame_interval = key_frame_interval
+        self.config = config if config is not None else AdaScaleConfig()
+        self.flow_cell_size = flow_cell_size
+        self.flow_search_radius = flow_search_radius
+
+    # -- single-snippet processing ------------------------------------------
+    def process_video(
+        self,
+        frames: Sequence[VideoFrame] | Sequence[np.ndarray],
+        scale: int | None = None,
+        scale_schedule: Sequence[int] | None = None,
+    ) -> DFFOutput:
+        """Process one snippet.
+
+        ``scale`` fixes the processing scale for every frame; alternatively
+        ``scale_schedule`` provides a per-key-frame scale (used by the
+        AdaScale+DFF combination).  Non-key frames always reuse the key
+        frame's scale so the cached features stay aligned.
+        """
+        if scale is None and scale_schedule is None:
+            scale = self.config.max_scale
+        output = DFFOutput()
+        key_image: np.ndarray | None = None
+        key_features: np.ndarray | None = None
+        key_scale: int = int(scale) if scale is not None else self.config.max_scale
+        key_scale_factor = 1.0
+        key_working_shape = (0, 0)
+
+        for index, frame in enumerate(frames):
+            image = frame.image if isinstance(frame, VideoFrame) else np.asarray(frame)
+            is_key = index % self.key_frame_interval == 0
+            if is_key:
+                if scale_schedule is not None:
+                    key_index = index // self.key_frame_interval
+                    key_scale = int(scale_schedule[min(key_index, len(scale_schedule) - 1)])
+                elif scale is not None:
+                    key_scale = int(scale)
+                start = time.perf_counter()
+                resized = resize_image(image, key_scale, self.config.max_long_side)
+                tensor = image_to_chw(normalize_image(resized.image))
+                features = self.detector.extract_features(tensor)
+                detection = self.detector.detect_from_features(
+                    features,
+                    working_shape=resized.image.shape[:2],
+                    scale_factor=resized.scale_factor,
+                    image_size=image.shape[:2],
+                    target_scale=key_scale,
+                )
+                runtime = time.perf_counter() - start
+                key_image = resized.image
+                key_features = features
+                key_scale_factor = resized.scale_factor
+                key_working_shape = resized.image.shape[:2]
+            else:
+                if key_features is None or key_image is None:
+                    raise RuntimeError("non-key frame encountered before any key frame")
+                start = time.perf_counter()
+                resized = resize_image(image, key_scale, self.config.max_long_side)
+                current = _match_shape(resized.image, key_image.shape[:2])
+                flow = estimate_flow(
+                    key_image,
+                    current,
+                    cell_size=self.flow_cell_size,
+                    search_radius=self.flow_search_radius,
+                )
+                warped = warp_features(
+                    key_features, flow, self.detector.config.feature_stride
+                )
+                detection = self.detector.detect_from_features(
+                    warped,
+                    working_shape=key_working_shape,
+                    scale_factor=key_scale_factor,
+                    image_size=image.shape[:2],
+                    target_scale=key_scale,
+                )
+                runtime = time.perf_counter() - start
+
+            output.detections.append(detection)
+            output.is_key_frame.append(is_key)
+            output.runtimes_s.append(runtime)
+            output.scales_used.append(key_scale)
+        return output
+
+
+def _match_shape(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Crop/pad ``image`` so its spatial size equals ``shape`` (edge padding)."""
+    height, width = shape
+    out = image[:height, :width]
+    pad_h = height - out.shape[0]
+    pad_w = width - out.shape[1]
+    if pad_h > 0 or pad_w > 0:
+        out = np.pad(out, ((0, max(pad_h, 0)), (0, max(pad_w, 0)), (0, 0)), mode="edge")
+    return out

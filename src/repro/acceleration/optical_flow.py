@@ -1,0 +1,120 @@
+"""Block-matching optical flow and feature warping.
+
+Deep Feature Flow needs a *cheap* motion estimate between the key frame and
+the current frame, at the resolution of the backbone feature map.  The paper
+uses FlowNet; here a classical block-matching search plays that role: for each
+feature cell of the current frame, find the displacement (within a small
+search radius) into the key frame that minimises the sum of absolute
+differences of the corresponding image patch.  The result is a per-cell flow
+used to bilinearly warp the key frame's features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import bilinear_resize
+
+__all__ = ["to_grayscale", "estimate_flow", "warp_features"]
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luminance of an (H, W, 3) RGB image in [0, 1]."""
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
+    weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    return image @ weights
+
+
+def estimate_flow(
+    reference: np.ndarray,
+    current: np.ndarray,
+    cell_size: int = 8,
+    search_radius: int = 4,
+) -> np.ndarray:
+    """Estimate per-cell backward flow from ``current`` to ``reference``.
+
+    Returns a (2, Hc, Wc) array where ``flow[:, i, j]`` is the (dy, dx) pixel
+    displacement such that the content of cell (i, j) in ``current`` is found
+    at position + flow in ``reference``.  Both images must have the same shape.
+    """
+    if reference.shape != current.shape:
+        raise ValueError(
+            f"reference {reference.shape} and current {current.shape} must have equal shapes"
+        )
+    if cell_size < 1 or search_radius < 0:
+        raise ValueError("cell_size must be >= 1 and search_radius >= 0")
+    gray_ref = to_grayscale(reference) if reference.ndim == 3 else np.asarray(reference, np.float32)
+    gray_cur = to_grayscale(current) if current.ndim == 3 else np.asarray(current, np.float32)
+    height, width = gray_ref.shape
+    cells_y = max(height // cell_size, 1)
+    cells_x = max(width // cell_size, 1)
+
+    # Work on the region exactly covered by whole cells so per-cell sums can be
+    # computed with a single reshape (vectorised over displacements).
+    crop_h = cells_y * cell_size
+    crop_w = cells_x * cell_size
+    current_crop = gray_cur[:crop_h, :crop_w]
+    pad = search_radius
+    padded_ref = np.pad(gray_ref, pad, mode="edge")
+
+    displacements = [
+        (dy, dx)
+        for dy in range(-search_radius, search_radius + 1)
+        for dx in range(-search_radius, search_radius + 1)
+    ]
+    costs = np.empty((len(displacements), cells_y, cells_x), dtype=np.float32)
+    for index, (dy, dx) in enumerate(displacements):
+        shifted_ref = padded_ref[pad + dy : pad + dy + crop_h, pad + dx : pad + dx + crop_w]
+        abs_diff = np.abs(shifted_ref - current_crop)
+        per_cell = abs_diff.reshape(cells_y, cell_size, cells_x, cell_size).sum(axis=(1, 3))
+        costs[index] = per_cell
+
+    best = np.argmin(costs, axis=0)
+    displacement_array = np.asarray(displacements, dtype=np.float32)
+    flow = np.zeros((2, cells_y, cells_x), dtype=np.float32)
+    flow[0] = displacement_array[best, 0]
+    flow[1] = displacement_array[best, 1]
+    return flow
+
+
+def warp_features(
+    features: np.ndarray,
+    flow: np.ndarray,
+    feature_stride: int,
+) -> np.ndarray:
+    """Warp key-frame features to the current frame using a pixel-space flow.
+
+    ``features`` is the key frame's (1, C, Hf, Wf) map; ``flow`` is the
+    (2, Hc, Wc) pixel flow from :func:`estimate_flow` (any grid size — it is
+    resampled to the feature resolution).  Each output cell samples the key
+    frame features at ``cell_position + flow / feature_stride`` with bilinear
+    interpolation.
+    """
+    features = np.asarray(features, dtype=np.float32)
+    if features.ndim != 4 or features.shape[0] != 1:
+        raise ValueError(f"features must be (1, C, H, W), got {features.shape}")
+    if flow.ndim != 3 or flow.shape[0] != 2:
+        raise ValueError(f"flow must be (2, H, W), got {flow.shape}")
+    _, channels, feat_h, feat_w = features.shape
+    flow_resized = bilinear_resize(flow[None], feat_h, feat_w)[0] / float(feature_stride)
+
+    grid_y, grid_x = np.meshgrid(
+        np.arange(feat_h, dtype=np.float32), np.arange(feat_w, dtype=np.float32), indexing="ij"
+    )
+    sample_y = np.clip(grid_y + flow_resized[0], 0.0, feat_h - 1.0)
+    sample_x = np.clip(grid_x + flow_resized[1], 0.0, feat_w - 1.0)
+
+    y0 = np.floor(sample_y).astype(np.int64)
+    x0 = np.floor(sample_x).astype(np.int64)
+    y1 = np.minimum(y0 + 1, feat_h - 1)
+    x1 = np.minimum(x0 + 1, feat_w - 1)
+    wy = (sample_y - y0).astype(np.float32)
+    wx = (sample_x - x0).astype(np.float32)
+
+    maps = features[0]
+    top = maps[:, y0, x0] * (1 - wx) + maps[:, y0, x1] * wx
+    bottom = maps[:, y1, x0] * (1 - wx) + maps[:, y1, x1] * wx
+    warped = top * (1 - wy) + bottom * wy
+    return warped[None].astype(np.float32)

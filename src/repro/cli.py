@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``train`` — run the full AdaScale pipeline (Fig. 2) on a preset configuration
+  and save the trained bundle to a directory;
+* ``evaluate`` — load a saved bundle (or train one on the fly) and print the
+  Table-1-style comparison of the requested methods;
+* ``labels`` — compute and print the optimal-scale label distribution for the
+  training split (the Eq. 2 statistics behind Fig. 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import AdaScalePipeline
+from repro.core.pipeline import METHODS, ExperimentBundle
+from repro.data.mini_ytbb import MiniYTBB
+from repro.data.synthetic_vid import SyntheticVID
+from repro.evaluation import format_table
+from repro.presets import (
+    small_experiment_config,
+    small_ytbb_experiment_config,
+    tiny_experiment_config,
+)
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "tiny": (tiny_experiment_config, SyntheticVID),
+    "vid": (small_experiment_config, SyntheticVID),
+    "ytbb": (small_ytbb_experiment_config, MiniYTBB),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdaScale (MLSys 2019) reproduction — training and evaluation CLI",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default="tiny",
+        help="experiment preset: tiny (seconds), vid (SyntheticVID benchmark), ytbb (MiniYTBB)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="run the full pipeline and save the bundle")
+    train.add_argument("--output", type=Path, required=True, help="directory for the saved bundle")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate methods on the validation split")
+    evaluate.add_argument(
+        "--bundle", type=Path, default=None, help="directory of a bundle saved by `train` (optional)"
+    )
+    evaluate.add_argument(
+        "--methods",
+        nargs="+",
+        default=["SS/SS", "MS/SS", "MS/AdaScale"],
+        choices=list(METHODS) + ["MS/Oracle"],
+        help="methods to evaluate",
+    )
+
+    subparsers.add_parser("labels", help="print the optimal-scale label distribution")
+    return parser
+
+
+def _build_or_load(args: argparse.Namespace) -> ExperimentBundle:
+    config_factory, dataset_cls = _PRESETS[args.preset]
+    config = config_factory(args.seed)
+    bundle_dir = getattr(args, "bundle", None)
+    if bundle_dir is not None:
+        return ExperimentBundle.load(bundle_dir, config, dataset_cls)
+    return AdaScalePipeline(config, dataset_cls=dataset_cls).run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "train":
+        bundle = _build_or_load(args)
+        path = bundle.save(args.output)
+        print(f"Saved trained bundle to {path}")
+        print(f"Optimal-scale label distribution: {bundle.labels.distribution()}")
+        return 0
+
+    if args.command == "evaluate":
+        bundle = _build_or_load(args)
+        rows = []
+        for method in args.methods:
+            result = bundle.evaluate_method(method)
+            rows.append(
+                [
+                    method,
+                    f"{100 * result.mean_ap:.1f}",
+                    f"{result.runtime.median_ms:.1f}",
+                    f"{result.mean_scale:.0f}",
+                ]
+            )
+        print(
+            format_table(
+                ["Method", "mAP (%)", "Runtime (ms)", "Mean scale"],
+                rows,
+                title=f"AdaScale evaluation — preset '{args.preset}', seed {args.seed}",
+            )
+        )
+        return 0
+
+    if args.command == "labels":
+        bundle = _build_or_load(args)
+        distribution = bundle.labels.distribution()
+        rows = [[scale, f"{100 * fraction:.1f}"] for scale, fraction in sorted(distribution.items(), reverse=True)]
+        print(
+            format_table(
+                ["optimal scale", "fraction of frames (%)"],
+                rows,
+                title="Optimal-scale label distribution (training split)",
+            )
+        )
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""AdaScale core: optimal-scale metric, scale regressor, adaptive video inference.
+
+This package implements the paper's contribution (Sec. 3):
+
+* :mod:`repro.core.optimal_scale` — the loss-based optimal-scale metric
+  (Eq. 2, Fig. 3) and dataset-wide scale labelling;
+* :mod:`repro.core.scale_coding` — the normalised relative scale target
+  ``t(m, m_opt)`` and its decoder (Eq. 3, Algorithm 1);
+* :mod:`repro.core.regressor` — the deep-feature scale regressor (Fig. 4,
+  Table 3 architecture variants);
+* :mod:`repro.core.regressor_trainer` — MSE training of the regressor with the
+  detector frozen (Eq. 4);
+* :mod:`repro.core.adascale` — the AdaScale video detector (Algorithm 1);
+* :mod:`repro.core.pipeline` — the end-to-end methodology of Fig. 2 plus the
+  evaluation presets (SS/SS, MS/SS, MS/MS, MS/Random, MS/AdaScale) used
+  throughout the experiments.
+"""
+
+from repro.core.adascale import AdaScaleDetector, VideoDetectionResult
+from repro.core.optimal_scale import (
+    OptimalScaleResult,
+    ScaleLabels,
+    label_dataset,
+    optimal_scale_for_image,
+    scale_loss_profile,
+)
+from repro.core.pipeline import AdaScalePipeline, ExperimentBundle, MethodResult
+from repro.core.regressor import ScaleRegressor
+from repro.core.regressor_trainer import RegressorTrainer, RegressorTrainingSummary
+from repro.core.scale_coding import decode_scale, encode_scale_target
+from repro.core.scale_set import ScaleSet
+
+__all__ = [
+    "AdaScaleDetector",
+    "AdaScalePipeline",
+    "ExperimentBundle",
+    "MethodResult",
+    "OptimalScaleResult",
+    "RegressorTrainer",
+    "RegressorTrainingSummary",
+    "ScaleLabels",
+    "ScaleRegressor",
+    "ScaleSet",
+    "VideoDetectionResult",
+    "decode_scale",
+    "encode_scale_target",
+    "label_dataset",
+    "optimal_scale_for_image",
+    "scale_loss_profile",
+]

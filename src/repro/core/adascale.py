@@ -1,0 +1,163 @@
+"""AdaScale video inference (Algorithm 1 of the paper).
+
+Every video snippet starts at the maximum scale.  After detecting frame ``k``
+the scale regressor — reading the backbone features that the detector already
+computed — predicts the relative scale ``t``; the prediction is decoded
+against the current frame's shortest side, rounded, clipped to
+``[S_min, S_max]`` and used to resize frame ``k + 1``.  This leans on the
+temporal-consistency assumption: the optimal scales of consecutive frames are
+similar.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import AdaScaleConfig
+from repro.core.regressor import ScaleRegressor
+from repro.core.scale_coding import decode_scale
+from repro.data.synthetic_vid import VideoFrame
+from repro.detection.rfcn import DetectionResult, RFCNDetector
+from repro.evaluation.voc_ap import DetectionRecord
+
+__all__ = ["FrameOutput", "VideoDetectionResult", "AdaScaleDetector"]
+
+
+@dataclass(frozen=True)
+class FrameOutput:
+    """Detection output of one frame plus the adaptive-scaling bookkeeping."""
+
+    detection: DetectionResult
+    scale_used: int
+    next_scale: int
+    regressed_target: float
+    runtime_s: float
+
+
+@dataclass
+class VideoDetectionResult:
+    """Per-frame outputs for one processed video snippet."""
+
+    outputs: list[FrameOutput] = field(default_factory=list)
+    snippet_id: int = -1
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def scales_used(self) -> list[int]:
+        """Scale at which each frame was processed (the Fig. 9 trace)."""
+        return [output.scale_used for output in self.outputs]
+
+    @property
+    def mean_scale(self) -> float:
+        """Average processing scale over the snippet."""
+        if not self.outputs:
+            return float("nan")
+        return float(np.mean(self.scales_used))
+
+    @property
+    def runtimes_s(self) -> list[float]:
+        """Per-frame runtimes in seconds (detector + regressor)."""
+        return [output.runtime_s for output in self.outputs]
+
+    @property
+    def mean_runtime_ms(self) -> float:
+        """Mean per-frame runtime in milliseconds."""
+        if not self.outputs:
+            return float("nan")
+        return 1000.0 * float(np.mean(self.runtimes_s))
+
+    def to_records(self, frames: Sequence[VideoFrame]) -> list[DetectionRecord]:
+        """Pair the outputs with ground truth for evaluation."""
+        if len(frames) != len(self.outputs):
+            raise ValueError(
+                f"{len(frames)} frames but {len(self.outputs)} outputs — lengths must match"
+            )
+        records = []
+        for frame, output in zip(frames, self.outputs):
+            records.append(
+                DetectionRecord(
+                    boxes=output.detection.boxes,
+                    scores=output.detection.scores,
+                    class_ids=output.detection.class_ids,
+                    gt_boxes=frame.boxes,
+                    gt_labels=frame.labels,
+                    frame_id=(frame.snippet_id, frame.frame_index),
+                )
+            )
+        return records
+
+
+class AdaScaleDetector:
+    """Couples a detector with a scale regressor for adaptive video inference."""
+
+    def __init__(
+        self,
+        detector: RFCNDetector,
+        regressor: ScaleRegressor,
+        config: AdaScaleConfig | None = None,
+    ) -> None:
+        self.detector = detector
+        self.regressor = regressor
+        self.config = config if config is not None else AdaScaleConfig()
+
+    def detect_frame(self, image: np.ndarray, scale: int) -> FrameOutput:
+        """Detect one frame at ``scale`` and predict the scale for the next frame."""
+        detection = self.detector.detect(
+            image, target_scale=int(scale), max_long_side=self.config.max_long_side
+        )
+        start = time.perf_counter()
+        target = self.regressor.predict(detection.features)
+        regressor_time = time.perf_counter() - start
+        # base_size: shortest side of the image as the detector saw it.
+        base_size = float(
+            min(image.shape[0], image.shape[1]) * detection.scale_factor
+        )
+        next_scale = decode_scale(
+            target, base_size, self.config.min_scale, self.config.max_scale
+        )
+        return FrameOutput(
+            detection=detection,
+            scale_used=int(scale),
+            next_scale=int(next_scale),
+            regressed_target=float(target),
+            runtime_s=detection.runtime_s + regressor_time,
+        )
+
+    def process_video(
+        self,
+        frames: Iterable[VideoFrame] | Sequence[np.ndarray],
+        initial_scale: int | None = None,
+    ) -> VideoDetectionResult:
+        """Algorithm 1: adaptively re-scale a whole snippet frame by frame."""
+        scale = int(initial_scale) if initial_scale is not None else self.config.max_scale
+        result = VideoDetectionResult()
+        for frame in frames:
+            image = frame.image if isinstance(frame, VideoFrame) else np.asarray(frame)
+            if isinstance(frame, VideoFrame) and result.snippet_id < 0:
+                result.snippet_id = frame.snippet_id
+            output = self.detect_frame(image, scale)
+            result.outputs.append(output)
+            scale = output.next_scale
+        return result
+
+    def overhead_ms(self, image_height: int, image_width: int, reference_ms: float) -> float:
+        """Estimated regressor overhead in milliseconds.
+
+        Scales the detector's measured ``reference_ms`` (runtime of a full
+        detection at the same input size) by the FLOP ratio between the
+        regressor and the detector trunk — the paper reports roughly 3%.
+        """
+        feature_stride = self.detector.config.feature_stride
+        feature_h = max(image_height // feature_stride, 1)
+        feature_w = max(image_width // feature_stride, 1)
+        regressor_flops = self.regressor.overhead_flops(feature_h, feature_w)
+        detector_flops = self.detector.estimate_flops(image_height, image_width)
+        if detector_flops <= 0:
+            return 0.0
+        return reference_ms * regressor_flops / detector_flops

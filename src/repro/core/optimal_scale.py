@@ -1,0 +1,220 @@
+"""The optimal-scale metric (Sec. 3.1, Eq. 2, Fig. 3).
+
+For a given image the detector is run at every scale of the predefined set
+``S``.  At each scale the per-predicted-box detection loss (Eq. 1) is
+evaluated against ground truth; only *foreground* predictions (IoU >= 0.5 with
+some ground-truth box) count.  Because different scales produce different
+numbers of foreground predictions — and the naive summed loss would favour the
+scale with fewer of them — all scales are compared on the same number of
+boxes: the ``n_min`` lowest-loss foreground predictions, where ``n_min`` is
+the smallest foreground count over the scales.  The optimal scale is the one
+minimising that truncated sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import AdaScaleConfig
+from repro.data.synthetic_vid import SyntheticVID, VideoFrame
+from repro.detection.losses import per_detection_losses
+from repro.detection.rfcn import RFCNDetector
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ScaleLossProfile",
+    "OptimalScaleResult",
+    "ScaleLabels",
+    "scale_loss_profile",
+    "optimal_scale_for_image",
+    "label_dataset",
+]
+
+_LOGGER = get_logger("core.optimal_scale")
+
+
+@dataclass(frozen=True)
+class ScaleLossProfile:
+    """Per-scale foreground losses for one image.
+
+    ``foreground_losses[scale]`` holds the Eq. (1) loss of every predicted
+    foreground box at that scale, sorted ascending.
+    """
+
+    foreground_losses: dict[int, np.ndarray]
+    num_foreground: dict[int, int]
+    num_detections: dict[int, int]
+
+    def truncated_loss(self, scale: int, count: int) -> float:
+        """Sum of the ``count`` lowest per-box losses at ``scale`` (Fig. 3)."""
+        losses = self.foreground_losses[scale]
+        if count == 0:
+            return 0.0
+        return float(losses[:count].sum())
+
+
+@dataclass(frozen=True)
+class OptimalScaleResult:
+    """Outcome of the optimal-scale computation for one image."""
+
+    optimal_scale: int
+    metric: dict[int, float]
+    n_min: int
+    profile: ScaleLossProfile
+
+    @property
+    def scales(self) -> tuple[int, ...]:
+        """Scales that were compared."""
+        return tuple(self.metric)
+
+
+@dataclass
+class ScaleLabels:
+    """Optimal-scale labels for a whole dataset split (the regressor's targets)."""
+
+    labels: dict[tuple[int, int], int] = field(default_factory=dict)
+    scales: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def get(self, snippet_id: int, frame_index: int) -> int:
+        """Optimal scale for a frame identified by (snippet_id, frame_index)."""
+        return self.labels[(snippet_id, frame_index)]
+
+    def distribution(self) -> dict[int, float]:
+        """Fraction of frames labelled with each scale."""
+        if not self.labels:
+            return {}
+        values = np.asarray(list(self.labels.values()))
+        return {
+            int(scale): float((values == scale).mean()) for scale in sorted(set(values.tolist()))
+        }
+
+    def mean_scale(self) -> float:
+        """Average optimal scale over the split."""
+        if not self.labels:
+            return float("nan")
+        return float(np.mean(list(self.labels.values())))
+
+
+def scale_loss_profile(
+    detector: RFCNDetector,
+    frame: VideoFrame,
+    scales: tuple[int, ...],
+    max_long_side: int | None = None,
+    reg_weight: float = 1.0,
+) -> ScaleLossProfile:
+    """Run the detector at every scale and collect per-foreground-box losses."""
+    if not scales:
+        raise ValueError("scales must be non-empty")
+    foreground_losses: dict[int, np.ndarray] = {}
+    num_foreground: dict[int, int] = {}
+    num_detections: dict[int, int] = {}
+    for scale in scales:
+        result = detector.detect(frame.image, target_scale=int(scale), max_long_side=max_long_side)
+        per_box = per_detection_losses(
+            result.probs,
+            result.boxes,
+            frame.boxes,
+            frame.labels,
+            fg_threshold=0.5,
+            reg_weight=reg_weight,
+        )
+        fg_losses = np.sort(per_box.losses[per_box.is_foreground])
+        foreground_losses[int(scale)] = fg_losses.astype(np.float32)
+        num_foreground[int(scale)] = int(per_box.num_foreground)
+        num_detections[int(scale)] = len(result)
+    return ScaleLossProfile(
+        foreground_losses=foreground_losses,
+        num_foreground=num_foreground,
+        num_detections=num_detections,
+    )
+
+
+def optimal_scale_for_image(
+    detector: RFCNDetector,
+    frame: VideoFrame,
+    config: AdaScaleConfig,
+    reg_weight: float = 1.0,
+) -> OptimalScaleResult:
+    """Compute ``m_opt`` for one image (Eq. 2).
+
+    Tie-breaking and degenerate cases (not specified by the paper):
+
+    * equal truncated losses prefer the *smaller* scale, since it is faster at
+      equal quality;
+    * scales with zero foreground predictions are excluded from the
+      comparison when at least one scale has foreground predictions (a scale
+      that detects nothing carries no evidence of being optimal);
+    * if no scale produces any foreground prediction, the largest scale is
+      returned (the safe choice for a frame the detector cannot handle).
+    """
+    scales = tuple(int(scale) for scale in config.scales)
+    profile = scale_loss_profile(
+        detector, frame, scales, max_long_side=config.max_long_side, reg_weight=reg_weight
+    )
+
+    candidate_scales = scales
+    if config.use_foreground_truncation:
+        nonzero = [scale for scale in scales if profile.num_foreground[scale] > 0]
+        if nonzero:
+            candidate_scales = tuple(nonzero)
+        else:
+            metric = {scale: float("inf") for scale in scales}
+            return OptimalScaleResult(
+                optimal_scale=max(scales), metric=metric, n_min=0, profile=profile
+            )
+        n_min = min(profile.num_foreground[scale] for scale in candidate_scales)
+    else:
+        # Ablation variant: no truncation — sum every foreground loss.
+        n_min = -1
+
+    metric: dict[int, float] = {}
+    for scale in scales:
+        if scale not in candidate_scales:
+            metric[scale] = float("inf")
+        elif n_min < 0:
+            metric[scale] = float(profile.foreground_losses[scale].sum())
+        else:
+            metric[scale] = profile.truncated_loss(scale, n_min)
+
+    # Iterate from the smallest scale upward so ties pick the faster scale.
+    best_scale = max(scales)
+    best_value = float("inf")
+    for scale in sorted(candidate_scales):
+        if metric[scale] < best_value - 1e-12:
+            best_value = metric[scale]
+            best_scale = scale
+    return OptimalScaleResult(
+        optimal_scale=int(best_scale),
+        metric=metric,
+        n_min=max(n_min, 0),
+        profile=profile,
+    )
+
+
+def label_dataset(
+    detector: RFCNDetector,
+    dataset: SyntheticVID,
+    config: AdaScaleConfig,
+    reg_weight: float = 1.0,
+    log_every: int = 50,
+) -> ScaleLabels:
+    """Compute the optimal-scale label of every frame in ``dataset``.
+
+    This is the label-generation stage of the methodology (Fig. 2); the
+    resulting labels train the scale regressor.
+    """
+    labels = ScaleLabels(scales=tuple(int(scale) for scale in config.scales))
+    processed = 0
+    for snippet in dataset:
+        for frame in snippet:
+            result = optimal_scale_for_image(detector, frame, config, reg_weight=reg_weight)
+            labels.labels[(frame.snippet_id, frame.frame_index)] = result.optimal_scale
+            processed += 1
+            if log_every and processed % log_every == 0:
+                _LOGGER.info("labelled %d frames (mean scale %.1f)", processed, labels.mean_scale())
+    return labels

@@ -1,0 +1,488 @@
+"""End-to-end AdaScale methodology (Fig. 2) and experiment presets.
+
+The pipeline reproduces the paper's workflow:
+
+1. train a base detector at a single scale (the SS/SS baseline);
+2. fine-tune it with multi-scale training over ``S_train`` (the MS detector);
+3. generate optimal-scale labels on the training split with the MS detector;
+4. train the scale regressor against those labels (detector frozen);
+5. evaluate the methods compared throughout the paper — SS/SS, MS/SS, MS/MS,
+   MS/Random and MS/AdaScale — on the validation split, measuring per-class
+   AP, mAP and per-frame runtime.
+
+The result of a pipeline run is an :class:`ExperimentBundle`, which owns the
+trained artefacts and knows how to evaluate each method; benchmarks and
+examples share bundles so the expensive training happens once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import AdaScaleConfig, ExperimentConfig, TrainingConfig
+from repro.core.adascale import AdaScaleDetector
+from repro.core.optimal_scale import ScaleLabels, label_dataset, optimal_scale_for_image
+from repro.core.regressor import ScaleRegressor
+from repro.core.regressor_trainer import RegressorTrainer
+from repro.core.scale_set import ScaleSet
+from repro.data.synthetic_vid import Snippet, SyntheticVID, VideoFrame
+from repro.detection.nms import batched_nms
+from repro.detection.rfcn import DetectionResult, RFCNDetector
+from repro.detection.trainer import DetectorTrainer
+from repro.evaluation.runtime import RuntimeStats
+from repro.evaluation.voc_ap import DetectionRecord, EvalResult, evaluate_detections
+from repro.utils.checkpoint import load_json, load_params, save_json, save_params
+from repro.utils.logging import get_logger
+from repro.utils.seeding import spawn_rngs
+
+__all__ = ["MethodResult", "ExperimentBundle", "AdaScalePipeline", "merge_detections", "METHODS"]
+
+_LOGGER = get_logger("core.pipeline")
+
+#: Methods reported in the paper's evaluation (Table 1, Fig. 5, Fig. 6).
+METHODS: tuple[str, ...] = ("SS/SS", "MS/SS", "MS/MS", "MS/Random", "MS/AdaScale")
+
+
+def merge_detections(
+    results: Sequence[DetectionResult],
+    nms_threshold: float,
+    max_detections: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge detections from several scales of the same image (MS/MS testing).
+
+    Boxes are already in original-image coordinates, so merging is a
+    class-wise NMS over the union of all detections.
+    """
+    if not results:
+        return (
+            np.zeros((0, 4), dtype=np.float32),
+            np.zeros((0,), dtype=np.float32),
+            np.zeros((0,), dtype=np.int64),
+        )
+    boxes = np.concatenate([result.boxes for result in results], axis=0)
+    scores = np.concatenate([result.scores for result in results], axis=0)
+    class_ids = np.concatenate([result.class_ids for result in results], axis=0)
+    if boxes.shape[0] == 0:
+        return boxes, scores, class_ids
+    keep = batched_nms(boxes, scores, class_ids, nms_threshold)[:max_detections]
+    return boxes[keep], scores[keep], class_ids[keep]
+
+
+@dataclass
+class MethodResult:
+    """Evaluation outcome of one method on one dataset split."""
+
+    name: str
+    eval: EvalResult
+    runtime: RuntimeStats
+    records: list[DetectionRecord] = field(default_factory=list)
+    scale_trace: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def mean_ap(self) -> float:
+        """Mean average precision (%-free fraction in [0, 1])."""
+        return self.eval.mean_ap
+
+    @property
+    def mean_runtime_ms(self) -> float:
+        """Mean per-frame runtime in milliseconds."""
+        return self.runtime.mean_ms
+
+    @property
+    def mean_scale(self) -> float:
+        """Average processing scale over all evaluated frames."""
+        scales = [scale for trace in self.scale_trace.values() for scale in trace]
+        if not scales:
+            return float("nan")
+        return float(np.mean(scales))
+
+    def scale_distribution(self, bins: Sequence[int] | None = None) -> dict[int, float]:
+        """Histogram of the scales used (Fig. 10).
+
+        When ``bins`` is given, each used scale is counted under the nearest
+        bin value; otherwise exact scale values are counted.
+        """
+        scales = [scale for trace in self.scale_trace.values() for scale in trace]
+        if not scales:
+            return {}
+        if bins is not None:
+            scale_set = ScaleSet.from_sequence(bins)
+            scales = [scale_set.nearest(scale) for scale in scales]
+        values, counts = np.unique(np.asarray(scales), return_counts=True)
+        total = float(len(scales))
+        return {int(value): float(count) / total for value, count in zip(values, counts)}
+
+
+@dataclass
+class ExperimentBundle:
+    """Trained artefacts of one pipeline run plus evaluation entry points."""
+
+    config: ExperimentConfig
+    train_dataset: SyntheticVID
+    val_dataset: SyntheticVID
+    ss_detector: RFCNDetector
+    ms_detector: RFCNDetector
+    regressor: ScaleRegressor
+    labels: ScaleLabels
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    @property
+    def class_names(self) -> list[str]:
+        """Dataset class names (per-class AP table columns)."""
+        return self.val_dataset.class_names
+
+    @property
+    def adascale(self) -> AdaScaleDetector:
+        """The AdaScale wrapper around the MS detector and the regressor."""
+        return AdaScaleDetector(self.ms_detector, self.regressor, self.config.adascale)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist the trained artefacts (detectors, regressor, labels).
+
+        Datasets are *not* stored — they are regenerated deterministically from
+        the configuration — so a saved bundle is a few small ``.npz`` files.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_params(directory / "ss_detector.npz", self.ss_detector.state_dict())
+        save_params(directory / "ms_detector.npz", self.ms_detector.state_dict())
+        save_params(directory / "regressor.npz", self.regressor.state_dict())
+        save_json(
+            directory / "labels.json",
+            {
+                "scales": list(self.labels.scales),
+                "labels": {
+                    f"{snippet}:{frame}": int(scale)
+                    for (snippet, frame), scale in self.labels.labels.items()
+                },
+            },
+        )
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        config: ExperimentConfig,
+        dataset_cls: type[SyntheticVID] = SyntheticVID,
+    ) -> "ExperimentBundle":
+        """Rebuild a bundle saved by :meth:`save` (datasets are regenerated)."""
+        directory = Path(directory)
+        train_dataset = dataset_cls(config.dataset, split="train")
+        val_dataset = dataset_cls(config.dataset, split="val")
+        ss_detector = RFCNDetector(config.detector, seed=config.seed)
+        ss_detector.load_state_dict(load_params(directory / "ss_detector.npz"))
+        ms_detector = RFCNDetector(config.detector, seed=config.seed)
+        ms_detector.load_state_dict(load_params(directory / "ms_detector.npz"))
+        regressor = ScaleRegressor(ms_detector.feature_channels, config.regressor, seed=config.seed)
+        regressor.load_state_dict(load_params(directory / "regressor.npz"))
+        payload = load_json(directory / "labels.json")
+        labels = ScaleLabels(scales=tuple(int(s) for s in payload["scales"]))
+        for key, scale in payload["labels"].items():
+            snippet, frame = key.split(":")
+            labels.labels[(int(snippet), int(frame))] = int(scale)
+        ss_detector.eval()
+        ms_detector.eval()
+        regressor.eval()
+        return cls(
+            config=config,
+            train_dataset=train_dataset,
+            val_dataset=val_dataset,
+            ss_detector=ss_detector,
+            ms_detector=ms_detector,
+            regressor=regressor,
+            labels=labels,
+        )
+
+    # -- method evaluation --------------------------------------------------
+    def evaluate_method(
+        self, name: str, dataset: SyntheticVID | None = None
+    ) -> MethodResult:
+        """Evaluate one of the paper's methods on ``dataset`` (default: val split)."""
+        dataset = dataset if dataset is not None else self.val_dataset
+        dispatch: dict[str, Callable[[SyntheticVID], MethodResult]] = {
+            "SS/SS": lambda ds: self._evaluate_fixed(ds, self.ss_detector, "SS/SS"),
+            "MS/SS": lambda ds: self._evaluate_fixed(ds, self.ms_detector, "MS/SS"),
+            "MS/MS": self._evaluate_multi_scale,
+            "MS/Random": self._evaluate_random,
+            "MS/AdaScale": self._evaluate_adascale,
+            "MS/Oracle": self._evaluate_oracle,
+        }
+        if name not in dispatch:
+            raise KeyError(f"unknown method {name!r}; known: {sorted(dispatch)}")
+        result = dispatch[name](dataset)
+        _LOGGER.info(
+            "%s: mAP=%.1f%% runtime=%.1fms mean_scale=%.0f",
+            name,
+            100.0 * result.mean_ap,
+            result.mean_runtime_ms,
+            result.mean_scale,
+        )
+        return result
+
+    def evaluate_methods(
+        self, names: Sequence[str] = METHODS, dataset: SyntheticVID | None = None
+    ) -> dict[str, MethodResult]:
+        """Evaluate several methods and return them keyed by name."""
+        return {name: self.evaluate_method(name, dataset) for name in names}
+
+    # -- individual evaluators -------------------------------------------------
+    def _evaluate_fixed(
+        self, dataset: SyntheticVID, detector: RFCNDetector, name: str, scale: int | None = None
+    ) -> MethodResult:
+        scale = int(scale) if scale is not None else self.config.adascale.max_scale
+        records: list[DetectionRecord] = []
+        runtime = RuntimeStats(name=name)
+        trace: dict[int, list[int]] = {}
+        for snippet in dataset:
+            trace[snippet.snippet_id] = []
+            for frame in snippet:
+                result = detector.detect(
+                    frame.image, target_scale=scale, max_long_side=self.config.adascale.max_long_side
+                )
+                records.append(_to_record(result, frame))
+                runtime.add(result.runtime_s)
+                trace[snippet.snippet_id].append(scale)
+        return MethodResult(
+            name=name,
+            eval=evaluate_detections(records, dataset.class_names),
+            runtime=runtime,
+            records=records,
+            scale_trace=trace,
+        )
+
+    def _evaluate_multi_scale(self, dataset: SyntheticVID) -> MethodResult:
+        config = self.config
+        records: list[DetectionRecord] = []
+        runtime = RuntimeStats(name="MS/MS")
+        trace: dict[int, list[int]] = {}
+        for snippet in dataset:
+            trace[snippet.snippet_id] = []
+            for frame in snippet:
+                per_scale = [
+                    self.ms_detector.detect(
+                        frame.image,
+                        target_scale=int(scale),
+                        max_long_side=config.adascale.max_long_side,
+                    )
+                    for scale in config.adascale.scales
+                ]
+                boxes, scores, class_ids = merge_detections(
+                    per_scale,
+                    config.detector.nms_threshold,
+                    config.detector.max_detections,
+                )
+                records.append(
+                    DetectionRecord(
+                        boxes=boxes,
+                        scores=scores,
+                        class_ids=class_ids,
+                        gt_boxes=frame.boxes,
+                        gt_labels=frame.labels,
+                        frame_id=(frame.snippet_id, frame.frame_index),
+                    )
+                )
+                runtime.add(sum(result.runtime_s for result in per_scale))
+                trace[snippet.snippet_id].append(int(max(config.adascale.scales)))
+        return MethodResult(
+            name="MS/MS",
+            eval=evaluate_detections(records, dataset.class_names),
+            runtime=runtime,
+            records=records,
+            scale_trace=trace,
+        )
+
+    def _evaluate_random(self, dataset: SyntheticVID) -> MethodResult:
+        config = self.config
+        reg_scales = config.adascale.regressor_scales
+        rng = np.random.default_rng(self.config.seed + 17)
+        records: list[DetectionRecord] = []
+        runtime = RuntimeStats(name="MS/Random")
+        trace: dict[int, list[int]] = {}
+        for snippet in dataset:
+            trace[snippet.snippet_id] = []
+            for frame in snippet:
+                scale = int(reg_scales[int(rng.integers(len(reg_scales)))])
+                result = self.ms_detector.detect(
+                    frame.image, target_scale=scale, max_long_side=config.adascale.max_long_side
+                )
+                records.append(_to_record(result, frame))
+                runtime.add(result.runtime_s)
+                trace[snippet.snippet_id].append(scale)
+        return MethodResult(
+            name="MS/Random",
+            eval=evaluate_detections(records, dataset.class_names),
+            runtime=runtime,
+            records=records,
+            scale_trace=trace,
+        )
+
+    def _evaluate_adascale(self, dataset: SyntheticVID) -> MethodResult:
+        adaptive = self.adascale
+        records: list[DetectionRecord] = []
+        runtime = RuntimeStats(name="MS/AdaScale")
+        trace: dict[int, list[int]] = {}
+        for snippet in dataset:
+            frames = snippet.frames()
+            video_result = adaptive.process_video(frames)
+            records.extend(video_result.to_records(frames))
+            for output in video_result.outputs:
+                runtime.add(output.runtime_s)
+            trace[snippet.snippet_id] = video_result.scales_used
+        return MethodResult(
+            name="MS/AdaScale",
+            eval=evaluate_detections(records, dataset.class_names),
+            runtime=runtime,
+            records=records,
+            scale_trace=trace,
+        )
+
+    def _evaluate_oracle(self, dataset: SyntheticVID) -> MethodResult:
+        """Per-frame optimal scale computed from ground truth (upper bound)."""
+        config = self.config
+        records: list[DetectionRecord] = []
+        runtime = RuntimeStats(name="MS/Oracle")
+        trace: dict[int, list[int]] = {}
+        for snippet in dataset:
+            trace[snippet.snippet_id] = []
+            for frame in snippet:
+                optimal = optimal_scale_for_image(self.ms_detector, frame, config.adascale)
+                result = self.ms_detector.detect(
+                    frame.image,
+                    target_scale=optimal.optimal_scale,
+                    max_long_side=config.adascale.max_long_side,
+                )
+                records.append(_to_record(result, frame))
+                runtime.add(result.runtime_s)
+                trace[snippet.snippet_id].append(optimal.optimal_scale)
+        return MethodResult(
+            name="MS/Oracle",
+            eval=evaluate_detections(records, dataset.class_names),
+            runtime=runtime,
+            records=records,
+            scale_trace=trace,
+        )
+
+
+def _to_record(result: DetectionResult, frame: VideoFrame) -> DetectionRecord:
+    return DetectionRecord(
+        boxes=result.boxes,
+        scores=result.scores,
+        class_ids=result.class_ids,
+        gt_boxes=frame.boxes,
+        gt_labels=frame.labels,
+        frame_id=(frame.snippet_id, frame.frame_index),
+    )
+
+
+class AdaScalePipeline:
+    """Builds an :class:`ExperimentBundle` following the Fig. 2 methodology."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        dataset_cls: type[SyntheticVID] = SyntheticVID,
+    ) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self.config.validate()
+        self.dataset_cls = dataset_cls
+        self._rngs = spawn_rngs(self.config.seed, 4)
+
+    # -- stages -----------------------------------------------------------
+    def build_datasets(self) -> tuple[SyntheticVID, SyntheticVID]:
+        """Construct the train and validation splits."""
+        train = self.dataset_cls(self.config.dataset, split="train")
+        val = self.dataset_cls(self.config.dataset, split="val")
+        return train, val
+
+    def train_base_detector(self, train_dataset: SyntheticVID) -> RFCNDetector:
+        """Stage 1: train the single-scale (SS) base detector at the max scale."""
+        config = self.config
+        detector = RFCNDetector(config.detector, seed=config.seed)
+        ss_training = config.training.with_(
+            train_scales=(config.adascale.max_scale,)
+        )
+        trainer = DetectorTrainer(detector, ss_training, self._rngs[0])
+        _LOGGER.info("training SS base detector (%d iterations)", ss_training.iterations)
+        trainer.fit(train_dataset)
+        return detector
+
+    def finetune_multiscale(
+        self, base_detector: RFCNDetector, train_dataset: SyntheticVID
+    ) -> RFCNDetector:
+        """Stage 2: fine-tune a copy of the base detector with multi-scale training."""
+        config = self.config
+        detector = RFCNDetector(config.detector, seed=config.seed)
+        detector.load_state_dict(base_detector.state_dict())
+        if tuple(config.training.train_scales) == (config.adascale.max_scale,):
+            _LOGGER.info("S_train is single-scale; MS detector equals the SS detector")
+            return detector
+        trainer = DetectorTrainer(detector, config.training, self._rngs[1])
+        _LOGGER.info(
+            "multi-scale fine-tuning on S_train=%s (%d iterations)",
+            config.training.train_scales,
+            config.training.iterations,
+        )
+        trainer.fit(train_dataset)
+        return detector
+
+    def generate_labels(
+        self, detector: RFCNDetector, train_dataset: SyntheticVID
+    ) -> ScaleLabels:
+        """Stage 3: optimal-scale labels over the training split (Eq. 2)."""
+        _LOGGER.info("generating optimal-scale labels on %d frames", train_dataset.num_frames)
+        return label_dataset(
+            detector,
+            train_dataset,
+            self.config.adascale,
+            reg_weight=self.config.detector.bbox_loss_weight,
+        )
+
+    def train_regressor(
+        self,
+        detector: RFCNDetector,
+        train_dataset: SyntheticVID,
+        labels: ScaleLabels,
+    ) -> ScaleRegressor:
+        """Stage 4: train the scale regressor with the detector frozen (Eq. 4)."""
+        regressor = ScaleRegressor(
+            detector.feature_channels, self.config.regressor, seed=self.config.seed
+        )
+        detector.freeze()
+        trainer = RegressorTrainer(
+            detector, regressor, self.config.adascale, self.config.regressor, self._rngs[2]
+        )
+        _LOGGER.info("training scale regressor (%d iterations)", self.config.regressor.iterations)
+        trainer.fit(train_dataset, labels)
+        detector.unfreeze()
+        return regressor
+
+    # -- orchestration ---------------------------------------------------------
+    def run(self, base_detector: RFCNDetector | None = None) -> ExperimentBundle:
+        """Run every stage and return the trained bundle.
+
+        ``base_detector`` lets ablations (Table 2) reuse an already-trained
+        single-scale detector instead of retraining it.
+        """
+        train_dataset, val_dataset = self.build_datasets()
+        ss_detector = (
+            base_detector if base_detector is not None else self.train_base_detector(train_dataset)
+        )
+        ms_detector = self.finetune_multiscale(ss_detector, train_dataset)
+        labels = self.generate_labels(ms_detector, train_dataset)
+        regressor = self.train_regressor(ms_detector, train_dataset, labels)
+        return ExperimentBundle(
+            config=self.config,
+            train_dataset=train_dataset,
+            val_dataset=val_dataset,
+            ss_detector=ss_detector,
+            ms_detector=ms_detector,
+            regressor=regressor,
+            labels=labels,
+            rng=self._rngs[3],
+        )

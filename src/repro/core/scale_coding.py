@@ -1,0 +1,70 @@
+"""Relative scale-target coding (Eq. 3) and decoding (Algorithm 1).
+
+The regressor does not predict the optimal scale directly — what matters is
+the image *content*, not its current size — so the target is the normalised
+relative scale
+
+    t(m, m_opt) = 2 * (m_opt / m - m_min / m_max) / (m_max / m_min - m_min / m_max) - 1
+
+which lies in [-1, 1] whenever ``m_opt / m`` lies inside the reachable ratio
+range.  At test time the prediction is decoded with the inverse mapping using
+the *current* image's shortest side as ``m``, then rounded and clipped to
+``[S_min, S_max]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["encode_scale_target", "decode_scale", "decode_scale_float"]
+
+
+def _ratio_bounds(min_scale: int, max_scale: int) -> tuple[float, float]:
+    if min_scale <= 0 or max_scale <= 0:
+        raise ValueError(f"scales must be positive, got {min_scale}, {max_scale}")
+    if min_scale >= max_scale:
+        raise ValueError(f"min_scale must be < max_scale, got {min_scale} >= {max_scale}")
+    low = min_scale / max_scale
+    high = max_scale / min_scale
+    return low, high
+
+
+def encode_scale_target(
+    current_scale: float, optimal_scale: float, min_scale: int, max_scale: int
+) -> float:
+    """Eq. (3): encode the optimal scale relative to the current scale.
+
+    Parameters
+    ----------
+    current_scale:
+        ``m_i`` — the shortest side of the image as it was fed to the detector.
+    optimal_scale:
+        ``m_opt,i`` — the optimal scale label for this image.
+    min_scale, max_scale:
+        ``m_min`` / ``m_max`` — the extremes of the regressor's scale set.
+    """
+    if current_scale <= 0 or optimal_scale <= 0:
+        raise ValueError("scales must be positive")
+    low, high = _ratio_bounds(min_scale, max_scale)
+    ratio = optimal_scale / current_scale
+    return float(2.0 * (ratio - low) / (high - low) - 1.0)
+
+
+def decode_scale_float(
+    target: float, base_size: float, min_scale: int, max_scale: int
+) -> float:
+    """Invert Eq. (3) to a floating-point scale (before rounding / clipping)."""
+    if base_size <= 0:
+        raise ValueError(f"base_size must be positive, got {base_size}")
+    low, high = _ratio_bounds(min_scale, max_scale)
+    ratio = (target + 1.0) / 2.0 * (high - low) + low
+    return float(ratio * base_size)
+
+
+def decode_scale(
+    target: float, base_size: float, min_scale: int, max_scale: int
+) -> int:
+    """Algorithm 1's decode step: invert Eq. (3), round, clip to [S_min, S_max]."""
+    raw = decode_scale_float(target, base_size, min_scale, max_scale)
+    clipped = float(np.clip(raw, min_scale, max_scale))
+    return int(round(clipped))

@@ -1,0 +1,71 @@
+"""Scale-set abstraction.
+
+A scale set is a small collection of shortest-side image sizes, e.g. the
+paper's ``S = {600, 480, 360, 240}``.  AdaScale compares detection quality
+across the scales of ``S`` and regresses a continuous scale bounded by the
+extremes of ``S_reg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ScaleSet"]
+
+
+@dataclass(frozen=True)
+class ScaleSet:
+    """An ordered (largest → smallest) set of shortest-side scales."""
+
+    scales: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise ValueError("scale set must contain at least one scale")
+        if any(scale <= 0 for scale in self.scales):
+            raise ValueError(f"scales must be positive, got {self.scales}")
+        if len(set(self.scales)) != len(self.scales):
+            raise ValueError(f"scales must be unique, got {self.scales}")
+        ordered = tuple(sorted(self.scales, reverse=True))
+        if ordered != tuple(self.scales):
+            object.__setattr__(self, "scales", ordered)
+
+    @classmethod
+    def from_sequence(cls, scales: Sequence[int]) -> "ScaleSet":
+        """Build a scale set from any iterable of positive integers."""
+        return cls(tuple(int(scale) for scale in scales))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.scales)
+
+    def __len__(self) -> int:
+        return len(self.scales)
+
+    def __contains__(self, scale: int) -> bool:
+        return int(scale) in self.scales
+
+    @property
+    def min_scale(self) -> int:
+        """Smallest scale (S_min in Algorithm 1)."""
+        return self.scales[-1]
+
+    @property
+    def max_scale(self) -> int:
+        """Largest scale (S_max in Algorithm 1; the initial video scale)."""
+        return self.scales[0]
+
+    def clip(self, scale: float) -> float:
+        """Clip an arbitrary scale into [min_scale, max_scale]."""
+        return float(np.clip(scale, self.min_scale, self.max_scale))
+
+    def nearest(self, scale: float) -> int:
+        """The member of the set closest to ``scale`` (ties go to the larger)."""
+        arr = np.asarray(self.scales, dtype=np.float64)
+        return int(self.scales[int(np.argmin(np.abs(arr - scale)))])
+
+    def ratio_span(self) -> float:
+        """max_scale / min_scale — the dynamic range the regressor must cover."""
+        return self.max_scale / self.min_scale

@@ -1,0 +1,61 @@
+"""Iteration helpers over video datasets.
+
+The detector trains on one image per step (as in the paper, one image per
+GPU); :class:`FrameLoader` provides an infinite, shuffled stream of frames,
+and :func:`iterate_frames` provides deterministic full passes for evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.synthetic_vid import SyntheticVID, VideoFrame
+
+__all__ = ["FrameLoader", "iterate_frames"]
+
+
+def iterate_frames(dataset: SyntheticVID) -> Iterator[VideoFrame]:
+    """Yield every frame of every snippet in deterministic order."""
+    for snippet in dataset:
+        yield from snippet
+
+
+class FrameLoader:
+    """Infinite shuffled frame sampler used by the training loops.
+
+    Frames are indexed by ``(snippet_index, frame_index)``; each epoch visits
+    every frame exactly once in a freshly shuffled order.
+    """
+
+    def __init__(self, dataset: SyntheticVID, rng: np.random.Generator) -> None:
+        self.dataset = dataset
+        self.rng = rng
+        self._index: list[tuple[int, int]] = [
+            (snippet_index, frame_index)
+            for snippet_index, snippet in enumerate(dataset)
+            for frame_index in range(len(snippet))
+        ]
+        if not self._index:
+            raise ValueError("dataset contains no frames")
+        self._order: list[int] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def next_frame(self) -> VideoFrame:
+        """Return the next frame in the shuffled stream (reshuffles per epoch)."""
+        if self._cursor >= len(self._order):
+            self._order = list(self.rng.permutation(len(self._index)))
+            self._cursor = 0
+        snippet_index, frame_index = self._index[self._order[self._cursor]]
+        self._cursor += 1
+        return self.dataset[snippet_index][frame_index]
+
+    def take(self, count: int) -> list[VideoFrame]:
+        """Return the next ``count`` frames from the stream."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.next_frame() for _ in range(count)]

@@ -1,0 +1,54 @@
+"""MiniYTBB: the mini YouTube-BoundingBoxes stand-in dataset.
+
+The paper builds a "mini" YouTube-BB split (100 segments per category for
+training, 10 for validation, 20 frames per segment) because the full dataset
+is enormous.  Our stand-in mirrors the *role* of that dataset — a second,
+independently distributed video benchmark with more categories and shorter,
+sparser snippets — using a different class palette and rendering style than
+:class:`~repro.data.synthetic_vid.SyntheticVID`.
+"""
+
+from __future__ import annotations
+
+from repro.config import DatasetConfig
+from repro.data.shapes import YTBB_CLASS_SPECS
+from repro.data.synthetic_vid import SyntheticVID
+
+__all__ = ["MiniYTBB", "default_ytbb_config"]
+
+
+def default_ytbb_config(seed: int = 0) -> DatasetConfig:
+    """Dataset parameters for the MiniYTBB stand-in.
+
+    Compared to SyntheticVID: more classes, shorter snippets, heavier clutter
+    (YouTube footage is noisier than curated VID snippets) and a wider
+    object-size range.
+    """
+    return DatasetConfig(
+        name="mini-ytbb",
+        num_classes=10,
+        base_scale=128,
+        aspect_ratio=1.33,
+        num_train_snippets=20,
+        num_val_snippets=8,
+        frames_per_snippet=6,
+        min_object_frac=0.10,
+        max_object_frac=0.98,
+        max_objects_per_frame=2,
+        clutter=0.7,
+        motion_blur=0.4,
+        seed=seed,
+    )
+
+
+class MiniYTBB(SyntheticVID):
+    """Mini YouTube-BB-like dataset: same API as :class:`SyntheticVID`."""
+
+    def __init__(self, config: DatasetConfig | None = None, split: str = "train") -> None:
+        config = config if config is not None else default_ytbb_config()
+        if config.num_classes > len(YTBB_CLASS_SPECS):
+            raise ValueError(
+                f"num_classes={config.num_classes} exceeds available YTBB specs "
+                f"({len(YTBB_CLASS_SPECS)})"
+            )
+        super().__init__(config=config, split=split, class_specs=YTBB_CLASS_SPECS)

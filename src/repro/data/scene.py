@@ -1,0 +1,215 @@
+"""Frame composition: background, clutter, objects, motion blur.
+
+A :class:`SceneRenderer` turns an abstract object state (class, centre,
+size, velocity) into an RGB frame plus ground-truth boxes.  The renderer is
+deterministic given its random generator, so datasets can re-render any frame
+on demand without storing pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.shapes import ShapeSpec, render_shape
+
+__all__ = ["ObjectState", "SceneRenderer"]
+
+
+@dataclass
+class ObjectState:
+    """Dynamic state of one object inside a snippet.
+
+    Positions and sizes are expressed in pixels of the natively rendered
+    frame.  ``growth`` models slow zoom-in/zoom-out so the optimal image scale
+    drifts over a snippet, which is what the AdaScale regressor must track.
+    """
+
+    class_id: int
+    center: np.ndarray  # (2,) float32, (cx, cy)
+    size: float  # shortest side of the object's bounding box, in pixels
+    aspect: float  # height / width of the bounding box
+    velocity: np.ndarray  # (2,) float32 pixels / frame
+    growth: float  # multiplicative size change per frame
+    texture_phase: float = 0.0
+
+    def bounding_box(self) -> np.ndarray:
+        """Axis-aligned bounding box [x1, y1, x2, y2] of the object."""
+        width = self.size / np.sqrt(self.aspect)
+        height = self.size * np.sqrt(self.aspect)
+        cx, cy = float(self.center[0]), float(self.center[1])
+        return np.array(
+            [cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0],
+            dtype=np.float32,
+        )
+
+    def advance(self, frame_height: int, frame_width: int) -> "ObjectState":
+        """Return the state one frame later (linear motion with wall bounce)."""
+        center = self.center + self.velocity
+        velocity = self.velocity.copy()
+        margin = self.size * 0.25
+        if center[0] < margin or center[0] > frame_width - margin:
+            velocity[0] = -velocity[0]
+            center = self.center + velocity
+        if center[1] < margin or center[1] > frame_height - margin:
+            velocity[1] = -velocity[1]
+            center = self.center + velocity
+        size = float(np.clip(self.size * self.growth, 4.0, 1.4 * max(frame_height, frame_width)))
+        return ObjectState(
+            class_id=self.class_id,
+            center=center.astype(np.float32),
+            size=size,
+            aspect=self.aspect,
+            velocity=velocity.astype(np.float32),
+            growth=self.growth,
+            texture_phase=self.texture_phase + 0.05,
+        )
+
+
+@dataclass
+class SceneRenderer:
+    """Renders frames for a fixed class palette.
+
+    Parameters
+    ----------
+    class_specs:
+        Tuple of :class:`~repro.data.shapes.ShapeSpec`, indexed by class id
+        (0-based; the detector reserves label 0 for background, so dataset
+        class ``c`` maps to detector label ``c + 1``).
+    frame_height, frame_width:
+        Size of natively rendered frames in pixels.
+    clutter:
+        Density of small un-annotated distractor shapes in [0, 1].  Clutter
+        elements reuse object colours but are far below the minimum annotated
+        object size; they are the "unnecessary details" that cause false
+        positives at full resolution (Sec. 1 of the paper).
+    motion_blur:
+        Strength of the along-velocity blur applied to moving objects.
+    """
+
+    class_specs: tuple[ShapeSpec, ...]
+    frame_height: int
+    frame_width: int
+    clutter: float = 0.5
+    motion_blur: float = 0.3
+
+    def background(self, rng: np.random.Generator) -> np.ndarray:
+        """Smooth low-frequency background with optional high-frequency clutter."""
+        height, width = self.frame_height, self.frame_width
+        ys = np.linspace(0.0, 1.0, height, dtype=np.float32)[:, None]
+        xs = np.linspace(0.0, 1.0, width, dtype=np.float32)[None, :]
+        base_color = rng.uniform(0.25, 0.55, size=3).astype(np.float32)
+        tilt = rng.uniform(-0.15, 0.15, size=2).astype(np.float32)
+        gradient = tilt[0] * ys + tilt[1] * xs
+        frame = np.clip(base_color[None, None, :] + gradient[:, :, None], 0.0, 1.0)
+        frame = frame.astype(np.float32)
+
+        if self.clutter > 0:
+            frame = self._add_clutter(frame, rng)
+        return frame
+
+    def _add_clutter(self, frame: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sprinkle small distractor patches that resemble object textures."""
+        height, width, _ = frame.shape
+        num_spots = int(self.clutter * 24)
+        min_side = min(height, width)
+        for _ in range(num_spots):
+            spec = self.class_specs[int(rng.integers(len(self.class_specs)))]
+            size = int(rng.uniform(0.02, 0.055) * min_side) + 2
+            cy = int(rng.uniform(size, height - size))
+            cx = int(rng.uniform(size, width - size))
+            patch, mask = render_shape(spec, size, size, rng, phase=float(rng.random()))
+            alpha = mask * rng.uniform(0.5, 0.9)
+            region = frame[cy : cy + size, cx : cx + size]
+            blended = region * (1.0 - alpha[:, :, None]) + patch * alpha[:, :, None]
+            frame[cy : cy + size, cx : cx + size] = blended
+        return frame
+
+    def render_frame(
+        self,
+        objects: list[ObjectState],
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Render one frame.
+
+        Returns ``(image, boxes, labels)`` where ``image`` is
+        (frame_height, frame_width, 3) float32 in [0, 1], ``boxes`` is (N, 4)
+        clipped to the frame, and ``labels`` holds 0-based dataset class ids.
+        """
+        frame = self.background(rng)
+        boxes: list[np.ndarray] = []
+        labels: list[int] = []
+        for obj in objects:
+            frame, box = self._paint_object(frame, obj, rng)
+            if box is None:
+                continue
+            boxes.append(box)
+            labels.append(obj.class_id)
+        if boxes:
+            box_array = np.stack(boxes).astype(np.float32)
+            label_array = np.asarray(labels, dtype=np.int64)
+        else:
+            box_array = np.zeros((0, 4), dtype=np.float32)
+            label_array = np.zeros((0,), dtype=np.int64)
+        return frame, box_array, label_array
+
+    def _paint_object(
+        self, frame: np.ndarray, obj: ObjectState, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        height, width, _ = frame.shape
+        box = obj.bounding_box()
+        x1, y1, x2, y2 = box
+        # Integer pixel extent of the visible part of the object.
+        ix1, iy1 = int(np.floor(max(x1, 0))), int(np.floor(max(y1, 0)))
+        ix2, iy2 = int(np.ceil(min(x2, width))), int(np.ceil(min(y2, height)))
+        if ix2 - ix1 < 2 or iy2 - iy1 < 2:
+            return frame, None
+
+        full_w = max(int(np.ceil(x2 - x1)), 2)
+        full_h = max(int(np.ceil(y2 - y1)), 2)
+        spec = self.class_specs[obj.class_id]
+        patch, alpha = render_shape(spec, full_h, full_w, rng, phase=obj.texture_phase)
+
+        if self.motion_blur > 0:
+            patch, alpha = self._blur_along_velocity(patch, alpha, obj.velocity)
+
+        # Crop the patch to the visible region.
+        ox1 = ix1 - int(np.floor(x1))
+        oy1 = iy1 - int(np.floor(y1))
+        crop_patch = patch[oy1 : oy1 + (iy2 - iy1), ox1 : ox1 + (ix2 - ix1)]
+        crop_alpha = alpha[oy1 : oy1 + (iy2 - iy1), ox1 : ox1 + (ix2 - ix1)]
+        if crop_patch.shape[0] < 2 or crop_patch.shape[1] < 2:
+            return frame, None
+
+        region = frame[iy1 : iy1 + crop_patch.shape[0], ix1 : ix1 + crop_patch.shape[1]]
+        blended = region * (1.0 - crop_alpha[:, :, None]) + crop_patch * crop_alpha[:, :, None]
+        frame[iy1 : iy1 + crop_patch.shape[0], ix1 : ix1 + crop_patch.shape[1]] = blended
+
+        visible_box = np.array(
+            [max(x1, 0.0), max(y1, 0.0), min(x2, float(width)), min(y2, float(height))],
+            dtype=np.float32,
+        )
+        return frame, visible_box
+
+    def _blur_along_velocity(
+        self, patch: np.ndarray, alpha: np.ndarray, velocity: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cheap motion blur: average the patch with shifted copies of itself."""
+        speed = float(np.linalg.norm(velocity))
+        if speed < 1.0 or self.motion_blur <= 0:
+            return patch, alpha
+        steps = min(int(self.motion_blur * speed), 3)
+        if steps == 0:
+            return patch, alpha
+        direction = velocity / (speed + 1e-6)
+        acc_patch = patch.copy()
+        acc_alpha = alpha.copy()
+        for step in range(1, steps + 1):
+            dy = int(round(direction[1] * step))
+            dx = int(round(direction[0] * step))
+            acc_patch += np.roll(np.roll(patch, dy, axis=0), dx, axis=1)
+            acc_alpha += np.roll(np.roll(alpha, dy, axis=0), dx, axis=1)
+        acc_patch /= steps + 1
+        acc_alpha /= steps + 1
+        return acc_patch.astype(np.float32), np.clip(acc_alpha, 0.0, 1.0).astype(np.float32)

@@ -1,0 +1,253 @@
+"""SyntheticVID: the ImageNet-VID stand-in dataset.
+
+The dataset is organised like ImageNet VID: a set of video *snippets*, each a
+short sequence of frames with per-frame bounding-box + class annotations, with
+disjoint train and validation splits.  Frames are rendered lazily and
+deterministically from the snippet seed, so a dataset object is cheap to
+construct and any frame can be re-rendered identically at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.config import DatasetConfig
+from repro.data.scene import ObjectState, SceneRenderer
+from repro.data.shapes import CLASS_SPECS, ShapeSpec
+
+__all__ = ["VideoFrame", "Snippet", "SyntheticVID"]
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One annotated video frame.
+
+    Attributes
+    ----------
+    image:
+        (H, W, 3) float32 RGB in [0, 1] at the dataset's native resolution.
+    boxes:
+        (N, 4) ground-truth boxes in pixel coordinates of ``image``.
+    labels:
+        (N,) 0-based dataset class ids (the detector maps these to 1-based
+        foreground labels internally).
+    snippet_id / frame_index:
+        Position of the frame inside the dataset.
+    """
+
+    image: np.ndarray
+    boxes: np.ndarray
+    labels: np.ndarray
+    snippet_id: int
+    frame_index: int
+
+    @property
+    def height(self) -> int:
+        """Frame height in pixels."""
+        return int(self.image.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Frame width in pixels."""
+        return int(self.image.shape[1])
+
+    @property
+    def num_objects(self) -> int:
+        """Number of annotated objects."""
+        return int(self.boxes.shape[0])
+
+
+class Snippet:
+    """A lazily rendered video snippet (sequence of :class:`VideoFrame`)."""
+
+    def __init__(
+        self,
+        snippet_id: int,
+        num_frames: int,
+        renderer: SceneRenderer,
+        initial_objects: list[ObjectState],
+        seed: int,
+    ) -> None:
+        self.snippet_id = snippet_id
+        self.num_frames = num_frames
+        self._renderer = renderer
+        self._initial_objects = initial_objects
+        self._seed = seed
+        self._cache: dict[int, VideoFrame] = {}
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __getitem__(self, frame_index: int) -> VideoFrame:
+        if not 0 <= frame_index < self.num_frames:
+            raise IndexError(f"frame {frame_index} out of range [0, {self.num_frames})")
+        if frame_index not in self._cache:
+            self._render_up_to(frame_index)
+        return self._cache[frame_index]
+
+    def __iter__(self):
+        for index in range(self.num_frames):
+            yield self[index]
+
+    def frames(self) -> list[VideoFrame]:
+        """All frames of the snippet, rendering them if necessary."""
+        return [self[i] for i in range(self.num_frames)]
+
+    def _render_up_to(self, frame_index: int) -> None:
+        objects = [
+            ObjectState(
+                class_id=obj.class_id,
+                center=obj.center.copy(),
+                size=obj.size,
+                aspect=obj.aspect,
+                velocity=obj.velocity.copy(),
+                growth=obj.growth,
+                texture_phase=obj.texture_phase,
+            )
+            for obj in self._initial_objects
+        ]
+        height = self._renderer.frame_height
+        width = self._renderer.frame_width
+        for index in range(frame_index + 1):
+            if index not in self._cache:
+                # Per-frame RNG keyed by (snippet seed, frame index) keeps
+                # rendering deterministic regardless of access order.
+                rng = np.random.default_rng((self._seed, index))
+                image, boxes, labels = self._renderer.render_frame(objects, rng)
+                self._cache[index] = VideoFrame(
+                    image=image,
+                    boxes=boxes,
+                    labels=labels,
+                    snippet_id=self.snippet_id,
+                    frame_index=index,
+                )
+            objects = [obj.advance(height, width) for obj in objects]
+
+
+class SyntheticVID:
+    """Synthetic ImageNet-VID-like dataset.
+
+    Parameters
+    ----------
+    config:
+        Dataset parameters (number of snippets, frame geometry, clutter, ...).
+    split:
+        ``"train"`` or ``"val"``.  Splits use disjoint snippet seeds.
+    class_specs:
+        Optional override of the class palette (used by :class:`MiniYTBB`).
+    """
+
+    #: offset added to snippet seeds so train and val never share a stream
+    _SPLIT_OFFSETS = {"train": 0, "val": 1_000_003}
+
+    def __init__(
+        self,
+        config: DatasetConfig | None = None,
+        split: str = "train",
+        class_specs: tuple[ShapeSpec, ...] | None = None,
+    ) -> None:
+        if split not in self._SPLIT_OFFSETS:
+            raise ValueError(f"split must be one of {sorted(self._SPLIT_OFFSETS)}, got {split!r}")
+        self.config = config if config is not None else DatasetConfig()
+        self.split = split
+        specs = class_specs if class_specs is not None else CLASS_SPECS
+        if self.config.num_classes > len(specs):
+            raise ValueError(
+                f"num_classes={self.config.num_classes} exceeds available class specs ({len(specs)})"
+            )
+        self.class_specs: tuple[ShapeSpec, ...] = tuple(specs[: self.config.num_classes])
+        self.class_names: list[str] = [spec.name for spec in self.class_specs]
+
+        self.frame_height = int(round(self.config.base_scale))
+        self.frame_width = int(round(self.config.base_scale * self.config.aspect_ratio))
+        self._renderer = SceneRenderer(
+            class_specs=self.class_specs,
+            frame_height=self.frame_height,
+            frame_width=self.frame_width,
+            clutter=self.config.clutter,
+            motion_blur=self.config.motion_blur,
+        )
+        count = (
+            self.config.num_train_snippets if split == "train" else self.config.num_val_snippets
+        )
+        self.snippets: list[Snippet] = [self._build_snippet(index) for index in range(count)]
+
+    # -- dataset protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snippets)
+
+    def __getitem__(self, index: int) -> Snippet:
+        return self.snippets[index]
+
+    def __iter__(self):
+        return iter(self.snippets)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of foreground classes."""
+        return len(self.class_specs)
+
+    @property
+    def num_frames(self) -> int:
+        """Total number of frames across all snippets."""
+        return sum(len(snippet) for snippet in self.snippets)
+
+    def all_frames(self) -> list[VideoFrame]:
+        """Every frame of every snippet (renders lazily on first call)."""
+        return [frame for snippet in self.snippets for frame in snippet]
+
+    # -- snippet synthesis ----------------------------------------------------
+    def _build_snippet(self, index: int) -> Snippet:
+        seed = self.config.seed * 7_919 + self._SPLIT_OFFSETS[self.split] + index
+        rng = np.random.default_rng(seed)
+        num_objects = int(rng.integers(1, self.config.max_objects_per_frame + 1))
+        # Snippet archetypes guarantee coverage of the scale regimes AdaScale
+        # needs to distinguish: large-object snippets (should be down-scaled),
+        # small-object snippets (should stay at full scale), and mixed ones.
+        archetype = index % 3
+        objects = [
+            self._sample_object(rng, archetype, slot) for slot in range(num_objects)
+        ]
+        return Snippet(
+            snippet_id=index,
+            num_frames=self.config.frames_per_snippet,
+            renderer=self._renderer,
+            initial_objects=objects,
+            seed=seed,
+        )
+
+    def _sample_object(
+        self, rng: np.random.Generator, archetype: int, slot: int
+    ) -> ObjectState:
+        min_side = min(self.frame_height, self.frame_width)
+        low, high = self.config.min_object_frac, self.config.max_object_frac
+        if archetype == 0:  # dominated by a large object
+            frac = rng.uniform(0.55 * high, high) if slot == 0 else rng.uniform(low, 0.4)
+        elif archetype == 1:  # small objects only
+            frac = rng.uniform(low, low + 0.15)
+        else:  # mixed sizes
+            frac = rng.uniform(low, high * 0.8)
+        size = float(frac * min_side)
+        class_id = int(rng.integers(self.num_classes))
+        center = np.array(
+            [
+                rng.uniform(0.25 * self.frame_width, 0.75 * self.frame_width),
+                rng.uniform(0.25 * self.frame_height, 0.75 * self.frame_height),
+            ],
+            dtype=np.float32,
+        )
+        velocity = rng.uniform(-3.0, 3.0, size=2).astype(np.float32)
+        growth = float(rng.uniform(0.97, 1.03))
+        aspect = float(rng.uniform(0.7, 1.4))
+        return ObjectState(
+            class_id=class_id,
+            center=center,
+            size=size,
+            aspect=aspect,
+            velocity=velocity,
+            growth=growth,
+            texture_phase=float(rng.random()),
+        )

@@ -1,0 +1,129 @@
+"""Image resizing and normalisation.
+
+The resizing protocol follows Fast R-CNN (and the paper, Sec. 4.2): the image
+is scaled so its *shortest* side equals the target scale, unless that would
+push the longest side past ``max_long_side``, in which case the longest side
+is capped instead.  Ground-truth boxes are rescaled by the same factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "ResizedImage",
+    "resize_image",
+    "resize_with_boxes",
+    "normalize_image",
+    "image_to_chw",
+    "chw_to_image",
+]
+
+#: Per-channel mean subtracted before the backbone (synthetic scenes are
+#: roughly mid-grey; using a constant keeps eval deterministic).
+PIXEL_MEAN = np.array([0.45, 0.45, 0.45], dtype=np.float32)
+
+
+@dataclass(frozen=True)
+class ResizedImage:
+    """Result of resizing an image to a detection scale.
+
+    Attributes
+    ----------
+    image:
+        The resized (H', W', 3) float32 image.
+    scale_factor:
+        Multiplier applied to the original pixel coordinates; detections on
+        ``image`` are divided by this factor to map back to the original frame.
+    target_scale:
+        The requested shortest-side scale.
+    effective_scale:
+        The shortest side actually produced (equals ``target_scale`` unless
+        the long-side cap kicked in or rounding intervened).
+    """
+
+    image: np.ndarray
+    scale_factor: float
+    target_scale: int
+    effective_scale: int
+
+
+def resize_image(
+    image: np.ndarray, target_scale: int, max_long_side: int | None = None
+) -> ResizedImage:
+    """Resize ``image`` so its shortest side is ``target_scale`` pixels.
+
+    Bilinear interpolation via :func:`scipy.ndimage.zoom`.  ``max_long_side``
+    caps the longer side (the paper uses 2000 for 600-pixel scales; our
+    reduced default is set in the configs).
+    """
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got shape {image.shape}")
+    if target_scale <= 0:
+        raise ValueError(f"target_scale must be positive, got {target_scale}")
+    height, width = image.shape[:2]
+    short_side = min(height, width)
+    long_side = max(height, width)
+    factor = float(target_scale) / float(short_side)
+    if max_long_side is not None and long_side * factor > max_long_side:
+        factor = float(max_long_side) / float(long_side)
+
+    if abs(factor - 1.0) < 1e-9:
+        resized = image.copy()
+    else:
+        resized = ndimage.zoom(image, (factor, factor, 1.0), order=1, mode="nearest")
+        resized = np.clip(resized, 0.0, 1.0).astype(np.float32)
+    effective = int(min(resized.shape[0], resized.shape[1]))
+    return ResizedImage(
+        image=resized,
+        scale_factor=factor,
+        target_scale=int(target_scale),
+        effective_scale=effective,
+    )
+
+
+def resize_with_boxes(
+    image: np.ndarray,
+    boxes: np.ndarray,
+    target_scale: int,
+    max_long_side: int | None = None,
+) -> tuple[ResizedImage, np.ndarray]:
+    """Resize an image and rescale its ground-truth boxes consistently."""
+    resized = resize_image(image, target_scale, max_long_side)
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    scaled_boxes = boxes * np.float32(resized.scale_factor)
+    scaled_boxes[:, 0::2] = np.clip(scaled_boxes[:, 0::2], 0.0, resized.image.shape[1])
+    scaled_boxes[:, 1::2] = np.clip(scaled_boxes[:, 1::2], 0.0, resized.image.shape[0])
+    return resized, scaled_boxes
+
+
+def normalize_image(image: np.ndarray) -> np.ndarray:
+    """Subtract the per-channel pixel mean (input to the backbone)."""
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got shape {image.shape}")
+    return image - PIXEL_MEAN[None, None, :]
+
+
+def image_to_chw(image: np.ndarray) -> np.ndarray:
+    """Convert (H, W, 3) to the framework's (1, 3, H, W) layout."""
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got shape {image.shape}")
+    return np.ascontiguousarray(image.transpose(2, 0, 1)[None])
+
+
+def chw_to_image(tensor: np.ndarray) -> np.ndarray:
+    """Convert a (1, 3, H, W) or (3, H, W) tensor back to (H, W, 3)."""
+    tensor = np.asarray(tensor, dtype=np.float32)
+    if tensor.ndim == 4:
+        if tensor.shape[0] != 1:
+            raise ValueError(f"expected batch size 1, got {tensor.shape[0]}")
+        tensor = tensor[0]
+    if tensor.ndim != 3 or tensor.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) tensor, got shape {tensor.shape}")
+    return np.ascontiguousarray(tensor.transpose(1, 2, 0))

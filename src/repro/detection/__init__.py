@@ -1,0 +1,45 @@
+"""A compact R-FCN-style object detector and its training machinery.
+
+The detector mirrors the structure of the paper's base network (Dai et al.,
+R-FCN): a convolutional backbone, a Region Proposal Network and a
+position-sensitive RoI pooling head that produces per-class scores and
+class-agnostic bounding-box refinements.  It is deliberately small so the
+whole pipeline — multi-scale fine-tuning, optimal-scale labelling, scale
+regressor training and video inference — runs on a CPU in minutes.
+"""
+
+from repro.detection.anchors import generate_anchors, generate_base_anchors
+from repro.detection.boxes import (
+    box_areas,
+    clip_boxes,
+    decode_boxes,
+    encode_boxes,
+    iou_matrix,
+    valid_boxes,
+)
+from repro.detection.losses import DetectionLossResult, detection_loss
+from repro.detection.matcher import match_boxes
+from repro.detection.nms import batched_nms, nms
+from repro.detection.rfcn import Detection, DetectionResult, RFCNDetector
+from repro.detection.trainer import DetectorTrainer, TrainingSummary
+
+__all__ = [
+    "Detection",
+    "DetectionLossResult",
+    "DetectionResult",
+    "DetectorTrainer",
+    "RFCNDetector",
+    "TrainingSummary",
+    "batched_nms",
+    "box_areas",
+    "clip_boxes",
+    "decode_boxes",
+    "detection_loss",
+    "encode_boxes",
+    "generate_anchors",
+    "generate_base_anchors",
+    "iou_matrix",
+    "match_boxes",
+    "nms",
+    "valid_boxes",
+]

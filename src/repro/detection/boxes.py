@@ -1,0 +1,157 @@
+"""Bounding-box geometry.
+
+Boxes are ``float32`` arrays of shape (N, 4) in ``[x1, y1, x2, y2]`` image
+coordinates with ``x2 > x1`` and ``y2 > y1``.  All functions are vectorised
+over the box dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "box_areas",
+    "iou_matrix",
+    "encode_boxes",
+    "decode_boxes",
+    "clip_boxes",
+    "valid_boxes",
+    "scale_boxes",
+    "box_centers",
+]
+
+#: Standard deviations applied to the (dx, dy, dw, dh) regression targets —
+#: the same normalisation used by Fast R-CNN derivatives.
+BBOX_STD = np.array([0.1, 0.1, 0.2, 0.2], dtype=np.float32)
+
+#: Clamp on predicted log-size deltas to avoid exp() overflow on wild outputs.
+MAX_DELTA_WH = 4.0
+
+
+def _as_boxes(boxes: np.ndarray) -> np.ndarray:
+    boxes = np.asarray(boxes, dtype=np.float32)
+    if boxes.size == 0:
+        return boxes.reshape(0, 4)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValueError(f"boxes must have shape (N, 4), got {boxes.shape}")
+    return boxes
+
+
+def box_areas(boxes: np.ndarray) -> np.ndarray:
+    """Areas of each box; degenerate boxes have area 0."""
+    boxes = _as_boxes(boxes)
+    widths = np.maximum(boxes[:, 2] - boxes[:, 0], 0.0)
+    heights = np.maximum(boxes[:, 3] - boxes[:, 1], 0.0)
+    return widths * heights
+
+
+def box_centers(boxes: np.ndarray) -> np.ndarray:
+    """(N, 2) array of box centre coordinates (cx, cy)."""
+    boxes = _as_boxes(boxes)
+    return np.stack(
+        [(boxes[:, 0] + boxes[:, 2]) / 2.0, (boxes[:, 1] + boxes[:, 3]) / 2.0], axis=1
+    )
+
+
+def iou_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Pairwise Jaccard overlap (intersection over union).
+
+    Returns an (len(a), len(b)) matrix.  The paper assigns a predicted box to
+    foreground when its IoU with some ground-truth box exceeds 0.5 (Sec. 3.1).
+    """
+    boxes_a = _as_boxes(boxes_a)
+    boxes_b = _as_boxes(boxes_b)
+    if boxes_a.shape[0] == 0 or boxes_b.shape[0] == 0:
+        return np.zeros((boxes_a.shape[0], boxes_b.shape[0]), dtype=np.float32)
+    x1 = np.maximum(boxes_a[:, None, 0], boxes_b[None, :, 0])
+    y1 = np.maximum(boxes_a[:, None, 1], boxes_b[None, :, 1])
+    x2 = np.minimum(boxes_a[:, None, 2], boxes_b[None, :, 2])
+    y2 = np.minimum(boxes_a[:, None, 3], boxes_b[None, :, 3])
+    inter = np.maximum(x2 - x1, 0.0) * np.maximum(y2 - y1, 0.0)
+    areas_a = box_areas(boxes_a)[:, None]
+    areas_b = box_areas(boxes_b)[None, :]
+    union = areas_a + areas_b - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0, inter / union, 0.0)
+    return iou.astype(np.float32)
+
+
+def encode_boxes(anchors: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Encode ground-truth boxes relative to anchors as (dx, dy, dw, dh).
+
+    This is the four-dimensional location parameterisation ``t`` of Eq. (1)
+    in the paper (from Fast R-CNN).
+    """
+    anchors = _as_boxes(anchors)
+    targets = _as_boxes(targets)
+    if anchors.shape != targets.shape:
+        raise ValueError(f"anchors {anchors.shape} and targets {targets.shape} must match")
+    anchor_w = np.maximum(anchors[:, 2] - anchors[:, 0], 1e-3)
+    anchor_h = np.maximum(anchors[:, 3] - anchors[:, 1], 1e-3)
+    anchor_cx = anchors[:, 0] + 0.5 * anchor_w
+    anchor_cy = anchors[:, 1] + 0.5 * anchor_h
+    target_w = np.maximum(targets[:, 2] - targets[:, 0], 1e-3)
+    target_h = np.maximum(targets[:, 3] - targets[:, 1], 1e-3)
+    target_cx = targets[:, 0] + 0.5 * target_w
+    target_cy = targets[:, 1] + 0.5 * target_h
+
+    deltas = np.stack(
+        [
+            (target_cx - anchor_cx) / anchor_w,
+            (target_cy - anchor_cy) / anchor_h,
+            np.log(target_w / anchor_w),
+            np.log(target_h / anchor_h),
+        ],
+        axis=1,
+    ).astype(np.float32)
+    return deltas / BBOX_STD[None, :]
+
+
+def decode_boxes(anchors: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Apply predicted (dx, dy, dw, dh) deltas to anchors (inverse of encode)."""
+    anchors = _as_boxes(anchors)
+    deltas = np.asarray(deltas, dtype=np.float32)
+    if deltas.size == 0:
+        return np.zeros((0, 4), dtype=np.float32)
+    if deltas.shape != anchors.shape:
+        raise ValueError(f"anchors {anchors.shape} and deltas {deltas.shape} must match")
+    deltas = deltas * BBOX_STD[None, :]
+    anchor_w = np.maximum(anchors[:, 2] - anchors[:, 0], 1e-3)
+    anchor_h = np.maximum(anchors[:, 3] - anchors[:, 1], 1e-3)
+    anchor_cx = anchors[:, 0] + 0.5 * anchor_w
+    anchor_cy = anchors[:, 1] + 0.5 * anchor_h
+
+    cx = deltas[:, 0] * anchor_w + anchor_cx
+    cy = deltas[:, 1] * anchor_h + anchor_cy
+    w = np.exp(np.clip(deltas[:, 2], -MAX_DELTA_WH, MAX_DELTA_WH)) * anchor_w
+    h = np.exp(np.clip(deltas[:, 3], -MAX_DELTA_WH, MAX_DELTA_WH)) * anchor_h
+    return np.stack([cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h], axis=1).astype(
+        np.float32
+    )
+
+
+def clip_boxes(boxes: np.ndarray, image_height: int, image_width: int) -> np.ndarray:
+    """Clip boxes to lie inside an ``image_height`` × ``image_width`` frame."""
+    boxes = _as_boxes(boxes).copy()
+    if boxes.size == 0:
+        return boxes
+    boxes[:, 0::2] = np.clip(boxes[:, 0::2], 0.0, float(image_width))
+    boxes[:, 1::2] = np.clip(boxes[:, 1::2], 0.0, float(image_height))
+    return boxes
+
+
+def valid_boxes(boxes: np.ndarray, min_size: float = 1.0) -> np.ndarray:
+    """Boolean mask of boxes whose width and height are both >= ``min_size``."""
+    boxes = _as_boxes(boxes)
+    if boxes.size == 0:
+        return np.zeros((0,), dtype=bool)
+    widths = boxes[:, 2] - boxes[:, 0]
+    heights = boxes[:, 3] - boxes[:, 1]
+    return (widths >= min_size) & (heights >= min_size)
+
+
+def scale_boxes(boxes: np.ndarray, scale_factor: float) -> np.ndarray:
+    """Uniformly rescale box coordinates (used when the image is resized)."""
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    return _as_boxes(boxes) * np.float32(scale_factor)

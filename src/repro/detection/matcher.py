@@ -1,0 +1,99 @@
+"""Assignment of anchors / proposals to ground-truth boxes.
+
+Follows the rule used by the paper (Sec. 3.1): a predicted box is foreground
+when it has at least 0.5 Jaccard overlap with some ground-truth box, otherwise
+background.  For RPN anchor assignment the usual two-threshold rule with
+forced best-anchor matching is provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+
+__all__ = ["MatchResult", "match_boxes"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Result of matching candidate boxes against ground truth.
+
+    Attributes
+    ----------
+    gt_index:
+        (N,) index of the matched ground-truth box for each candidate
+        (-1 when unmatched).
+    labels:
+        (N,) int labels: 1 foreground, 0 background, -1 ignore.
+    max_iou:
+        (N,) IoU with the best-matching ground-truth box.
+    """
+
+    gt_index: np.ndarray
+    labels: np.ndarray
+    max_iou: np.ndarray
+
+    @property
+    def num_foreground(self) -> int:
+        """Number of candidates labelled foreground."""
+        return int((self.labels == 1).sum())
+
+
+def match_boxes(
+    candidates: np.ndarray,
+    gt_boxes: np.ndarray,
+    fg_threshold: float = 0.5,
+    bg_threshold: float | None = None,
+    force_match_best: bool = False,
+) -> MatchResult:
+    """Match candidate boxes to ground truth by IoU.
+
+    Parameters
+    ----------
+    candidates:
+        (N, 4) candidate boxes (anchors or proposals).
+    gt_boxes:
+        (G, 4) ground-truth boxes.
+    fg_threshold:
+        IoU at or above which a candidate becomes foreground.
+    bg_threshold:
+        IoU below which a candidate becomes background.  Defaults to
+        ``fg_threshold`` (no ignore band), the rule used in the paper for
+        labelling predicted boxes.
+    force_match_best:
+        When True, the best candidate for every ground-truth box is labelled
+        foreground even if its IoU is below ``fg_threshold`` (standard RPN
+        practice so every object gets at least one positive anchor).
+    """
+    candidates = np.asarray(candidates, dtype=np.float32).reshape(-1, 4)
+    gt_boxes = np.asarray(gt_boxes, dtype=np.float32).reshape(-1, 4)
+    count = candidates.shape[0]
+    bg_threshold = fg_threshold if bg_threshold is None else bg_threshold
+    if bg_threshold > fg_threshold:
+        raise ValueError("bg_threshold must not exceed fg_threshold")
+
+    if gt_boxes.shape[0] == 0:
+        return MatchResult(
+            gt_index=np.full(count, -1, dtype=np.int64),
+            labels=np.zeros(count, dtype=np.int64),
+            max_iou=np.zeros(count, dtype=np.float32),
+        )
+
+    ious = iou_matrix(candidates, gt_boxes)
+    gt_index = ious.argmax(axis=1).astype(np.int64)
+    max_iou = ious[np.arange(count), gt_index]
+
+    labels = np.full(count, -1, dtype=np.int64)
+    labels[max_iou < bg_threshold] = 0
+    labels[max_iou >= fg_threshold] = 1
+
+    if force_match_best and count > 0:
+        best_candidate = ious.argmax(axis=0)
+        labels[best_candidate] = 1
+        gt_index[best_candidate] = np.arange(gt_boxes.shape[0])
+
+    gt_index = np.where(labels == 1, gt_index, -1)
+    return MatchResult(gt_index=gt_index, labels=labels, max_iou=max_iou.astype(np.float32))

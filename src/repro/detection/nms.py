@@ -1,0 +1,61 @@
+"""Non-maximum suppression.
+
+The paper uses NMS with threshold 0.3 for final detections and keeps the
+top-300 most confident boxes per image (Sec. 4.2); the per-class variant is
+:func:`batched_nms`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+
+__all__ = ["nms", "batched_nms"]
+
+
+def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float) -> np.ndarray:
+    """Greedy NMS; returns indices of kept boxes, highest score first."""
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError(f"{boxes.shape[0]} boxes but {scores.shape[0]} scores")
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be in [0, 1], got {iou_threshold}")
+    if boxes.shape[0] == 0:
+        return np.zeros((0,), dtype=np.int64)
+
+    order = np.argsort(-scores, kind="stable")
+    ious = iou_matrix(boxes, boxes)
+    keep: list[int] = []
+    suppressed = np.zeros(boxes.shape[0], dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        suppressed |= ious[idx] > iou_threshold
+        suppressed[idx] = True
+    return np.asarray(keep, dtype=np.int64)
+
+
+def batched_nms(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    class_ids: np.ndarray,
+    iou_threshold: float,
+) -> np.ndarray:
+    """Class-wise NMS: boxes of different classes never suppress each other."""
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    class_ids = np.asarray(class_ids, dtype=np.int64).reshape(-1)
+    if not (boxes.shape[0] == scores.shape[0] == class_ids.shape[0]):
+        raise ValueError("boxes, scores and class_ids must have the same length")
+    if boxes.shape[0] == 0:
+        return np.zeros((0,), dtype=np.int64)
+
+    # Offset boxes per class so a single NMS pass handles all classes at once.
+    max_coord = float(boxes.max()) + 1.0 if boxes.size else 1.0
+    offsets = class_ids.astype(np.float32) * max_coord
+    shifted = boxes + offsets[:, None]
+    keep = nms(shifted, scores, iou_threshold)
+    return keep

@@ -1,0 +1,530 @@
+"""R-FCN-style detector: backbone + RPN + position-sensitive head.
+
+The detector exposes three levels of API:
+
+* :meth:`RFCNDetector.extract_features` / :meth:`RFCNDetector.head_forward` —
+  the differentiable building blocks used by the trainer and by AdaScale's
+  regressor (which consumes the backbone's deep features, Sec. 3.2);
+* :meth:`RFCNDetector.detect` — single-image inference: resize to a target
+  scale, produce final scored boxes in original-image coordinates (this is the
+  ``detector.detect`` call of Algorithm 1);
+* :meth:`RFCNDetector.train_step` — one fully backpropagated training step on
+  an already-resized image (used by :class:`~repro.detection.trainer.DetectorTrainer`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DetectorConfig, TrainingConfig
+from repro.data.transforms import image_to_chw, normalize_image, resize_image
+from repro.detection.boxes import clip_boxes, decode_boxes, encode_boxes
+from repro.detection.losses import DetectionLossResult, detection_loss
+from repro.detection.matcher import match_boxes
+from repro.detection.nms import batched_nms
+from repro.detection.psroi import PSRoIPool
+from repro.detection.rpn import RPNHead, RPNOutput
+from repro.nn.functional import softmax
+from repro.nn.layers import Conv2d, Module, ReLU, Sequential
+
+__all__ = ["Detection", "DetectionResult", "RFCNDetector", "build_backbone"]
+
+
+def build_backbone(
+    channels: tuple[int, ...], rng: np.random.Generator
+) -> tuple[Sequential, int]:
+    """Build the convolutional backbone.
+
+    Each stage is a stride-2 3x3 convolution followed by ReLU and a stride-1
+    3x3 convolution + ReLU, so a backbone with three stages has a total stride
+    of 8 — the ``feature_stride`` the anchors and PS-RoI pooling assume.
+    Returns the backbone and its output channel count.
+    """
+    if not channels:
+        raise ValueError("backbone needs at least one stage")
+    layers: list[Module] = []
+    in_channels = 3
+    for stage, out_channels in enumerate(channels):
+        layers.append(
+            Conv2d(in_channels, out_channels, 3, stride=2, rng=rng, name=f"backbone.s{stage}.down")
+        )
+        layers.append(ReLU())
+        layers.append(
+            Conv2d(out_channels, out_channels, 3, stride=1, rng=rng, name=f"backbone.s{stage}.conv")
+        )
+        layers.append(ReLU())
+        in_channels = out_channels
+    return Sequential(*layers), in_channels
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single detected object in original-image coordinates."""
+
+    box: np.ndarray
+    score: float
+    class_id: int
+
+
+@dataclass
+class DetectionResult:
+    """Full output of :meth:`RFCNDetector.detect` for one frame.
+
+    Attributes
+    ----------
+    boxes:
+        (N, 4) detections in *original* image coordinates.
+    scores:
+        (N,) confidence of the reported class.
+    class_ids:
+        (N,) 0-based dataset class ids.
+    probs:
+        (N, num_classes + 1) full class distributions (needed by the
+        optimal-scale metric, Sec. 3.1).
+    proposals:
+        (P, 4) RPN proposals in resized-image coordinates.
+    features:
+        (1, C, H', W') backbone deep features at the scale the image was
+        processed — the input of the AdaScale scale regressor.
+    scale_factor:
+        Factor mapping original coordinates to resized coordinates.
+    target_scale:
+        The shortest-side scale the image was resized to (None = native).
+    image_size:
+        (height, width) of the original image.
+    runtime_s:
+        Wall-clock seconds spent inside the detector for this frame.
+    """
+
+    boxes: np.ndarray
+    scores: np.ndarray
+    class_ids: np.ndarray
+    probs: np.ndarray
+    proposals: np.ndarray
+    features: np.ndarray
+    scale_factor: float
+    target_scale: int | None
+    image_size: tuple[int, int]
+    runtime_s: float = 0.0
+
+    def __len__(self) -> int:
+        return int(self.boxes.shape[0])
+
+    def top(self, count: int) -> "DetectionResult":
+        """Return a copy keeping only the ``count`` highest-scoring detections."""
+        order = np.argsort(-self.scores, kind="stable")[:count]
+        return DetectionResult(
+            boxes=self.boxes[order],
+            scores=self.scores[order],
+            class_ids=self.class_ids[order],
+            probs=self.probs[order],
+            proposals=self.proposals,
+            features=self.features,
+            scale_factor=self.scale_factor,
+            target_scale=self.target_scale,
+            image_size=self.image_size,
+            runtime_s=self.runtime_s,
+        )
+
+    def as_detections(self) -> list[Detection]:
+        """Convert to a list of :class:`Detection` records."""
+        return [
+            Detection(box=self.boxes[i].copy(), score=float(self.scores[i]), class_id=int(self.class_ids[i]))
+            for i in range(len(self))
+        ]
+
+
+class RFCNDetector(Module):
+    """Region-based fully convolutional detector (compact R-FCN)."""
+
+    def __init__(self, config: DetectorConfig | None = None, seed: int = 0) -> None:
+        super().__init__()
+        self.config = config if config is not None else DetectorConfig()
+        rng = np.random.default_rng(seed)
+        self.backbone, self.feature_channels = build_backbone(
+            self.config.backbone_channels, rng
+        )
+        self.rpn = RPNHead(self.feature_channels, self.config, rng)
+
+        k = self.config.psroi_group_size
+        num_cls_out = self.config.num_classes + 1
+        # A light non-linear "neck" between the shared features and the
+        # position-sensitive maps (R-FCN places a 1024-channel conv here; ours
+        # is proportionally small but serves the same purpose).
+        self.neck_conv = Conv2d(
+            self.feature_channels, self.feature_channels, 3, rng=rng, name="head.neck"
+        )
+        self.neck_relu = ReLU()
+        self.cls_ps_conv = Conv2d(
+            self.feature_channels, k * k * num_cls_out, 1, rng=rng, name="head.cls_ps"
+        )
+        self.bbox_ps_conv = Conv2d(
+            self.feature_channels, k * k * 4, 1, rng=rng, name="head.bbox_ps"
+        )
+        spatial_scale = 1.0 / self.config.feature_stride
+        self.cls_pool = PSRoIPool(k, num_cls_out, spatial_scale)
+        self.bbox_pool = PSRoIPool(k, 4, spatial_scale)
+        self._head_cache: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # differentiable building blocks
+    # ------------------------------------------------------------------
+    def extract_features(self, image_chw: np.ndarray) -> np.ndarray:
+        """Backbone forward pass on a (1, 3, H, W) normalised image."""
+        return self.backbone(image_chw)
+
+    def head_forward(self, features: np.ndarray, rois: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Position-sensitive head: per-RoI class logits and box deltas."""
+        rois = np.asarray(rois, dtype=np.float32).reshape(-1, 4)
+        neck = self.neck_relu(self.neck_conv(features))
+        cls_maps = self.cls_ps_conv(neck)
+        bbox_maps = self.bbox_ps_conv(neck)
+        pooled_cls = self.cls_pool.forward(cls_maps, rois)
+        pooled_bbox = self.bbox_pool.forward(bbox_maps, rois)
+        # Voting: average over the k x k position-sensitive bins.
+        roi_logits = pooled_cls.mean(axis=(2, 3))
+        roi_deltas = pooled_bbox.mean(axis=(2, 3))
+        self._head_cache = {
+            "num_rois": np.asarray(rois.shape[0]),
+            "pooled_shape_cls": np.asarray(pooled_cls.shape),
+            "pooled_shape_bbox": np.asarray(pooled_bbox.shape),
+        }
+        return roi_logits, roi_deltas
+
+    def head_backward(self, grad_logits: np.ndarray, grad_deltas: np.ndarray) -> np.ndarray:
+        """Backpropagate head gradients; returns gradient w.r.t. the features."""
+        if self._head_cache is None:
+            raise RuntimeError("head_backward called before head_forward")
+        k = self.config.psroi_group_size
+        bins = float(k * k)
+        cls_shape = tuple(int(v) for v in self._head_cache["pooled_shape_cls"])
+        bbox_shape = tuple(int(v) for v in self._head_cache["pooled_shape_bbox"])
+        grad_pooled_cls = np.broadcast_to(
+            grad_logits[:, :, None, None] / bins, cls_shape
+        ).astype(np.float32)
+        grad_pooled_bbox = np.broadcast_to(
+            grad_deltas[:, :, None, None] / bins, bbox_shape
+        ).astype(np.float32)
+        grad_cls_maps = self.cls_pool.backward(grad_pooled_cls)
+        grad_bbox_maps = self.bbox_pool.backward(grad_pooled_bbox)
+        grad_neck = self.cls_ps_conv.backward(grad_cls_maps)
+        grad_neck = grad_neck + self.bbox_ps_conv.backward(grad_bbox_maps)
+        return self.neck_conv.backward(self.neck_relu.backward(grad_neck))
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        image: np.ndarray,
+        target_scale: int | None = None,
+        max_long_side: int | None = None,
+        score_threshold: float | None = None,
+    ) -> DetectionResult:
+        """Run detection on an (H, W, 3) float image in [0, 1].
+
+        When ``target_scale`` is given the image is resized (shortest side =
+        ``target_scale``, Fast R-CNN protocol) before the forward pass and the
+        reported boxes are mapped back to the original coordinates.
+        """
+        start = time.perf_counter()
+        original_height, original_width = image.shape[:2]
+        if target_scale is not None:
+            resized = resize_image(image, target_scale, max_long_side)
+            working = resized.image
+            scale_factor = resized.scale_factor
+        else:
+            working = np.asarray(image, dtype=np.float32)
+            scale_factor = 1.0
+
+        working_height, working_width = working.shape[:2]
+        tensor = image_to_chw(normalize_image(working))
+        features = self.extract_features(tensor)
+        result = self.detect_from_features(
+            features,
+            working_shape=(working_height, working_width),
+            scale_factor=scale_factor,
+            image_size=(original_height, original_width),
+            target_scale=target_scale,
+            score_threshold=score_threshold,
+        )
+        result.runtime_s = time.perf_counter() - start
+        return result
+
+    def detect_from_features(
+        self,
+        features: np.ndarray,
+        working_shape: tuple[int, int],
+        scale_factor: float,
+        image_size: tuple[int, int],
+        target_scale: int | None = None,
+        score_threshold: float | None = None,
+    ) -> DetectionResult:
+        """Run the RPN + head on precomputed backbone features.
+
+        This is the path Deep Feature Flow uses on non-key frames: the backbone
+        is skipped and the head runs on features warped from the key frame.
+        ``working_shape`` is the (height, width) of the resized image the
+        features correspond to; reported boxes are divided by ``scale_factor``.
+        """
+        start = time.perf_counter()
+        working_height, working_width = working_shape
+        original_height, original_width = image_size
+        rpn_out = self.rpn(features)
+        proposals, _ = self.rpn.generate_proposals(rpn_out, working_height, working_width)
+
+        threshold = self.config.score_threshold if score_threshold is None else score_threshold
+        if proposals.shape[0] == 0:
+            empty = self._empty_result(
+                features, proposals, scale_factor, target_scale, (original_height, original_width)
+            )
+            empty.runtime_s = time.perf_counter() - start
+            return empty
+
+        roi_logits, roi_deltas = self.head_forward(features, proposals)
+        probs = softmax(roi_logits, axis=1)
+        refined = decode_boxes(proposals, roi_deltas)
+        refined = clip_boxes(refined, working_height, working_width)
+
+        boxes_list: list[np.ndarray] = []
+        scores_list: list[np.ndarray] = []
+        classes_list: list[np.ndarray] = []
+        probs_list: list[np.ndarray] = []
+        for class_index in range(1, self.config.num_classes + 1):
+            class_scores = probs[:, class_index]
+            keep = class_scores >= threshold
+            if not np.any(keep):
+                continue
+            boxes_list.append(refined[keep])
+            scores_list.append(class_scores[keep])
+            classes_list.append(np.full(int(keep.sum()), class_index - 1, dtype=np.int64))
+            probs_list.append(probs[keep])
+
+        if not boxes_list:
+            empty = self._empty_result(
+                features, proposals, scale_factor, target_scale, (original_height, original_width)
+            )
+            empty.runtime_s = time.perf_counter() - start
+            return empty
+
+        all_boxes = np.concatenate(boxes_list, axis=0)
+        all_scores = np.concatenate(scores_list, axis=0)
+        all_classes = np.concatenate(classes_list, axis=0)
+        all_probs = np.concatenate(probs_list, axis=0)
+        keep = batched_nms(all_boxes, all_scores, all_classes, self.config.nms_threshold)
+        keep = keep[: self.config.max_detections]
+
+        result = DetectionResult(
+            boxes=(all_boxes[keep] / scale_factor).astype(np.float32),
+            scores=all_scores[keep].astype(np.float32),
+            class_ids=all_classes[keep],
+            probs=all_probs[keep].astype(np.float32),
+            proposals=proposals,
+            features=features,
+            scale_factor=scale_factor,
+            target_scale=target_scale,
+            image_size=(original_height, original_width),
+            runtime_s=time.perf_counter() - start,
+        )
+        return result
+
+    def _empty_result(
+        self,
+        features: np.ndarray,
+        proposals: np.ndarray,
+        scale_factor: float,
+        target_scale: int | None,
+        image_size: tuple[int, int],
+    ) -> DetectionResult:
+        num_cls = self.config.num_classes + 1
+        return DetectionResult(
+            boxes=np.zeros((0, 4), dtype=np.float32),
+            scores=np.zeros((0,), dtype=np.float32),
+            class_ids=np.zeros((0,), dtype=np.int64),
+            probs=np.zeros((0, num_cls), dtype=np.float32),
+            proposals=proposals,
+            features=features,
+            scale_factor=scale_factor,
+            target_scale=target_scale,
+            image_size=image_size,
+        )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(
+        self,
+        image: np.ndarray,
+        gt_boxes: np.ndarray,
+        gt_labels: np.ndarray,
+        train_config: TrainingConfig,
+        rng: np.random.Generator,
+    ) -> dict[str, float]:
+        """One fully backpropagated step on an already-resized image.
+
+        Accumulates gradients into the detector's parameters (the caller owns
+        the optimiser step).  Returns the individual loss values.
+        """
+        gt_boxes = np.asarray(gt_boxes, dtype=np.float32).reshape(-1, 4)
+        gt_labels = np.asarray(gt_labels, dtype=np.int64).reshape(-1)
+        height, width = image.shape[:2]
+        tensor = image_to_chw(normalize_image(image))
+        features = self.extract_features(tensor)
+        rpn_out = self.rpn(features)
+
+        rpn_loss = self._rpn_loss(rpn_out, gt_boxes, train_config, rng)
+        proposals, _ = self.rpn.generate_proposals(rpn_out, height, width)
+        rois, roi_labels, roi_targets = self._sample_rois(
+            proposals, gt_boxes, gt_labels, train_config, rng
+        )
+        roi_logits, roi_deltas = self.head_forward(features, rois)
+        head_loss = detection_loss(
+            roi_logits,
+            roi_labels,
+            roi_deltas,
+            roi_targets,
+            reg_weight=self.config.bbox_loss_weight,
+        )
+
+        grad_features = self.head_backward(head_loss.grad_logits, head_loss.grad_deltas)
+        grad_features = grad_features + self.rpn.backward(
+            rpn_loss.grad_logits, rpn_loss.grad_deltas
+        )
+        self.backbone.backward(grad_features)
+
+        return {
+            "rpn_cls": rpn_loss.cls_loss,
+            "rpn_reg": rpn_loss.reg_loss,
+            "head_cls": head_loss.cls_loss,
+            "head_reg": head_loss.reg_loss,
+            "total": rpn_loss.total + head_loss.total,
+            "num_fg_rois": float(head_loss.num_foreground),
+        }
+
+    def _rpn_loss(
+        self,
+        rpn_out: RPNOutput,
+        gt_boxes: np.ndarray,
+        train_config: TrainingConfig,
+        rng: np.random.Generator,
+    ) -> DetectionLossResult:
+        """Sampled binary objectness + box-regression loss for the RPN."""
+        anchors = rpn_out.anchors
+        match = match_boxes(
+            anchors,
+            gt_boxes,
+            fg_threshold=train_config.fg_iou_threshold,
+            bg_threshold=0.3,
+            force_match_best=gt_boxes.shape[0] > 0,
+        )
+        labels = match.labels.copy()
+        sampled = _sample_labels(
+            labels, train_config.rpn_batch_size, train_config.rpn_fg_fraction, rng
+        )
+        weights = np.zeros(anchors.shape[0], dtype=np.float32)
+        weights[sampled] = 1.0
+
+        targets = np.zeros_like(rpn_out.deltas)
+        positive = np.where((labels == 1) & (weights > 0))[0]
+        if positive.size and gt_boxes.shape[0]:
+            targets[positive] = encode_boxes(anchors[positive], gt_boxes[match.gt_index[positive]])
+
+        loss = detection_loss(
+            rpn_out.objectness,
+            np.clip(labels, 0, 1),
+            rpn_out.deltas,
+            targets,
+            reg_weight=1.0,
+            sample_weights=weights,
+        )
+        return loss
+
+    def _sample_rois(
+        self,
+        proposals: np.ndarray,
+        gt_boxes: np.ndarray,
+        gt_labels: np.ndarray,
+        train_config: TrainingConfig,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample RoIs for head training (proposals + ground-truth boxes)."""
+        if gt_boxes.shape[0]:
+            candidates = np.concatenate([proposals, gt_boxes], axis=0)
+        else:
+            candidates = proposals
+        if candidates.shape[0] == 0:
+            return (
+                np.zeros((0, 4), dtype=np.float32),
+                np.zeros((0,), dtype=np.int64),
+                np.zeros((0, 4), dtype=np.float32),
+            )
+
+        match = match_boxes(
+            candidates,
+            gt_boxes,
+            fg_threshold=train_config.fg_iou_threshold,
+            bg_threshold=train_config.bg_iou_threshold,
+        )
+        labels = match.labels.copy()
+        sampled = _sample_labels(
+            labels, train_config.roi_batch_size, train_config.roi_fg_fraction, rng
+        )
+        rois = candidates[sampled]
+        roi_match_labels = labels[sampled]
+        roi_gt_index = match.gt_index[sampled]
+
+        roi_labels = np.zeros(rois.shape[0], dtype=np.int64)
+        roi_targets = np.zeros((rois.shape[0], 4), dtype=np.float32)
+        foreground = np.where(roi_match_labels == 1)[0]
+        if foreground.size and gt_boxes.shape[0]:
+            matched = roi_gt_index[foreground]
+            roi_labels[foreground] = gt_labels[matched] + 1
+            roi_targets[foreground] = encode_boxes(rois[foreground], gt_boxes[matched])
+        return rois, roi_labels, roi_targets
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def estimate_flops(self, image_height: int, image_width: int) -> int:
+        """Analytical multiply–accumulate count of the convolutional trunk.
+
+        Covers the backbone, the RPN convs and the position-sensitive maps —
+        the parts whose cost scales with the input resolution, which is what
+        AdaScale trades against accuracy.
+        """
+        total = 0
+        height, width = image_height, image_width
+        for layer in self.backbone.layers:
+            if isinstance(layer, Conv2d):
+                total += layer.flops(height, width)
+                height, width = layer.output_shape(height, width)
+        for conv in (
+            self.rpn.conv,
+            self.rpn.cls_conv,
+            self.rpn.reg_conv,
+            self.neck_conv,
+            self.cls_ps_conv,
+            self.bbox_ps_conv,
+        ):
+            total += conv.flops(height, width)
+        return total
+
+
+def _sample_labels(
+    labels: np.ndarray, batch_size: int, fg_fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Pick indices for a fixed-size batch with the requested foreground share."""
+    positive = np.where(labels == 1)[0]
+    negative = np.where(labels == 0)[0]
+    num_fg = min(int(round(batch_size * fg_fraction)), positive.size)
+    num_bg = min(batch_size - num_fg, negative.size)
+    chosen_fg = (
+        rng.choice(positive, size=num_fg, replace=False) if num_fg > 0 else np.zeros(0, dtype=np.int64)
+    )
+    chosen_bg = (
+        rng.choice(negative, size=num_bg, replace=False) if num_bg > 0 else np.zeros(0, dtype=np.int64)
+    )
+    return np.concatenate([chosen_fg, chosen_bg]).astype(np.int64)

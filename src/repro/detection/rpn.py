@@ -1,0 +1,141 @@
+"""Region Proposal Network head.
+
+A shared 3x3 convolution followed by two 1x1 convolutions that predict, for
+each of the ``A`` anchors at every feature-map position, an objectness score
+(2 logits) and a 4-dimensional box refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.detection.anchors import generate_anchors
+from repro.detection.boxes import clip_boxes, decode_boxes, valid_boxes
+from repro.detection.nms import nms
+from repro.nn.functional import softmax
+from repro.nn.layers import Conv2d, Module, ReLU
+
+__all__ = ["RPNHead", "RPNOutput"]
+
+
+@dataclass
+class RPNOutput:
+    """Raw RPN predictions reshaped to per-anchor layout.
+
+    ``objectness`` is (num_anchors, 2) logits (background, foreground);
+    ``deltas`` is (num_anchors, 4); ``anchors`` is (num_anchors, 4) in image
+    coordinates.
+    """
+
+    objectness: np.ndarray
+    deltas: np.ndarray
+    anchors: np.ndarray
+    feature_shape: tuple[int, int]
+
+
+class RPNHead(Module):
+    """RPN head operating on the backbone's deep features."""
+
+    def __init__(self, in_channels: int, config: DetectorConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.num_anchors = len(config.anchor_sizes) * len(config.anchor_ratios)
+        self.conv = Conv2d(in_channels, in_channels, 3, rng=rng, name="rpn.conv")
+        self.relu = ReLU()
+        self.cls_conv = Conv2d(
+            in_channels, 2 * self.num_anchors, 1, rng=rng, name="rpn.cls"
+        )
+        self.reg_conv = Conv2d(
+            in_channels, 4 * self.num_anchors, 1, rng=rng, name="rpn.reg"
+        )
+        self._feature_shape: tuple[int, int] | None = None
+        self._hidden: np.ndarray | None = None
+
+    # -- forward -----------------------------------------------------------
+    def forward(self, features: np.ndarray) -> RPNOutput:
+        """Compute per-anchor objectness and deltas for a (1, C, H, W) input."""
+        hidden = self.relu(self.conv(features))
+        self._hidden = hidden
+        cls_map = self.cls_conv(hidden)
+        reg_map = self.reg_conv(hidden)
+        _, _, height, width = cls_map.shape
+        self._feature_shape = (height, width)
+
+        objectness = self._map_to_anchor_layout(cls_map, 2)
+        deltas = self._map_to_anchor_layout(reg_map, 4)
+        anchors = generate_anchors(
+            height,
+            width,
+            self.config.feature_stride,
+            self.config.anchor_sizes,
+            self.config.anchor_ratios,
+        )
+        return RPNOutput(
+            objectness=objectness, deltas=deltas, anchors=anchors, feature_shape=(height, width)
+        )
+
+    def backward(self, grad_objectness: np.ndarray, grad_deltas: np.ndarray) -> np.ndarray:
+        """Backpropagate per-anchor gradients to the backbone features."""
+        if self._feature_shape is None or self._hidden is None:
+            raise RuntimeError("backward called before forward")
+        height, width = self._feature_shape
+        grad_cls_map = self._anchor_layout_to_map(grad_objectness, 2, height, width)
+        grad_reg_map = self._anchor_layout_to_map(grad_deltas, 4, height, width)
+        grad_hidden = self.cls_conv.backward(grad_cls_map) + self.reg_conv.backward(grad_reg_map)
+        grad_hidden = self.relu.backward(grad_hidden)
+        return self.conv.backward(grad_hidden)
+
+    # -- layout helpers ------------------------------------------------------
+    def _map_to_anchor_layout(self, feature_map: np.ndarray, channels_per_anchor: int) -> np.ndarray:
+        """(1, A*c, H, W) → (H*W*A, c), anchors fastest within a position."""
+        _, total_channels, height, width = feature_map.shape
+        anchors = self.num_anchors
+        reshaped = feature_map.reshape(anchors, channels_per_anchor, height, width)
+        reshaped = reshaped.transpose(2, 3, 0, 1)
+        return np.ascontiguousarray(reshaped.reshape(-1, channels_per_anchor))
+
+    def _anchor_layout_to_map(
+        self, per_anchor: np.ndarray, channels_per_anchor: int, height: int, width: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`_map_to_anchor_layout`."""
+        anchors = self.num_anchors
+        reshaped = per_anchor.reshape(height, width, anchors, channels_per_anchor)
+        reshaped = reshaped.transpose(2, 3, 0, 1)
+        return np.ascontiguousarray(
+            reshaped.reshape(1, anchors * channels_per_anchor, height, width)
+        )
+
+    # -- proposal generation ---------------------------------------------------
+    def generate_proposals(
+        self,
+        output: RPNOutput,
+        image_height: int,
+        image_width: int,
+        pre_nms_top_n: int | None = None,
+        post_nms_top_n: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Turn raw RPN predictions into scored region proposals.
+
+        Returns ``(proposals, scores)`` where ``proposals`` is (P, 4) in image
+        coordinates.  This is pure inference; no gradients flow through it
+        (standard approximate joint training).
+        """
+        config = self.config
+        pre_nms = pre_nms_top_n if pre_nms_top_n is not None else config.rpn_pre_nms_top_n
+        post_nms = post_nms_top_n if post_nms_top_n is not None else config.rpn_post_nms_top_n
+
+        scores = softmax(output.objectness, axis=1)[:, 1]
+        boxes = decode_boxes(output.anchors, output.deltas)
+        boxes = clip_boxes(boxes, image_height, image_width)
+        keep = valid_boxes(boxes, min_size=config.rpn_min_size)
+        boxes, scores = boxes[keep], scores[keep]
+        if boxes.shape[0] == 0:
+            return np.zeros((0, 4), dtype=np.float32), np.zeros((0,), dtype=np.float32)
+
+        order = np.argsort(-scores, kind="stable")[:pre_nms]
+        boxes, scores = boxes[order], scores[order]
+        keep_nms = nms(boxes, scores, config.rpn_nms_threshold)[:post_nms]
+        return boxes[keep_nms], scores[keep_nms]

@@ -1,0 +1,112 @@
+"""Multi-scale detector fine-tuning (Sec. 4.2 of the paper).
+
+The paper fine-tunes the single-scale pre-trained R-FCN with multi-scale
+training: each training image is resized to a scale drawn uniformly from
+``S_train`` before the SGD step, so the detector is not biased toward a single
+scale.  Single-scale training is the special case ``S_train = (s,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.data.loader import FrameLoader
+from repro.data.synthetic_vid import SyntheticVID
+from repro.data.transforms import resize_with_boxes
+from repro.detection.rfcn import RFCNDetector
+from repro.nn.optim import MultiStepLR, build_optimizer
+from repro.utils.logging import get_logger
+
+__all__ = ["TrainingSummary", "DetectorTrainer"]
+
+_LOGGER = get_logger("detection.trainer")
+
+
+@dataclass
+class TrainingSummary:
+    """Record of one fine-tuning run."""
+
+    iterations: int
+    loss_history: list[dict[str, float]] = field(default_factory=list)
+    train_scales: tuple[int, ...] = ()
+
+    @property
+    def final_loss(self) -> float:
+        """Total loss averaged over the last 10% of iterations."""
+        if not self.loss_history:
+            return float("nan")
+        tail = max(1, len(self.loss_history) // 10)
+        recent = self.loss_history[-tail:]
+        return float(np.mean([entry["total"] for entry in recent]))
+
+    def mean_loss(self, key: str = "total") -> float:
+        """Mean of a loss component over the whole run."""
+        if not self.loss_history:
+            return float("nan")
+        return float(np.mean([entry[key] for entry in self.loss_history]))
+
+
+class DetectorTrainer:
+    """SGD fine-tuning loop with per-iteration scale sampling."""
+
+    def __init__(
+        self,
+        detector: RFCNDetector,
+        config: TrainingConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.detector = detector
+        self.config = config if config is not None else TrainingConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.optimizer = build_optimizer(
+            self.config.optimizer,
+            detector.parameters(),
+            learning_rate=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = MultiStepLR(self.optimizer, self.config.lr_decay_at)
+
+    def fit(
+        self,
+        dataset: SyntheticVID,
+        iterations: int | None = None,
+        log_every: int = 100,
+    ) -> TrainingSummary:
+        """Fine-tune the detector on ``dataset`` for the configured iterations."""
+        iterations = self.config.iterations if iterations is None else iterations
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        loader = FrameLoader(dataset, self.rng)
+        scales = self.config.train_scales
+        summary = TrainingSummary(iterations=iterations, train_scales=tuple(scales))
+        self.detector.train()
+
+        for iteration in range(1, iterations + 1):
+            frame = loader.next_frame()
+            scale = int(scales[int(self.rng.integers(len(scales)))])
+            resized, boxes = resize_with_boxes(
+                frame.image, frame.boxes, scale, self.config.max_long_side
+            )
+            self.optimizer.zero_grad()
+            losses = self.detector.train_step(
+                resized.image, boxes, frame.labels, self.config, self.rng
+            )
+            self.optimizer.step()
+            self.scheduler.step()
+            summary.loss_history.append(losses)
+            if log_every and iteration % log_every == 0:
+                _LOGGER.info(
+                    "iter %d/%d scale=%d total=%.3f rpn_cls=%.3f head_cls=%.3f",
+                    iteration,
+                    iterations,
+                    scale,
+                    losses["total"],
+                    losses["rpn_cls"],
+                    losses["head_cls"],
+                )
+        self.detector.eval()
+        return summary

@@ -1,0 +1,32 @@
+"""Evaluation: mAP, precision–recall curves, TP/FP accounting and runtime.
+
+These are the measurement tools behind every table and figure of the paper:
+per-class AP and mAP (Table 1, Table 2, Table 3), precision–recall curves
+(Fig. 5 and the appendix), normalised true/false positive counts (Fig. 6 and
+the appendix), and per-frame runtime / FLOP profiling (all tables, Fig. 7).
+"""
+
+from repro.evaluation.matching import FrameMatch, match_detections
+from repro.evaluation.pr_curve import PRCurve, precision_recall_curve
+from repro.evaluation.reporting import format_table, per_class_table
+from repro.evaluation.runtime import FlopProfile, RuntimeStats, profile_flops
+from repro.evaluation.tpfp import TpFpCounts, count_tp_fp
+from repro.evaluation.voc_ap import DetectionRecord, EvalResult, average_precision, evaluate_detections
+
+__all__ = [
+    "DetectionRecord",
+    "EvalResult",
+    "FlopProfile",
+    "FrameMatch",
+    "PRCurve",
+    "RuntimeStats",
+    "TpFpCounts",
+    "average_precision",
+    "count_tp_fp",
+    "evaluate_detections",
+    "format_table",
+    "match_detections",
+    "per_class_table",
+    "precision_recall_curve",
+    "profile_flops",
+]

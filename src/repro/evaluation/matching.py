@@ -1,0 +1,81 @@
+"""Greedy matching of detections to ground truth for a single frame.
+
+VOC-style: detections are processed in decreasing score order; each detection
+is a true positive if it overlaps an *unclaimed* ground-truth box of the same
+class with IoU >= threshold, otherwise a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+
+__all__ = ["FrameMatch", "match_detections"]
+
+
+@dataclass(frozen=True)
+class FrameMatch:
+    """Matching outcome for the detections of one frame and one class.
+
+    Attributes
+    ----------
+    is_tp:
+        (N,) bool — detection is a true positive.
+    scores:
+        (N,) detection scores, in the same (sorted) order as ``is_tp``.
+    num_gt:
+        Number of ground-truth boxes of this class in the frame.
+    matched_gt:
+        (N,) matched ground-truth index or -1.
+    """
+
+    is_tp: np.ndarray
+    scores: np.ndarray
+    num_gt: int
+    matched_gt: np.ndarray
+
+
+def match_detections(
+    det_boxes: np.ndarray,
+    det_scores: np.ndarray,
+    gt_boxes: np.ndarray,
+    iou_threshold: float = 0.5,
+) -> FrameMatch:
+    """Greedily match same-class detections to ground truth.
+
+    Inputs are assumed to be already filtered to a single class.  Returns the
+    matches sorted by decreasing detection score.
+    """
+    det_boxes = np.asarray(det_boxes, dtype=np.float32).reshape(-1, 4)
+    det_scores = np.asarray(det_scores, dtype=np.float32).reshape(-1)
+    gt_boxes = np.asarray(gt_boxes, dtype=np.float32).reshape(-1, 4)
+    if det_boxes.shape[0] != det_scores.shape[0]:
+        raise ValueError("boxes and scores must have the same length")
+
+    order = np.argsort(-det_scores, kind="stable")
+    det_boxes = det_boxes[order]
+    det_scores = det_scores[order]
+    count = det_boxes.shape[0]
+    is_tp = np.zeros(count, dtype=bool)
+    matched_gt = np.full(count, -1, dtype=np.int64)
+
+    if gt_boxes.shape[0] and count:
+        ious = iou_matrix(det_boxes, gt_boxes)
+        gt_taken = np.zeros(gt_boxes.shape[0], dtype=bool)
+        for det_index in range(count):
+            best_gt = int(np.argmax(ious[det_index]))
+            best_iou = float(ious[det_index, best_gt])
+            if best_iou >= iou_threshold and not gt_taken[best_gt]:
+                is_tp[det_index] = True
+                matched_gt[det_index] = best_gt
+                gt_taken[best_gt] = True
+
+    return FrameMatch(
+        is_tp=is_tp,
+        scores=det_scores,
+        num_gt=int(gt_boxes.shape[0]),
+        matched_gt=matched_gt,
+    )

@@ -1,0 +1,65 @@
+"""Per-class precision–recall curves (Fig. 5 and the appendix of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.matching import match_detections
+from repro.evaluation.voc_ap import DetectionRecord, average_precision
+
+__all__ = ["PRCurve", "precision_recall_curve"]
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """A precision–recall curve for one class and one method."""
+
+    class_name: str
+    precision: np.ndarray
+    recall: np.ndarray
+    ap: float
+
+    def precision_at_recall(self, recall_level: float) -> float:
+        """Highest precision achieved at recall >= ``recall_level`` (0 if never)."""
+        if not 0.0 <= recall_level <= 1.0:
+            raise ValueError(f"recall_level must be in [0, 1], got {recall_level}")
+        mask = self.recall >= recall_level
+        if not np.any(mask):
+            return 0.0
+        return float(self.precision[mask].max())
+
+    def sample(self, num_points: int = 11) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the curve at evenly spaced recall levels (for compact reports)."""
+        levels = np.linspace(0.0, 1.0, num_points)
+        values = np.array([self.precision_at_recall(level) for level in levels], dtype=np.float32)
+        return levels.astype(np.float32), values
+
+
+def precision_recall_curve(
+    records: list[DetectionRecord],
+    class_id: int,
+    class_name: str,
+    iou_threshold: float = 0.5,
+) -> PRCurve:
+    """Pool detections of one class across frames and build its PR curve."""
+    pooled_tp: list[np.ndarray] = []
+    pooled_scores: list[np.ndarray] = []
+    total_gt = 0
+    for record in records:
+        det_mask = record.class_ids == class_id
+        gt_mask = record.gt_labels == class_id
+        total_gt += int(gt_mask.sum())
+        match = match_detections(
+            record.boxes[det_mask],
+            record.scores[det_mask],
+            record.gt_boxes[gt_mask],
+            iou_threshold=iou_threshold,
+        )
+        pooled_tp.append(match.is_tp)
+        pooled_scores.append(match.scores)
+    is_tp = np.concatenate(pooled_tp) if pooled_tp else np.zeros(0, dtype=bool)
+    scores = np.concatenate(pooled_scores) if pooled_scores else np.zeros(0, dtype=np.float32)
+    ap, precision, recall = average_precision(is_tp, scores, total_gt)
+    return PRCurve(class_name=class_name, precision=precision, recall=recall, ap=ap)

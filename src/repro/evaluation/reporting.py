@@ -1,0 +1,73 @@
+"""Plain-text table formatting used by the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report (per-class AP,
+mAP, runtime) so the reproduction can be compared against the paper by eye;
+EXPERIMENTS.md records the resulting numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "per_class_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 1) -> str:
+    """Format a float with fixed digits, using ``nan`` for missing values."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    normalized_rows = [[str(cell) for cell in row] for row in rows]
+    for row in normalized_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(header) for header in headers]
+    for row in normalized_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in normalized_rows)
+    return "\n".join(lines)
+
+
+def per_class_table(
+    methods: Mapping[str, Mapping[str, float]],
+    class_names: Sequence[str],
+    extra_columns: Mapping[str, Mapping[str, float]] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a per-class AP table in the layout of the paper's Table 1.
+
+    ``methods`` maps method name → {class name → AP}.  ``extra_columns`` maps
+    column name → {method name → value} for trailing columns such as mAP(%)
+    and Runtime(ms).
+    """
+    headers = ["Method"] + list(class_names)
+    extra_columns = extra_columns or {}
+    headers += list(extra_columns)
+    rows = []
+    for method_name, per_class in methods.items():
+        row: list[object] = [method_name]
+        row += [format_float(100.0 * per_class.get(name, float("nan"))) for name in class_names]
+        for column_name, column in extra_columns.items():
+            row.append(format_float(column.get(method_name, float("nan"))))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,77 @@
+"""True-positive / false-positive accounting (Fig. 6 of the paper).
+
+The paper compares the *number* of true positives and false positives each
+method produces over the whole validation set (normalised to the SS/SS
+baseline) to show that AdaScale mostly removes false positives while keeping
+true positives comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.matching import match_detections
+from repro.evaluation.voc_ap import DetectionRecord
+
+__all__ = ["TpFpCounts", "count_tp_fp"]
+
+
+@dataclass(frozen=True)
+class TpFpCounts:
+    """Aggregate TP / FP counts, per class and total."""
+
+    per_class_tp: dict[str, int]
+    per_class_fp: dict[str, int]
+    score_threshold: float
+
+    @property
+    def total_tp(self) -> int:
+        """Total true positives over all classes."""
+        return int(sum(self.per_class_tp.values()))
+
+    @property
+    def total_fp(self) -> int:
+        """Total false positives over all classes."""
+        return int(sum(self.per_class_fp.values()))
+
+    def normalized_to(self, baseline: "TpFpCounts") -> dict[str, float]:
+        """Totals normalised to another method (the Fig. 6 presentation)."""
+        return {
+            "tp": self.total_tp / max(baseline.total_tp, 1),
+            "fp": self.total_fp / max(baseline.total_fp, 1),
+        }
+
+
+def count_tp_fp(
+    records: list[DetectionRecord],
+    class_names: list[str],
+    score_threshold: float = 0.5,
+    iou_threshold: float = 0.5,
+) -> TpFpCounts:
+    """Count TPs and FPs over a split, keeping detections above a confidence cut.
+
+    A fixed confidence threshold mirrors how a deployed detector is used (and
+    how the paper counts positives); without it the counts would be dominated
+    by low-confidence tails.
+    """
+    per_class_tp = {name: 0 for name in class_names}
+    per_class_fp = {name: 0 for name in class_names}
+    for class_id, class_name in enumerate(class_names):
+        for record in records:
+            det_mask = (record.class_ids == class_id) & (record.scores >= score_threshold)
+            gt_mask = record.gt_labels == class_id
+            match = match_detections(
+                record.boxes[det_mask],
+                record.scores[det_mask],
+                record.gt_boxes[gt_mask],
+                iou_threshold=iou_threshold,
+            )
+            per_class_tp[class_name] += int(match.is_tp.sum())
+            per_class_fp[class_name] += int((~match.is_tp).sum())
+    return TpFpCounts(
+        per_class_tp=per_class_tp,
+        per_class_fp=per_class_fp,
+        score_threshold=score_threshold,
+    )

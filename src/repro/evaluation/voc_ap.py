@@ -1,0 +1,136 @@
+"""VOC-style average precision and dataset-level evaluation.
+
+The paper reports per-class AP and mAP on the validation set (Table 1).  This
+module accumulates detections over a whole split and computes the
+all-point-interpolated average precision per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.matching import match_detections
+
+__all__ = ["DetectionRecord", "EvalResult", "average_precision", "evaluate_detections"]
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """Detections and ground truth for one evaluated frame.
+
+    ``class_ids`` / ``gt_labels`` are 0-based dataset class ids.
+    """
+
+    boxes: np.ndarray
+    scores: np.ndarray
+    class_ids: np.ndarray
+    gt_boxes: np.ndarray
+    gt_labels: np.ndarray
+    frame_id: tuple[int, int] = (0, 0)
+
+
+@dataclass
+class EvalResult:
+    """Dataset-level evaluation output."""
+
+    per_class_ap: dict[str, float]
+    class_names: list[str]
+    num_frames: int
+    num_gt: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_ap(self) -> float:
+        """Mean AP over classes that have at least one ground-truth instance."""
+        values = [
+            ap
+            for name, ap in self.per_class_ap.items()
+            if self.num_gt.get(name, 0) > 0
+        ]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def ap_of(self, class_name: str) -> float:
+        """AP of a single class by name."""
+        return self.per_class_ap[class_name]
+
+
+def average_precision(
+    is_tp: np.ndarray, scores: np.ndarray, num_gt: int
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """All-point interpolated AP from pooled matches of one class.
+
+    Returns ``(ap, precision, recall)`` with the curves ordered by decreasing
+    score threshold.
+    """
+    is_tp = np.asarray(is_tp, dtype=bool).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    if is_tp.shape != scores.shape:
+        raise ValueError("is_tp and scores must have the same length")
+    if num_gt < 0:
+        raise ValueError(f"num_gt must be non-negative, got {num_gt}")
+    if num_gt == 0 or scores.size == 0:
+        return 0.0, np.zeros(0, dtype=np.float32), np.zeros(0, dtype=np.float32)
+
+    order = np.argsort(-scores, kind="stable")
+    tp = is_tp[order].astype(np.float64)
+    fp = 1.0 - tp
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recall = cum_tp / num_gt
+    precision = cum_tp / np.maximum(cum_tp + cum_fp, 1e-12)
+
+    # All-point interpolation: make precision monotonically decreasing, then
+    # integrate over recall.
+    recall_padded = np.concatenate([[0.0], recall, [1.0]])
+    precision_padded = np.concatenate([[0.0], precision, [0.0]])
+    for index in range(precision_padded.size - 1, 0, -1):
+        precision_padded[index - 1] = max(precision_padded[index - 1], precision_padded[index])
+    changes = np.where(recall_padded[1:] != recall_padded[:-1])[0]
+    ap = float(
+        np.sum((recall_padded[changes + 1] - recall_padded[changes]) * precision_padded[changes + 1])
+    )
+    return ap, precision.astype(np.float32), recall.astype(np.float32)
+
+
+def evaluate_detections(
+    records: list[DetectionRecord],
+    class_names: list[str],
+    iou_threshold: float = 0.5,
+) -> EvalResult:
+    """Compute per-class AP and mAP over a list of evaluated frames."""
+    if not class_names:
+        raise ValueError("class_names must be non-empty")
+    per_class_ap: dict[str, float] = {}
+    num_gt_per_class: dict[str, int] = {}
+
+    for class_id, class_name in enumerate(class_names):
+        pooled_tp: list[np.ndarray] = []
+        pooled_scores: list[np.ndarray] = []
+        total_gt = 0
+        for record in records:
+            det_mask = record.class_ids == class_id
+            gt_mask = record.gt_labels == class_id
+            total_gt += int(gt_mask.sum())
+            match = match_detections(
+                record.boxes[det_mask],
+                record.scores[det_mask],
+                record.gt_boxes[gt_mask],
+                iou_threshold=iou_threshold,
+            )
+            pooled_tp.append(match.is_tp)
+            pooled_scores.append(match.scores)
+        is_tp = np.concatenate(pooled_tp) if pooled_tp else np.zeros(0, dtype=bool)
+        scores = np.concatenate(pooled_scores) if pooled_scores else np.zeros(0, dtype=np.float32)
+        ap, _, _ = average_precision(is_tp, scores, total_gt)
+        per_class_ap[class_name] = ap
+        num_gt_per_class[class_name] = total_gt
+
+    return EvalResult(
+        per_class_ap=per_class_ap,
+        class_names=list(class_names),
+        num_frames=len(records),
+        num_gt=num_gt_per_class,
+    )

@@ -1,0 +1,77 @@
+"""Stateless tensor functions: activations, softmax, bilinear resizing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "log_softmax", "sigmoid", "bilinear_resize"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float32)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def bilinear_resize(feature: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
+    """Bilinearly resize a (C, H, W) or (N, C, H, W) feature map.
+
+    Used by Deep Feature Flow to align key-frame features with the current
+    frame's spatial resolution, and by tests of the resizing protocol.
+    """
+    if out_height <= 0 or out_width <= 0:
+        raise ValueError(f"output size must be positive, got {(out_height, out_width)}")
+    squeeze = False
+    if feature.ndim == 3:
+        feature = feature[None]
+        squeeze = True
+    if feature.ndim != 4:
+        raise ValueError(f"expected 3D or 4D input, got shape {feature.shape}")
+    batch, channels, in_h, in_w = feature.shape
+    if (in_h, in_w) == (out_height, out_width):
+        out = feature.copy()
+        return out[0] if squeeze else out
+
+    # Align-corners=False convention (matches common image resizing).
+    ys = (np.arange(out_height, dtype=np.float32) + 0.5) * in_h / out_height - 0.5
+    xs = (np.arange(out_width, dtype=np.float32) + 0.5) * in_w / out_width - 0.5
+    ys = np.clip(ys, 0, in_h - 1)
+    xs = np.clip(xs, 0, in_w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+
+    top_left = feature[:, :, y0[:, None], x0[None, :]]
+    top_right = feature[:, :, y0[:, None], x1[None, :]]
+    bottom_left = feature[:, :, y1[:, None], x0[None, :]]
+    bottom_right = feature[:, :, y1[:, None], x1[None, :]]
+
+    wy = wy[:, None]
+    wx = wx[None, :]
+    top = top_left * (1 - wx) + top_right * wx
+    bottom = bottom_left * (1 - wx) + bottom_right * wx
+    out = (top * (1 - wy) + bottom * wy).astype(np.float32)
+    return out[0] if squeeze else out

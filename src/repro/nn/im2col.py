@@ -1,0 +1,88 @@
+"""Vectorised im2col / col2im used by convolution layers.
+
+``im2col`` unfolds every receptive field of a batched NCHW tensor into a
+column so a convolution becomes a single matrix multiplication — the standard
+trick for fast CPU convolutions without hand-written C loops.  ``col2im`` is
+its adjoint and is used by the convolution backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col_indices", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, field: int, padding: int, stride: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - field) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size is non-positive: input={size}, field={field}, "
+            f"padding={padding}, stride={stride}"
+        )
+    return out
+
+
+def im2col_indices(
+    x_shape: tuple[int, int, int, int],
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the (channel, row, col) gather indices for :func:`im2col`."""
+    _, channels, height, width = x_shape
+    out_height = conv_output_size(height, field_height, padding, stride)
+    out_width = conv_output_size(width, field_width, padding, stride)
+
+    i0 = np.repeat(np.arange(field_height), field_width)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_height), out_width)
+    j0 = np.tile(np.arange(field_width), field_height * channels)
+    j1 = stride * np.tile(np.arange(out_width), out_height)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), field_height * field_width).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray,
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (C*fh*fw, N*OH*OW)."""
+    pad = padding
+    if pad > 0:
+        x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    else:
+        x_padded = x
+    k, i, j = im2col_indices(x.shape, field_height, field_width, padding, stride)
+    cols = x_padded[:, k, i, j]
+    channels = x.shape[1]
+    cols = cols.transpose(1, 2, 0).reshape(field_height * field_width * channels, -1)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into (N, C, H, W)."""
+    batch, channels, height, width = x_shape
+    height_padded, width_padded = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((batch, channels, height_padded, width_padded), dtype=cols.dtype)
+    k, i, j = im2col_indices(x_shape, field_height, field_width, padding, stride)
+    cols_reshaped = cols.reshape(channels * field_height * field_width, -1, batch)
+    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,153 @@
+"""Loss functions.
+
+Each loss returns ``(loss_value, gradient, per_sample_losses)``.  The
+per-sample losses are not an afterthought: AdaScale's optimal-scale metric
+(Sec. 3.1 of the paper) ranks *individual predicted foreground boxes* by their
+detection loss, so the per-box values of Eq. (1) must be available to callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+__all__ = ["softmax_cross_entropy", "smooth_l1_loss", "mse_loss"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+    reduction: str = "mean",
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Softmax cross-entropy over class logits.
+
+    Parameters
+    ----------
+    logits:
+        (N, num_classes) raw scores.
+    targets:
+        (N,) integer class indices.
+    weights:
+        Optional (N,) per-sample weights (used to ignore padded samples).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+
+    Returns
+    -------
+    loss, grad, per_sample
+        ``grad`` has the same shape as ``logits`` and already includes the
+        reduction normalisation, so callers can backpropagate it directly.
+    """
+    logits = np.asarray(logits, dtype=np.float32)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(f"targets shape {targets.shape} incompatible with logits {logits.shape}")
+    count = logits.shape[0]
+    if count == 0:
+        return 0.0, np.zeros_like(logits), np.zeros((0,), dtype=np.float32)
+
+    log_probs = log_softmax(logits, axis=1)
+    per_sample = -log_probs[np.arange(count), targets]
+    probs = softmax(logits, axis=1)
+    grad = probs.copy()
+    grad[np.arange(count), targets] -= 1.0
+
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float32)
+        per_sample = per_sample * weights
+        grad = grad * weights[:, None]
+    per_sample = per_sample.astype(np.float32)
+
+    loss, grad = _reduce(per_sample, grad, weights, reduction)
+    return loss, grad.astype(np.float32), per_sample
+
+
+def smooth_l1_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    weights: np.ndarray | None = None,
+    beta: float = 1.0,
+    reduction: str = "mean",
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Smooth-L1 (Huber) loss used for bounding-box regression (Eq. 1).
+
+    ``pred`` and ``target`` are (N, D); the per-sample loss sums over D, which
+    matches how Fast R-CNN / R-FCN compute the per-box regression loss.
+    ``weights`` broadcasts over D and is used to zero the regression loss of
+    background boxes (the ``[u >= 1]`` indicator of Eq. 1).
+    """
+    pred = np.asarray(pred, dtype=np.float32)
+    target = np.asarray(target, dtype=np.float32)
+    if pred.shape != target.shape:
+        raise ValueError(f"pred shape {pred.shape} != target shape {target.shape}")
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    if pred.ndim == 1:
+        pred = pred[:, None]
+        target = target[:, None]
+    count = pred.shape[0]
+    if count == 0:
+        return 0.0, np.zeros_like(pred), np.zeros((0,), dtype=np.float32)
+
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff < beta
+    elementwise = np.where(quadratic, 0.5 * diff**2 / beta, abs_diff - 0.5 * beta)
+    grad_elem = np.where(quadratic, diff / beta, np.sign(diff))
+
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float32)
+        if weights.ndim == 1:
+            weights = weights[:, None]
+        elementwise = elementwise * weights
+        grad_elem = grad_elem * weights
+        sample_weights = weights.max(axis=1)
+    else:
+        sample_weights = None
+
+    per_sample = elementwise.sum(axis=1).astype(np.float32)
+    loss, grad = _reduce(per_sample, grad_elem, sample_weights, reduction)
+    return loss, grad.astype(np.float32), per_sample
+
+
+def mse_loss(
+    pred: np.ndarray, target: np.ndarray, reduction: str = "mean"
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean squared error used to train the scale regressor (Eq. 4)."""
+    pred = np.asarray(pred, dtype=np.float32)
+    target = np.asarray(target, dtype=np.float32)
+    if pred.shape != target.shape:
+        raise ValueError(f"pred shape {pred.shape} != target shape {target.shape}")
+    flat_pred = pred.reshape(pred.shape[0], -1) if pred.ndim > 1 else pred[:, None]
+    flat_target = target.reshape(flat_pred.shape)
+    count = flat_pred.shape[0]
+    if count == 0:
+        return 0.0, np.zeros_like(pred), np.zeros((0,), dtype=np.float32)
+    diff = flat_pred - flat_target
+    per_sample = (diff**2).mean(axis=1).astype(np.float32)
+    grad = 2.0 * diff / flat_pred.shape[1]
+    loss, grad = _reduce(per_sample, grad, None, reduction)
+    return loss, grad.reshape(pred.shape).astype(np.float32), per_sample
+
+
+def _reduce(
+    per_sample: np.ndarray,
+    grad: np.ndarray,
+    sample_weights: np.ndarray | None,
+    reduction: str,
+) -> tuple[float, np.ndarray]:
+    if reduction == "mean":
+        if sample_weights is not None:
+            denom = float(max(sample_weights.sum(), 1e-12))
+        else:
+            denom = float(per_sample.shape[0])
+        return float(per_sample.sum() / denom), grad / denom
+    if reduction == "sum":
+        return float(per_sample.sum()), grad
+    if reduction == "none":
+        return float(per_sample.sum()), grad
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,62 @@
+"""Parameter container: a learnable array plus its accumulated gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor.
+
+    Holds the parameter values in ``data`` and the accumulated gradient in
+    ``grad``.  Layers add into ``grad`` during their backward pass; the
+    optimiser consumes and the caller resets it via :meth:`zero_grad`.
+
+    Parameters
+    ----------
+    data:
+        Initial values.  Stored as ``float32`` (the library-wide dtype).
+    name:
+        Optional human-readable name used in checkpoints and debugging.
+    requires_grad:
+        When ``False`` the optimiser skips this parameter (used to freeze the
+        detector while training the scale regressor, Sec. 3.2 of the paper).
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zeros."""
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:
+        flag = "" if self.requires_grad else ", frozen"
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}{flag})"

@@ -1,0 +1,161 @@
+"""Experiment presets shared by tests, examples and benchmarks.
+
+Three sizes are provided:
+
+* ``tiny_*`` — a minutes-free configuration used by the integration tests and
+  the quickstart example (seconds of training, a handful of frames);
+* ``small_*`` — the default benchmark configuration: large enough for the
+  paper's qualitative trends (AdaScale faster *and* at least as accurate as
+  fixed-scale testing) to emerge, small enough to run on a laptop CPU;
+* ``paper_scales()`` — the paper's original scale sets, for users who want to
+  run the pipeline on real 600-pixel imagery with their own detector weights.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    AdaScaleConfig,
+    DatasetConfig,
+    DetectorConfig,
+    ExperimentConfig,
+    PAPER_REGRESSOR_SCALES,
+    PAPER_SCALES,
+    RegressorConfig,
+    TrainingConfig,
+)
+from repro.core.pipeline import AdaScalePipeline, ExperimentBundle
+from repro.data.mini_ytbb import MiniYTBB, default_ytbb_config
+from repro.data.synthetic_vid import SyntheticVID
+
+__all__ = [
+    "tiny_experiment_config",
+    "tiny_experiment",
+    "small_experiment_config",
+    "small_ytbb_experiment_config",
+    "paper_scales",
+]
+
+
+def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """A deliberately small configuration for tests and the quickstart example."""
+    dataset = DatasetConfig(
+        num_classes=4,
+        base_scale=96,
+        aspect_ratio=1.25,
+        num_train_snippets=6,
+        num_val_snippets=3,
+        frames_per_snippet=4,
+        max_objects_per_frame=2,
+        clutter=0.5,
+        seed=seed,
+    )
+    detector = DetectorConfig(
+        num_classes=4,
+        backbone_channels=(8, 16, 24),
+        anchor_sizes=(12, 24, 48),
+        rpn_post_nms_top_n=24,
+        max_detections=25,
+    )
+    training = TrainingConfig(
+        train_scales=(96, 72, 48, 36),
+        max_long_side=320,
+        iterations=150,
+        lr_decay_at=(110,),
+        seed=seed,
+    )
+    regressor = RegressorConfig(iterations=120, lr_decay_at=(80,), seed=seed)
+    adascale = AdaScaleConfig(
+        scales=(96, 72, 48, 36),
+        regressor_scales=(96, 72, 48, 36, 24),
+        max_long_side=320,
+    )
+    return ExperimentConfig(
+        dataset=dataset,
+        detector=detector,
+        training=training,
+        regressor=regressor,
+        adascale=adascale,
+        seed=seed,
+    )
+
+
+def tiny_experiment(seed: int = 0) -> ExperimentBundle:
+    """Train the tiny configuration end to end and return the bundle."""
+    return AdaScalePipeline(tiny_experiment_config(seed)).run()
+
+
+def small_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """The default benchmark configuration (SyntheticVID stand-in for ImageNet VID)."""
+    dataset = DatasetConfig(
+        num_classes=8,
+        base_scale=128,
+        aspect_ratio=1.33,
+        num_train_snippets=20,
+        num_val_snippets=8,
+        frames_per_snippet=6,
+        max_objects_per_frame=3,
+        clutter=0.55,
+        seed=seed,
+    )
+    detector = DetectorConfig(num_classes=8)
+    training = TrainingConfig(
+        train_scales=(128, 96, 72, 48),
+        max_long_side=426,
+        iterations=700,
+        lr_decay_at=(500,),
+        seed=seed,
+    )
+    regressor = RegressorConfig(
+        iterations=600, lr_decay_at=(420,), stream_channels=16, seed=seed
+    )
+    adascale = AdaScaleConfig(
+        scales=(128, 96, 72, 48),
+        regressor_scales=(128, 96, 72, 48, 32),
+        max_long_side=426,
+    )
+    return ExperimentConfig(
+        dataset=dataset,
+        detector=detector,
+        training=training,
+        regressor=regressor,
+        adascale=adascale,
+        seed=seed,
+    )
+
+
+def small_ytbb_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """Benchmark configuration for the MiniYTBB stand-in (Table 1b)."""
+    dataset = default_ytbb_config(seed)
+    detector = DetectorConfig(num_classes=dataset.num_classes)
+    training = TrainingConfig(
+        train_scales=(128, 96, 72, 48),
+        max_long_side=426,
+        iterations=600,
+        lr_decay_at=(430,),
+        seed=seed,
+    )
+    regressor = RegressorConfig(
+        iterations=500, lr_decay_at=(350,), stream_channels=16, seed=seed
+    )
+    adascale = AdaScaleConfig(
+        scales=(128, 96, 72, 48),
+        regressor_scales=(128, 96, 72, 48, 32),
+        max_long_side=426,
+    )
+    return ExperimentConfig(
+        dataset=dataset,
+        detector=detector,
+        training=training,
+        regressor=regressor,
+        adascale=adascale,
+        seed=seed,
+    )
+
+
+def paper_scales() -> AdaScaleConfig:
+    """The paper's original scale sets (600-pixel imagery)."""
+    return AdaScaleConfig(
+        scales=PAPER_SCALES,
+        regressor_scales=PAPER_REGRESSOR_SCALES,
+        max_long_side=2000,
+    )

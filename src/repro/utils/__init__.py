@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, timing, logging, registries and checkpoints."""
+
+from repro.utils.checkpoint import load_params, save_params
+from repro.utils.logging import get_logger
+from repro.utils.registry import Registry
+from repro.utils.seeding import new_rng, seed_everything
+from repro.utils.timer import Timer, WallClock
+
+__all__ = [
+    "Registry",
+    "Timer",
+    "WallClock",
+    "get_logger",
+    "load_params",
+    "new_rng",
+    "save_params",
+    "seed_everything",
+]

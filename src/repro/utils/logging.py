@@ -1,0 +1,26 @@
+"""Thin logging wrapper with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The first call attaches a stream handler to the root ``repro`` logger so
+    example scripts and benchmarks produce readable progress output without any
+    per-script configuration.
+    """
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(level)
+    qualified = name if name.startswith("repro") else f"repro.{name}"
+    return logging.getLogger(qualified)

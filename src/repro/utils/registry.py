@@ -1,0 +1,70 @@
+"""A minimal name → factory registry.
+
+Used to register dataset builders, detector backbones and experiment methods so
+benchmarks and examples can select components by name (mirroring how config
+driven detection frameworks such as MMDetection or Detectron wire components).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Generic[T]):
+    """Maps string keys to factories/objects with decorator support.
+
+    Examples
+    --------
+    >>> backbones = Registry("backbone")
+    >>> @backbones.register("tiny")
+    ... def build_tiny():
+    ...     return "tiny-backbone"
+    >>> backbones.get("tiny")()
+    'tiny-backbone'
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``; usable as a decorator when ``obj`` is None."""
+        if obj is not None:
+            self._insert(name, obj)
+            return obj
+
+        def decorator(target: T) -> T:
+            self._insert(name, target)
+            return target
+
+        return decorator
+
+    def _insert(self, name: str, obj: T) -> None:
+        if name in self._entries:
+            raise KeyError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = obj
+
+    def get(self, name: str) -> T:
+        """Look up a registered entry, raising with the available names on miss."""
+        try:
+            return self._entries[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._entries)) or "<empty>"
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._entries)

@@ -1,0 +1,92 @@
+"""Wall-clock timing helpers used by the runtime profiler.
+
+The paper reports per-frame detector runtime (Table 1, Table 2, Table 3,
+Fig. 7).  We measure wall-clock on CPU; what matters for the reproduction is
+the *relative* runtime across image scales and methods, not the absolute
+milliseconds of the authors' GTX 1080 Ti.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WallClock"]
+
+
+class WallClock:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with WallClock() as clock:
+    ...     _ = sum(range(1000))
+    >>> clock.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallClock":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Timer:
+    """Accumulates named timing samples.
+
+    Used by :mod:`repro.evaluation.runtime` to build per-method runtime
+    statistics (mean / median / total milliseconds).
+    """
+
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one sample (in seconds) under ``name``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for {name!r}: {seconds}")
+        self.samples.setdefault(name, []).append(seconds)
+
+    def time(self, name: str) -> "_TimerContext":
+        """Return a context manager recording its duration under ``name``."""
+        return _TimerContext(self, name)
+
+    def mean_ms(self, name: str) -> float:
+        """Mean duration of ``name`` in milliseconds."""
+        values = self.samples.get(name)
+        if not values:
+            raise KeyError(f"no samples recorded for {name!r}")
+        return 1000.0 * sum(values) / len(values)
+
+    def total_s(self, name: str) -> float:
+        """Total accumulated seconds for ``name`` (0.0 if never recorded)."""
+        return float(sum(self.samples.get(name, ())))
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded under ``name``."""
+        return len(self.samples.get(name, ()))
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's samples into this one."""
+        for name, values in other.samples.items():
+            self.samples.setdefault(name, []).extend(values)
+
+
+class _TimerContext:
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

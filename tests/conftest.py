@@ -1,0 +1,104 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (datasets, detectors, the end-to-end trained bundle) are
+session-scoped so the several hundred tests stay fast: only one micro
+training run happens per pytest session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    AdaScaleConfig,
+    DatasetConfig,
+    DetectorConfig,
+    ExperimentConfig,
+    RegressorConfig,
+    TrainingConfig,
+)
+from repro.core import AdaScalePipeline
+from repro.data import SyntheticVID
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> ExperimentConfig:
+    """A micro experiment configuration used by integration tests."""
+    dataset = DatasetConfig(
+        num_classes=3,
+        base_scale=64,
+        aspect_ratio=1.25,
+        num_train_snippets=4,
+        num_val_snippets=2,
+        frames_per_snippet=3,
+        max_objects_per_frame=2,
+        clutter=0.4,
+        motion_blur=0.2,
+        seed=7,
+    )
+    detector = DetectorConfig(
+        num_classes=3,
+        backbone_channels=(6, 12, 18),
+        anchor_sizes=(10, 20, 40),
+        rpn_pre_nms_top_n=80,
+        rpn_post_nms_top_n=16,
+        max_detections=15,
+    )
+    training = TrainingConfig(
+        train_scales=(64, 48, 32),
+        max_long_side=240,
+        iterations=60,
+        lr_decay_at=(45,),
+        rpn_batch_size=16,
+        roi_batch_size=16,
+        seed=7,
+    )
+    regressor = RegressorConfig(iterations=60, lr_decay_at=(45,), seed=7)
+    adascale = AdaScaleConfig(
+        scales=(64, 48, 32),
+        regressor_scales=(64, 48, 32, 24),
+        max_long_side=240,
+    )
+    return ExperimentConfig(
+        dataset=dataset,
+        detector=detector,
+        training=training,
+        regressor=regressor,
+        adascale=adascale,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_train_dataset(micro_config: ExperimentConfig) -> SyntheticVID:
+    """Training split of the micro dataset."""
+    return SyntheticVID(micro_config.dataset, split="train")
+
+
+@pytest.fixture(scope="session")
+def micro_val_dataset(micro_config: ExperimentConfig) -> SyntheticVID:
+    """Validation split of the micro dataset."""
+    return SyntheticVID(micro_config.dataset, split="val")
+
+
+@pytest.fixture(scope="session")
+def micro_bundle(micro_config: ExperimentConfig):
+    """A fully trained (micro) experiment bundle shared by integration tests."""
+    return AdaScalePipeline(micro_config).run()
+
+
+@pytest.fixture(scope="session")
+def micro_frame(micro_train_dataset: SyntheticVID):
+    """A single frame with at least one annotated object."""
+    for snippet in micro_train_dataset:
+        for frame in snippet:
+            if frame.num_objects > 0:
+                return frame
+    raise RuntimeError("micro dataset produced no annotated frames")

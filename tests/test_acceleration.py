@@ -1,0 +1,280 @@
+"""Tests for optical flow, Deep Feature Flow, Seq-NMS and the AdaScale combinations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acceleration import (
+    AdaScaleDFFDetector,
+    DFFDetector,
+    SeqNMSConfig,
+    adascale_with_seqnms,
+    estimate_flow,
+    seq_nms,
+    warp_features,
+)
+from repro.acceleration.optical_flow import to_grayscale
+from repro.evaluation import DetectionRecord, evaluate_detections
+
+
+class TestOpticalFlow:
+    def test_grayscale_shape_and_range(self, rng):
+        image = rng.random((16, 20, 3)).astype(np.float32)
+        gray = to_grayscale(image)
+        assert gray.shape == (16, 20)
+        assert gray.min() >= 0.0 and gray.max() <= 1.0
+
+    def test_grayscale_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((4, 4)))
+
+    def test_zero_flow_for_identical_images(self, rng):
+        image = rng.random((32, 40, 3)).astype(np.float32)
+        flow = estimate_flow(image, image, cell_size=8, search_radius=3)
+        np.testing.assert_array_equal(flow, np.zeros_like(flow))
+
+    def test_recovers_known_translation(self, rng):
+        """A pure translation of a textured image is recovered (up to the search radius)."""
+        base = rng.random((48, 64, 3)).astype(np.float32)
+        shift = 3
+        current = np.roll(base, shift=(shift, shift), axis=(0, 1))
+        flow = estimate_flow(base, current, cell_size=8, search_radius=4)
+        # Interior cells should vote for (-shift, -shift): content moved down-right,
+        # so it is found up-left in the reference.
+        interior = flow[:, 2:-2, 2:-2]
+        assert np.median(interior[0]) == pytest.approx(-shift, abs=1)
+        assert np.median(interior[1]) == pytest.approx(-shift, abs=1)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            estimate_flow(rng.random((8, 8, 3)), rng.random((9, 8, 3)))
+
+    def test_invalid_parameters_rejected(self, rng):
+        image = rng.random((16, 16, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            estimate_flow(image, image, cell_size=0)
+        with pytest.raises(ValueError):
+            estimate_flow(image, image, search_radius=-1)
+
+    def test_warp_identity_with_zero_flow(self, rng):
+        features = rng.normal(size=(1, 4, 6, 8)).astype(np.float32)
+        flow = np.zeros((2, 6, 8), dtype=np.float32)
+        warped = warp_features(features, flow, feature_stride=8)
+        np.testing.assert_allclose(warped, features, rtol=1e-5)
+
+    def test_warp_translates_features(self):
+        features = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        features[0, 0, 2, 2] = 1.0
+        # Flow says: content at each cell is found one stride to the right in the
+        # reference, so the warped map pulls the peak one cell to the left.
+        flow = np.full((2, 5, 5), 0.0, dtype=np.float32)
+        flow[1] = 8.0
+        warped = warp_features(features, flow, feature_stride=8)
+        assert warped[0, 0, 2, 1] == pytest.approx(1.0, abs=1e-5)
+
+    def test_warp_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            warp_features(rng.normal(size=(2, 4, 4)), np.zeros((2, 4, 4)), 8)
+        with pytest.raises(ValueError):
+            warp_features(rng.normal(size=(1, 2, 4, 4)), np.zeros((3, 4, 4)), 8)
+
+
+class TestDFF:
+    def test_key_frame_schedule(self, micro_bundle):
+        dff = DFFDetector(micro_bundle.ms_detector, key_frame_interval=2, config=micro_bundle.config.adascale)
+        snippet = micro_bundle.val_dataset[0]
+        output = dff.process_video(snippet.frames(), scale=64)
+        assert output.is_key_frame == [index % 2 == 0 for index in range(len(snippet))]
+        assert len(output) == len(snippet)
+
+    def test_interval_one_equals_full_detection_count(self, micro_bundle):
+        dff = DFFDetector(micro_bundle.ms_detector, key_frame_interval=1, config=micro_bundle.config.adascale)
+        snippet = micro_bundle.val_dataset[0]
+        output = dff.process_video(snippet.frames(), scale=64)
+        assert all(output.is_key_frame)
+
+    def test_records_align_with_frames(self, micro_bundle):
+        dff = DFFDetector(micro_bundle.ms_detector, key_frame_interval=3, config=micro_bundle.config.adascale)
+        snippet = micro_bundle.val_dataset[0]
+        frames = snippet.frames()
+        records = dff.process_video(frames, scale=64).to_records(frames)
+        assert len(records) == len(frames)
+        assert all(isinstance(record, DetectionRecord) for record in records)
+
+    def test_scales_used_follow_requested_scale(self, micro_bundle):
+        dff = DFFDetector(micro_bundle.ms_detector, key_frame_interval=2, config=micro_bundle.config.adascale)
+        snippet = micro_bundle.val_dataset[0]
+        output = dff.process_video(snippet.frames(), scale=48)
+        assert set(output.scales_used) == {48}
+
+    def test_scale_schedule_per_key_frame(self, micro_bundle):
+        dff = DFFDetector(micro_bundle.ms_detector, key_frame_interval=2, config=micro_bundle.config.adascale)
+        snippet = micro_bundle.val_dataset[0]
+        output = dff.process_video(snippet.frames(), scale_schedule=[64, 32])
+        assert output.scales_used[0] == 64
+        assert output.scales_used[2] == 32
+
+    def test_invalid_interval_rejected(self, micro_bundle):
+        with pytest.raises(ValueError):
+            DFFDetector(micro_bundle.ms_detector, key_frame_interval=0)
+
+    def test_dff_keeps_reasonable_accuracy(self, micro_bundle):
+        """DFF's mAP should not collapse relative to per-frame detection on the
+        synthetic data (objects move slowly)."""
+        detector = micro_bundle.ms_detector
+        dataset = micro_bundle.val_dataset
+        full_records, dff_records = [], []
+        dff = DFFDetector(detector, key_frame_interval=3, config=micro_bundle.config.adascale)
+        for snippet in dataset:
+            frames = snippet.frames()
+            for frame in frames:
+                result = detector.detect(frame.image, target_scale=64, max_long_side=240)
+                full_records.append(
+                    DetectionRecord(result.boxes, result.scores, result.class_ids, frame.boxes, frame.labels)
+                )
+            dff_records.extend(dff.process_video(frames, scale=64).to_records(frames))
+        full_map = evaluate_detections(full_records, dataset.class_names).mean_ap
+        dff_map = evaluate_detections(dff_records, dataset.class_names).mean_ap
+        assert dff_map >= 0.4 * full_map
+
+
+class TestSeqNMS:
+    def _snippet_records(self):
+        """Three frames tracking one object whose middle detection has a low score."""
+        gt = np.array([[10, 10, 30, 30]], dtype=np.float32)
+        boxes = [
+            np.array([[10, 10, 30, 30]], dtype=np.float32),
+            np.array([[11, 11, 31, 31]], dtype=np.float32),
+            np.array([[12, 12, 32, 32]], dtype=np.float32),
+        ]
+        scores = [np.array([0.9]), np.array([0.2]), np.array([0.85])]
+        return [
+            DetectionRecord(
+                boxes=boxes[i],
+                scores=scores[i].astype(np.float32),
+                class_ids=np.array([0]),
+                gt_boxes=gt,
+                gt_labels=np.array([0]),
+                frame_id=(0, i),
+            )
+            for i in range(3)
+        ]
+
+    def test_rescoring_boosts_weak_link(self):
+        records = self._snippet_records()
+        rescored = seq_nms(records, num_classes=1)
+        assert rescored[1].scores[0] > records[1].scores[0]
+
+    def test_scores_never_decrease(self):
+        records = self._snippet_records()
+        rescored = seq_nms(records, num_classes=1)
+        for before, after in zip(records, rescored):
+            assert np.all(after.scores >= before.scores - 1e-6)
+
+    def test_boxes_and_gt_unchanged(self):
+        records = self._snippet_records()
+        rescored = seq_nms(records, num_classes=1)
+        for before, after in zip(records, rescored):
+            np.testing.assert_array_equal(before.boxes, after.boxes)
+            np.testing.assert_array_equal(before.gt_boxes, after.gt_boxes)
+
+    def test_max_rescoring_uses_path_maximum(self):
+        records = self._snippet_records()
+        rescored = seq_nms(records, num_classes=1, config=SeqNMSConfig(rescore="max"))
+        assert rescored[1].scores[0] == pytest.approx(0.9, abs=1e-5)
+
+    def test_unlinked_detections_keep_scores(self):
+        gt = np.zeros((0, 4), dtype=np.float32)
+        records = [
+            DetectionRecord(
+                boxes=np.array([[0, 0, 10, 10]], dtype=np.float32),
+                scores=np.array([0.5], dtype=np.float32),
+                class_ids=np.array([0]),
+                gt_boxes=gt,
+                gt_labels=np.zeros(0, dtype=np.int64),
+                frame_id=(0, 0),
+            ),
+            DetectionRecord(
+                boxes=np.array([[100, 100, 120, 120]], dtype=np.float32),
+                scores=np.array([0.6], dtype=np.float32),
+                class_ids=np.array([0]),
+                gt_boxes=gt,
+                gt_labels=np.zeros(0, dtype=np.int64),
+                frame_id=(0, 1),
+            ),
+        ]
+        rescored = seq_nms(records, num_classes=1)
+        assert rescored[0].scores[0] == pytest.approx(0.5)
+        assert rescored[1].scores[0] == pytest.approx(0.6)
+
+    def test_classes_processed_independently(self):
+        gt = np.zeros((0, 4), dtype=np.float32)
+        records = [
+            DetectionRecord(
+                boxes=np.array([[0, 0, 10, 10], [0, 0, 10, 10]], dtype=np.float32),
+                scores=np.array([0.9, 0.1], dtype=np.float32),
+                class_ids=np.array([0, 1]),
+                gt_boxes=gt,
+                gt_labels=np.zeros(0, dtype=np.int64),
+                frame_id=(0, index),
+            )
+            for index in range(2)
+        ]
+        rescored = seq_nms(records, num_classes=2)
+        # Class 1's weak chain is only rescored with class-1 scores, never class-0 scores.
+        assert rescored[0].scores[1] <= 0.2
+
+    def test_invalid_rescore_mode(self):
+        with pytest.raises(ValueError):
+            seq_nms(self._snippet_records(), num_classes=1, config=SeqNMSConfig(rescore="median"))
+
+    def test_empty_records(self):
+        assert seq_nms([], num_classes=1) == []
+
+    def test_seqnms_does_not_reduce_map(self, micro_bundle):
+        """On real (micro) detections Seq-NMS should not hurt mAP."""
+        detector = micro_bundle.ms_detector
+        dataset = micro_bundle.val_dataset
+        baseline_records, rescored_records = [], []
+        for snippet in dataset:
+            frames = snippet.frames()
+            records = []
+            for frame in frames:
+                result = detector.detect(frame.image, target_scale=64, max_long_side=240)
+                records.append(
+                    DetectionRecord(result.boxes, result.scores, result.class_ids, frame.boxes, frame.labels)
+                )
+            baseline_records.extend(records)
+            rescored_records.extend(seq_nms(records, num_classes=dataset.num_classes))
+        base = evaluate_detections(baseline_records, dataset.class_names).mean_ap
+        rescored = evaluate_detections(rescored_records, dataset.class_names).mean_ap
+        assert rescored >= base - 0.02
+
+
+class TestCombined:
+    def test_adascale_dff_adapts_key_frame_scale(self, micro_bundle):
+        combined = AdaScaleDFFDetector(
+            micro_bundle.ms_detector,
+            micro_bundle.regressor,
+            key_frame_interval=2,
+            config=micro_bundle.config.adascale,
+        )
+        snippet = micro_bundle.val_dataset[0]
+        output = combined.process_video(snippet.frames())
+        assert len(output) == len(snippet)
+        config = micro_bundle.config.adascale
+        assert all(config.min_scale <= scale <= config.max_scale for scale in output.scales_used)
+        # The first group always starts at the maximum scale (Algorithm 1 initialisation).
+        assert output.scales_used[0] == config.max_scale
+
+    def test_adascale_seqnms_returns_aligned_outputs(self, micro_bundle):
+        snippet = micro_bundle.val_dataset[0]
+        frames = snippet.frames()
+        records, runtimes, scales = adascale_with_seqnms(
+            micro_bundle.adascale, frames, num_classes=micro_bundle.val_dataset.num_classes
+        )
+        assert len(records) == len(frames)
+        assert len(runtimes) == len(frames)
+        assert len(scales) == len(frames)
+        assert all(runtime > 0 for runtime in runtimes)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.preset == "tiny"
+        assert args.seed == 0
+        assert args.methods == ["SS/SS", "MS/SS", "MS/AdaScale"]
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--preset", "huge", "labels"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--methods", "MS/Bogus"])
+
+
+class TestCommands:
+    def test_evaluate_from_saved_bundle(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
+        """`evaluate --bundle` loads a saved bundle instead of retraining."""
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        # Point the 'tiny' preset at the micro configuration so load shapes match.
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli._PRESETS, "tiny", (lambda seed=0: micro_config, type(micro_bundle.train_dataset)))
+        exit_code = main(["evaluate", "--bundle", str(bundle_dir), "--methods", "MS/SS"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "MS/SS" in captured.out
+        assert "mAP" in captured.out
+
+    def test_labels_command(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        monkeypatch.setitem(cli._PRESETS, "tiny", (lambda seed=0: micro_config, type(micro_bundle.train_dataset)))
+        monkeypatch.setattr(
+            cli, "_build_or_load", lambda args: cli.ExperimentBundle.load(bundle_dir, micro_config)
+        )
+        exit_code = main(["labels"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "optimal scale" in captured.out

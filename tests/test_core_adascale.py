@@ -1,0 +1,227 @@
+"""Tests for the AdaScale detector (Algorithm 1), regressor training and the pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaScaleDetector, AdaScalePipeline, RegressorTrainer, ScaleRegressor
+from repro.core.pipeline import METHODS, merge_detections
+from repro.detection.rfcn import RFCNDetector
+
+
+class TestRegressorTraining:
+    def test_training_reduces_mse(self, micro_bundle):
+        """Re-train a fresh regressor briefly and check the loss trends down."""
+        detector = micro_bundle.ms_detector
+        regressor = ScaleRegressor(detector.feature_channels, micro_bundle.config.regressor, seed=5)
+        trainer = RegressorTrainer(
+            detector,
+            regressor,
+            micro_bundle.config.adascale,
+            micro_bundle.config.regressor,
+            np.random.default_rng(5),
+        )
+        summary = trainer.fit(micro_bundle.train_dataset, micro_bundle.labels, iterations=50, log_every=0)
+        first = float(np.mean(summary.loss_history[:10]))
+        last = float(np.mean(summary.loss_history[-10:]))
+        assert last <= first * 1.2  # allow noise, but no blow-up
+        assert len(summary.loss_history) == 50
+
+    def test_detector_weights_untouched_by_regressor_training(self, micro_bundle):
+        detector = micro_bundle.ms_detector
+        before = {name: value.copy() for name, value in detector.state_dict().items()}
+        regressor = ScaleRegressor(detector.feature_channels, micro_bundle.config.regressor, seed=6)
+        trainer = RegressorTrainer(
+            detector,
+            regressor,
+            micro_bundle.config.adascale,
+            micro_bundle.config.regressor,
+            np.random.default_rng(6),
+        )
+        trainer.fit(micro_bundle.train_dataset, micro_bundle.labels, iterations=10, log_every=0)
+        after = detector.state_dict()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_empty_labels_rejected(self, micro_bundle):
+        from repro.core.optimal_scale import ScaleLabels
+
+        regressor = ScaleRegressor(micro_bundle.ms_detector.feature_channels, seed=0)
+        trainer = RegressorTrainer(
+            micro_bundle.ms_detector, regressor, micro_bundle.config.adascale
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(micro_bundle.train_dataset, ScaleLabels(), iterations=5)
+
+    def test_invalid_iterations_rejected(self, micro_bundle):
+        regressor = ScaleRegressor(micro_bundle.ms_detector.feature_channels, seed=0)
+        trainer = RegressorTrainer(
+            micro_bundle.ms_detector, regressor, micro_bundle.config.adascale
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(micro_bundle.train_dataset, micro_bundle.labels, iterations=0)
+
+
+class TestAdaScaleDetector:
+    def test_detect_frame_outputs(self, micro_bundle, micro_frame):
+        adascale = micro_bundle.adascale
+        output = adascale.detect_frame(micro_frame.image, micro_bundle.config.adascale.max_scale)
+        config = micro_bundle.config.adascale
+        assert output.scale_used == config.max_scale
+        assert config.min_scale <= output.next_scale <= config.max_scale
+        assert output.runtime_s > 0.0
+        assert np.isfinite(output.regressed_target)
+
+    def test_process_video_follows_algorithm1(self, micro_bundle):
+        """First frame at max scale; every subsequent scale comes from the previous
+        frame's regression, clipped to [S_min, S_max]."""
+        adascale = micro_bundle.adascale
+        snippet = micro_bundle.val_dataset[0]
+        result = adascale.process_video(snippet.frames())
+        config = micro_bundle.config.adascale
+        assert result.scales_used[0] == config.max_scale
+        for index in range(1, len(result)):
+            assert result.scales_used[index] == result.outputs[index - 1].next_scale
+            assert config.min_scale <= result.scales_used[index] <= config.max_scale
+
+    def test_process_video_custom_initial_scale(self, micro_bundle):
+        adascale = micro_bundle.adascale
+        snippet = micro_bundle.val_dataset[0]
+        result = adascale.process_video(snippet.frames(), initial_scale=32)
+        assert result.scales_used[0] == 32
+
+    def test_video_result_statistics(self, micro_bundle):
+        adascale = micro_bundle.adascale
+        snippet = micro_bundle.val_dataset[0]
+        result = adascale.process_video(snippet.frames())
+        assert len(result) == len(snippet)
+        assert result.mean_scale > 0
+        assert result.mean_runtime_ms > 0
+        assert result.snippet_id == snippet.snippet_id
+
+    def test_to_records_requires_matching_length(self, micro_bundle):
+        adascale = micro_bundle.adascale
+        snippet = micro_bundle.val_dataset[0]
+        result = adascale.process_video(snippet.frames())
+        with pytest.raises(ValueError):
+            result.to_records(snippet.frames()[:-1])
+
+    def test_records_preserve_ground_truth(self, micro_bundle):
+        adascale = micro_bundle.adascale
+        snippet = micro_bundle.val_dataset[0]
+        frames = snippet.frames()
+        records = adascale.process_video(frames).to_records(frames)
+        for frame, record in zip(frames, records):
+            np.testing.assert_array_equal(record.gt_boxes, frame.boxes)
+            assert record.frame_id == (frame.snippet_id, frame.frame_index)
+
+    def test_overhead_estimate_is_small_fraction(self, micro_bundle):
+        adascale = micro_bundle.adascale
+        overhead = adascale.overhead_ms(64, 80, reference_ms=10.0)
+        assert 0.0 < overhead < 3.0
+
+
+class TestMergeDetections:
+    def test_empty_input(self):
+        boxes, scores, classes = merge_detections([], 0.3, 10)
+        assert boxes.shape == (0, 4)
+
+    def test_merging_deduplicates_across_scales(self, micro_bundle, micro_frame):
+        detector = micro_bundle.ms_detector
+        results = [
+            detector.detect(micro_frame.image, target_scale=s, max_long_side=240)
+            for s in micro_bundle.config.adascale.scales[:2]
+        ]
+        boxes, scores, classes = merge_detections(results, 0.3, 50)
+        total_before = sum(len(r) for r in results)
+        assert boxes.shape[0] <= total_before
+        assert boxes.shape[0] == scores.shape[0] == classes.shape[0]
+
+    def test_max_detections_cap(self, micro_bundle, micro_frame):
+        detector = micro_bundle.ms_detector
+        results = [
+            detector.detect(micro_frame.image, target_scale=s, max_long_side=240)
+            for s in micro_bundle.config.adascale.scales
+        ]
+        boxes, _, _ = merge_detections(results, 0.9, 3)
+        assert boxes.shape[0] <= 3
+
+
+class TestPipelineAndBundle:
+    def test_bundle_contains_all_artifacts(self, micro_bundle):
+        assert micro_bundle.ss_detector is not micro_bundle.ms_detector
+        assert micro_bundle.regressor is not None
+        assert len(micro_bundle.labels) > 0
+        assert micro_bundle.class_names == micro_bundle.val_dataset.class_names
+
+    def test_evaluate_method_rejects_unknown(self, micro_bundle):
+        with pytest.raises(KeyError):
+            micro_bundle.evaluate_method("MS/Bogus")
+
+    def test_methods_constant_matches_paper(self):
+        assert METHODS == ("SS/SS", "MS/SS", "MS/MS", "MS/Random", "MS/AdaScale")
+
+    def test_fixed_scale_method_uses_max_scale_everywhere(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/SS")
+        config = micro_bundle.config.adascale
+        used = {scale for trace in result.scale_trace.values() for scale in trace}
+        assert used == {config.max_scale}
+
+    def test_adascale_method_adapts_scale(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/AdaScale")
+        assert result.records
+        assert result.mean_scale <= micro_bundle.config.adascale.max_scale
+        assert result.runtime.count == micro_bundle.val_dataset.num_frames
+
+    def test_random_method_spans_multiple_scales(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/Random")
+        used = {scale for trace in result.scale_trace.values() for scale in trace}
+        assert len(used) > 1
+
+    def test_multi_scale_method_counts_all_scales_in_runtime(self, micro_bundle):
+        ms_ss = micro_bundle.evaluate_method("MS/SS")
+        ms_ms = micro_bundle.evaluate_method("MS/MS")
+        # MS/MS runs the detector once per scale, so it must be slower per frame.
+        assert ms_ms.runtime.mean_ms > ms_ss.runtime.mean_ms
+
+    def test_scale_distribution_normalised(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/AdaScale")
+        distribution = result.scale_distribution(bins=micro_bundle.config.adascale.regressor_scales)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_eval_results_have_all_classes(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/SS")
+        assert set(result.eval.per_class_ap) == set(micro_bundle.class_names)
+
+    def test_bundle_save_and_load_roundtrip(self, micro_bundle, micro_config, tmp_path, micro_frame):
+        from repro.core.pipeline import ExperimentBundle
+
+        micro_bundle.save(tmp_path / "bundle")
+        restored = ExperimentBundle.load(tmp_path / "bundle", micro_config)
+        assert len(restored.labels) == len(micro_bundle.labels)
+        original = micro_bundle.ms_detector.detect(micro_frame.image, target_scale=48, max_long_side=240)
+        reloaded = restored.ms_detector.detect(micro_frame.image, target_scale=48, max_long_side=240)
+        assert len(original) == len(reloaded)
+        if len(original):
+            np.testing.assert_allclose(original.boxes, reloaded.boxes, rtol=1e-5)
+        assert restored.regressor.predict(original.features) == pytest.approx(
+            micro_bundle.regressor.predict(original.features), rel=1e-5
+        )
+
+    def test_pipeline_single_scale_training_reuses_base(self, micro_config, micro_bundle):
+        """With a single-scale S_train the MS detector equals the SS detector."""
+        config = micro_config.with_(
+            training=micro_config.training.with_(
+                train_scales=(micro_config.adascale.max_scale,), iterations=5
+            )
+        )
+        pipeline = AdaScalePipeline(config)
+        ms_detector = pipeline.finetune_multiscale(micro_bundle.ss_detector, micro_bundle.train_dataset)
+        for name, value in micro_bundle.ss_detector.state_dict().items():
+            np.testing.assert_array_equal(value, ms_detector.state_dict()[name])
+
+    def test_pipeline_validates_config(self, micro_config):
+        bad = micro_config.with_(detector=micro_config.detector.with_(num_classes=99))
+        with pytest.raises(ValueError):
+            AdaScalePipeline(bad)

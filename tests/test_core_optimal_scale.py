@@ -1,0 +1,136 @@
+"""Tests for the optimal-scale metric (Sec. 3.1) and dataset labelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScaleLabels, label_dataset, optimal_scale_for_image, scale_loss_profile
+from repro.core.optimal_scale import OptimalScaleResult, ScaleLossProfile
+
+
+class TestScaleLossProfile:
+    def test_profile_covers_all_scales(self, micro_bundle, micro_frame):
+        config = micro_bundle.config.adascale
+        profile = scale_loss_profile(
+            micro_bundle.ms_detector, micro_frame, config.scales, config.max_long_side
+        )
+        assert set(profile.foreground_losses) == set(config.scales)
+        assert set(profile.num_foreground) == set(config.scales)
+
+    def test_losses_sorted_ascending(self, micro_bundle, micro_frame):
+        config = micro_bundle.config.adascale
+        profile = scale_loss_profile(
+            micro_bundle.ms_detector, micro_frame, config.scales, config.max_long_side
+        )
+        for losses in profile.foreground_losses.values():
+            assert np.all(np.diff(losses) >= -1e-6)
+
+    def test_truncated_loss_monotone_in_count(self, micro_bundle, micro_frame):
+        config = micro_bundle.config.adascale
+        profile = scale_loss_profile(
+            micro_bundle.ms_detector, micro_frame, config.scales, config.max_long_side
+        )
+        scale = config.scales[0]
+        available = profile.num_foreground[scale]
+        if available >= 2:
+            assert profile.truncated_loss(scale, 1) <= profile.truncated_loss(scale, 2) + 1e-6
+
+    def test_truncated_loss_zero_count(self, micro_bundle, micro_frame):
+        config = micro_bundle.config.adascale
+        profile = scale_loss_profile(
+            micro_bundle.ms_detector, micro_frame, config.scales, config.max_long_side
+        )
+        assert profile.truncated_loss(config.scales[0], 0) == 0.0
+
+    def test_empty_scales_rejected(self, micro_bundle, micro_frame):
+        with pytest.raises(ValueError):
+            scale_loss_profile(micro_bundle.ms_detector, micro_frame, ())
+
+
+class TestOptimalScale:
+    def test_result_structure(self, micro_bundle, micro_frame):
+        result = optimal_scale_for_image(
+            micro_bundle.ms_detector, micro_frame, micro_bundle.config.adascale
+        )
+        assert isinstance(result, OptimalScaleResult)
+        assert result.optimal_scale in micro_bundle.config.adascale.scales
+        assert set(result.metric) == set(micro_bundle.config.adascale.scales)
+
+    def test_optimal_scale_minimises_metric(self, micro_bundle, micro_frame):
+        result = optimal_scale_for_image(
+            micro_bundle.ms_detector, micro_frame, micro_bundle.config.adascale
+        )
+        finite = {s: v for s, v in result.metric.items() if np.isfinite(v)}
+        if finite:
+            assert result.metric[result.optimal_scale] == pytest.approx(min(finite.values()), abs=1e-6)
+
+    def test_n_min_is_minimum_over_counted_scales(self, micro_bundle, micro_frame):
+        result = optimal_scale_for_image(
+            micro_bundle.ms_detector, micro_frame, micro_bundle.config.adascale
+        )
+        counts = [
+            result.profile.num_foreground[s]
+            for s in result.metric
+            if np.isfinite(result.metric[s])
+        ]
+        if counts:
+            assert result.n_min == min(counts)
+
+    def test_truncation_ablation_changes_behaviour(self, micro_bundle, micro_frame):
+        """The no-truncation variant (ablation) still returns a valid scale."""
+        config = micro_bundle.config.adascale.with_(use_foreground_truncation=False)
+        result = optimal_scale_for_image(micro_bundle.ms_detector, micro_frame, config)
+        assert result.optimal_scale in config.scales
+
+    def test_untrained_detector_falls_back_to_max_scale(self, micro_config, micro_frame):
+        """A detector that finds no foreground boxes yields the largest scale."""
+        from repro.detection import RFCNDetector
+
+        blank = RFCNDetector(micro_config.detector, seed=99)
+        # Use an extremely high score threshold so no detections survive.
+        blank.config = micro_config.detector.with_(score_threshold=0.999)
+        result = optimal_scale_for_image(blank, micro_frame, micro_config.adascale)
+        assert result.optimal_scale == micro_config.adascale.max_scale
+
+
+class TestScaleLabels:
+    def test_label_dataset_covers_every_frame(self, micro_bundle):
+        labels = micro_bundle.labels
+        assert len(labels) == micro_bundle.train_dataset.num_frames
+
+    def test_labels_within_scale_set(self, micro_bundle):
+        scales = set(micro_bundle.config.adascale.scales)
+        assert set(labels for labels in micro_bundle.labels.labels.values()) <= scales
+
+    def test_distribution_sums_to_one(self, micro_bundle):
+        distribution = micro_bundle.labels.distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_mean_scale_within_bounds(self, micro_bundle):
+        config = micro_bundle.config.adascale
+        mean = micro_bundle.labels.mean_scale()
+        assert min(config.scales) <= mean <= max(config.scales)
+
+    def test_get_accessor(self, micro_bundle):
+        key = next(iter(micro_bundle.labels.labels))
+        assert micro_bundle.labels.get(*key) == micro_bundle.labels.labels[key]
+
+    def test_empty_labels(self):
+        labels = ScaleLabels()
+        assert len(labels) == 0
+        assert labels.distribution() == {}
+        assert np.isnan(labels.mean_scale())
+
+    def test_downsampling_is_sometimes_optimal(self, micro_bundle):
+        """The paper's core observation: for some frames a scale below the maximum
+        minimises the loss metric.  The synthetic dataset is constructed so this
+        happens; if every frame preferred the largest scale AdaScale could never
+        win on speed."""
+        distribution = micro_bundle.labels.distribution()
+        below_max = sum(
+            fraction
+            for scale, fraction in distribution.items()
+            if scale < micro_bundle.config.adascale.max_scale
+        )
+        assert below_max > 0.2

@@ -1,0 +1,203 @@
+"""Tests for the scale set, scale-target coding (Eq. 3) and the scale regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RegressorConfig
+from repro.core import ScaleRegressor, ScaleSet, decode_scale, encode_scale_target
+from repro.core.scale_coding import decode_scale_float
+from repro.nn import mse_loss
+from repro.nn.optim import Adam
+
+
+class TestScaleSet:
+    def test_sorted_descending(self):
+        scale_set = ScaleSet((240, 600, 360, 480))
+        assert scale_set.scales == (600, 480, 360, 240)
+
+    def test_min_max(self):
+        scale_set = ScaleSet((600, 480, 360, 240))
+        assert scale_set.max_scale == 600
+        assert scale_set.min_scale == 240
+
+    def test_membership_and_len(self):
+        scale_set = ScaleSet((128, 96))
+        assert 96 in scale_set and 50 not in scale_set
+        assert len(scale_set) == 2
+
+    def test_clip(self):
+        scale_set = ScaleSet((128, 32))
+        assert scale_set.clip(200) == 128
+        assert scale_set.clip(10) == 32
+        assert scale_set.clip(64) == 64
+
+    def test_nearest(self):
+        scale_set = ScaleSet((128, 96, 72, 48))
+        assert scale_set.nearest(100) == 96
+        assert scale_set.nearest(1000) == 128
+
+    def test_ratio_span(self):
+        assert ScaleSet((600, 128)).ratio_span() == pytest.approx(600 / 128)
+
+    def test_from_sequence(self):
+        assert ScaleSet.from_sequence([32.0, 64.0]).scales == (64, 32)
+
+    def test_invalid_sets_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleSet(())
+        with pytest.raises(ValueError):
+            ScaleSet((0, 10))
+        with pytest.raises(ValueError):
+            ScaleSet((10, 10))
+
+
+class TestScaleCoding:
+    def test_paper_normalisation_bounds(self):
+        """Eq. 3 maps the extreme ratios onto [-1, 1]."""
+        # m = m_max, m_opt = m_min → smallest reachable ratio → -1.
+        assert encode_scale_target(600, 128, 128, 600) == pytest.approx(-1.0)
+        # m = m_min, m_opt = m_max → largest reachable ratio → +1.
+        assert encode_scale_target(128, 600, 128, 600) == pytest.approx(1.0)
+
+    def test_no_change_is_not_zero_in_general(self):
+        """Keeping the same scale maps near the lower end of [-1, 1] (the paper's
+        coding is based on the ratio m_opt/m, not its logarithm)."""
+        target = encode_scale_target(360, 360, 128, 600)
+        assert -1.0 < target < 0.0
+
+    def test_decode_inverts_encode(self):
+        target = encode_scale_target(480, 240, 128, 600)
+        assert decode_scale(target, base_size=480, min_scale=128, max_scale=600) == 240
+
+    def test_decode_clips_to_bounds(self):
+        assert decode_scale(10.0, base_size=600, min_scale=128, max_scale=600) == 600
+        assert decode_scale(-10.0, base_size=600, min_scale=128, max_scale=600) == 128
+
+    def test_decode_rounds_to_int(self):
+        result = decode_scale(0.123, base_size=300, min_scale=128, max_scale=600)
+        assert isinstance(result, int)
+
+    def test_decode_float_unclipped(self):
+        raw = decode_scale_float(2.0, base_size=600, min_scale=128, max_scale=600)
+        assert raw > 600
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            encode_scale_target(0, 100, 32, 128)
+        with pytest.raises(ValueError):
+            encode_scale_target(100, 100, 128, 128)
+        with pytest.raises(ValueError):
+            decode_scale(0.0, base_size=0, min_scale=32, max_scale=128)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        current=st.integers(32, 128),
+        optimal=st.integers(32, 128),
+    )
+    def test_roundtrip_property(self, current, optimal):
+        """decode(encode(m, m_opt), base=m) == m_opt for all in-range scales."""
+        target = encode_scale_target(current, optimal, 32, 128)
+        assert decode_scale(target, base_size=current, min_scale=32, max_scale=128) == optimal
+
+    @settings(max_examples=30, deadline=None)
+    @given(current=st.integers(32, 128), optimal=st.integers(32, 128))
+    def test_target_within_unit_interval_for_inset_scales(self, current, optimal):
+        target = encode_scale_target(current, optimal, 32, 128)
+        assert -1.0 - 1e-6 <= target <= 1.0 + 1e-6
+
+    def test_monotonicity_in_optimal_scale(self):
+        """A larger optimal scale must encode to a larger target."""
+        low = encode_scale_target(96, 48, 32, 128)
+        high = encode_scale_target(96, 96, 32, 128)
+        assert high > low
+
+
+class TestScaleRegressor:
+    def test_forward_returns_scalar_per_sample(self, rng):
+        regressor = ScaleRegressor(in_channels=16, seed=0)
+        features = rng.normal(size=(1, 16, 6, 8)).astype(np.float32)
+        out = regressor(features)
+        assert out.shape == (1,)
+
+    def test_prediction_independent_of_feature_map_size(self, rng):
+        """Global pooling makes the module usable at any input scale."""
+        regressor = ScaleRegressor(in_channels=8, seed=0)
+        small = regressor(rng.normal(size=(1, 8, 4, 5)).astype(np.float32))
+        large = regressor(rng.normal(size=(1, 8, 12, 16)).astype(np.float32))
+        assert small.shape == large.shape == (1,)
+
+    def test_table3_kernel_variants_build(self, rng):
+        features = rng.normal(size=(1, 8, 6, 6)).astype(np.float32)
+        for kernels in [(1,), (1, 3), (1, 3, 5)]:
+            regressor = ScaleRegressor(8, RegressorConfig(kernel_sizes=kernels), seed=0)
+            assert regressor(features).shape == (1,)
+            assert len(regressor.streams) == len(kernels)
+
+    def test_parameter_count_grows_with_streams(self):
+        single = ScaleRegressor(8, RegressorConfig(kernel_sizes=(1,)), seed=0)
+        triple = ScaleRegressor(8, RegressorConfig(kernel_sizes=(1, 3, 5)), seed=0)
+        assert triple.num_parameters() > single.num_parameters()
+
+    def test_overhead_flops_small_relative_to_detector(self, micro_bundle):
+        regressor = micro_bundle.regressor
+        detector = micro_bundle.ms_detector
+        overhead = regressor.overhead_flops(8, 10)
+        total = detector.estimate_flops(64, 80)
+        assert overhead / total < 0.25
+
+    def test_wrong_channel_count_raises(self, rng):
+        regressor = ScaleRegressor(in_channels=16, seed=0)
+        with pytest.raises(ValueError):
+            regressor(rng.normal(size=(1, 8, 6, 6)).astype(np.float32))
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleRegressor(8, RegressorConfig(kernel_sizes=()), seed=0)
+
+    def test_gradient_check_through_regressor(self, rng):
+        regressor = ScaleRegressor(in_channels=4, config=RegressorConfig(kernel_sizes=(1, 3), stream_channels=3), seed=0)
+        features = rng.normal(size=(1, 4, 5, 5)).astype(np.float32)
+        out = regressor(features)
+        grad_out = np.array([1.0], dtype=np.float32)
+        grad_features = regressor.backward(grad_out)
+        eps = 1e-2
+        for index in [(0, 0, 2, 2), (0, 3, 0, 4)]:
+            shifted = features.copy()
+            shifted[index] += eps
+            numeric = float((regressor(shifted) - out)[0] / eps)
+            assert grad_features[index] == pytest.approx(numeric, rel=0.1, abs=1e-3)
+
+    def test_regressor_can_fit_synthetic_target(self, rng):
+        """The regressor learns a simple function of the features (sanity of Eq. 4 training)."""
+        regressor = ScaleRegressor(in_channels=4, config=RegressorConfig(kernel_sizes=(1,), stream_channels=4), seed=0)
+        optimizer = Adam(regressor.parameters(), learning_rate=0.02)
+        for _ in range(200):
+            features = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+            target = np.array([float(np.tanh(features[0, 0].mean()))], dtype=np.float32)
+            prediction = regressor(features)
+            loss, grad, _ = mse_loss(prediction, target)
+            optimizer.zero_grad()
+            regressor.backward(grad)
+            optimizer.step()
+        errors = []
+        for _ in range(20):
+            features = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+            target = float(np.tanh(features[0, 0].mean()))
+            errors.append(abs(regressor.predict(features) - target))
+        assert float(np.mean(errors)) < 0.25
+
+    def test_predict_returns_python_float(self, rng):
+        regressor = ScaleRegressor(in_channels=8, seed=0)
+        value = regressor.predict(rng.normal(size=(1, 8, 4, 4)).astype(np.float32))
+        assert isinstance(value, float)
+
+    def test_state_dict_roundtrip(self, rng):
+        source = ScaleRegressor(in_channels=8, seed=0)
+        clone = ScaleRegressor(in_channels=8, seed=1)
+        clone.load_state_dict(source.state_dict())
+        features = rng.normal(size=(1, 8, 4, 4)).astype(np.float32)
+        assert source.predict(features) == pytest.approx(clone.predict(features))

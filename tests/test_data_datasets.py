@@ -1,0 +1,214 @@
+"""Tests for SyntheticVID / MiniYTBB datasets, transforms and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig
+from repro.data import (
+    FrameLoader,
+    MiniYTBB,
+    SyntheticVID,
+    image_to_chw,
+    iterate_frames,
+    normalize_image,
+    resize_image,
+    resize_with_boxes,
+)
+from repro.data.mini_ytbb import default_ytbb_config
+from repro.data.transforms import PIXEL_MEAN, chw_to_image
+
+
+@pytest.fixture(scope="module")
+def small_dataset() -> SyntheticVID:
+    config = DatasetConfig(
+        num_classes=4,
+        base_scale=64,
+        num_train_snippets=3,
+        num_val_snippets=2,
+        frames_per_snippet=4,
+        seed=11,
+    )
+    return SyntheticVID(config, split="train")
+
+
+class TestSyntheticVID:
+    def test_snippet_and_frame_counts(self, small_dataset):
+        assert len(small_dataset) == 3
+        assert small_dataset.num_frames == 12
+        assert all(len(snippet) == 4 for snippet in small_dataset)
+
+    def test_frame_geometry_matches_config(self, small_dataset):
+        frame = small_dataset[0][0]
+        assert frame.height == 64
+        assert frame.width == int(round(64 * 1.33))
+        assert frame.image.dtype == np.float32
+
+    def test_boxes_within_frame(self, small_dataset):
+        for frame in iterate_frames(small_dataset):
+            if frame.num_objects == 0:
+                continue
+            assert np.all(frame.boxes[:, 0] >= 0) and np.all(frame.boxes[:, 1] >= 0)
+            assert np.all(frame.boxes[:, 2] <= frame.width)
+            assert np.all(frame.boxes[:, 3] <= frame.height)
+            assert np.all(frame.boxes[:, 2] > frame.boxes[:, 0])
+            assert np.all(frame.boxes[:, 3] > frame.boxes[:, 1])
+
+    def test_labels_within_class_range(self, small_dataset):
+        for frame in iterate_frames(small_dataset):
+            if frame.num_objects:
+                assert frame.labels.min() >= 0
+                assert frame.labels.max() < small_dataset.num_classes
+
+    def test_rendering_is_deterministic(self):
+        config = DatasetConfig(num_train_snippets=2, frames_per_snippet=3, seed=3)
+        a = SyntheticVID(config, "train")[1][2]
+        b = SyntheticVID(config, "train")[1][2]
+        np.testing.assert_array_equal(a.image, b.image)
+        np.testing.assert_array_equal(a.boxes, b.boxes)
+
+    def test_out_of_order_access_matches_sequential(self):
+        config = DatasetConfig(num_train_snippets=1, frames_per_snippet=4, seed=5)
+        sequential = SyntheticVID(config, "train")[0]
+        frames_in_order = [sequential[i].image for i in range(4)]
+        random_access = SyntheticVID(config, "train")[0]
+        late_first = random_access[3].image
+        np.testing.assert_array_equal(late_first, frames_in_order[3])
+
+    def test_train_and_val_splits_differ(self):
+        config = DatasetConfig(num_train_snippets=2, num_val_snippets=2, frames_per_snippet=2, seed=1)
+        train_frame = SyntheticVID(config, "train")[0][0]
+        val_frame = SyntheticVID(config, "val")[0][0]
+        assert not np.allclose(train_frame.image, val_frame.image)
+
+    def test_different_seeds_give_different_data(self):
+        a = SyntheticVID(DatasetConfig(num_train_snippets=1, seed=1), "train")[0][0]
+        b = SyntheticVID(DatasetConfig(num_train_snippets=1, seed=2), "train")[0][0]
+        assert not np.allclose(a.image, b.image)
+
+    def test_temporal_consistency_of_object_identity(self, small_dataset):
+        """Consecutive frames keep the same object classes (temporal consistency)."""
+        snippet = small_dataset[0]
+        classes_per_frame = [sorted(frame.labels.tolist()) for frame in snippet]
+        assert classes_per_frame[0] == classes_per_frame[1]
+
+    def test_object_motion_is_smooth(self, small_dataset):
+        """Box centres move by a bounded amount between consecutive frames."""
+        snippet = small_dataset[0]
+        first, second = snippet[0], snippet[1]
+        if first.num_objects and second.num_objects:
+            shift = np.abs(first.boxes[0] - second.boxes[0]).max()
+            assert shift < 15.0
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticVID(DatasetConfig(), split="test")
+
+    def test_too_many_classes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticVID(DatasetConfig(num_classes=99))
+
+    def test_scale_archetypes_cover_large_and_small_objects(self):
+        """The dataset must contain both very large and small objects so that
+        different frames have different optimal scales (the premise of the paper)."""
+        config = DatasetConfig(num_train_snippets=9, frames_per_snippet=2, seed=0)
+        dataset = SyntheticVID(config, "train")
+        fractions = []
+        for frame in iterate_frames(dataset):
+            if frame.num_objects == 0:
+                continue
+            sides = np.minimum(
+                frame.boxes[:, 2] - frame.boxes[:, 0], frame.boxes[:, 3] - frame.boxes[:, 1]
+            )
+            fractions.extend((sides / min(frame.height, frame.width)).tolist())
+        assert max(fractions) > 0.6
+        assert min(fractions) < 0.25
+
+
+class TestMiniYTBB:
+    def test_default_config_differs_from_vid(self):
+        config = default_ytbb_config()
+        assert config.num_classes != DatasetConfig().num_classes
+        assert config.name == "mini-ytbb"
+
+    def test_class_names_come_from_ytbb_palette(self):
+        dataset = MiniYTBB(split="val")
+        assert "person" in dataset.class_names
+
+    def test_same_api_as_vid(self):
+        dataset = MiniYTBB(default_ytbb_config(seed=1).with_(num_train_snippets=2, frames_per_snippet=2))
+        frame = dataset[0][0]
+        assert frame.image.ndim == 3
+
+
+class TestTransforms:
+    def test_resize_image_shortest_side(self, small_dataset):
+        frame = small_dataset[0][0]
+        resized = resize_image(frame.image, 32)
+        assert min(resized.image.shape[:2]) == 32
+        assert resized.scale_factor == pytest.approx(0.5, rel=0.05)
+
+    def test_resize_image_long_side_cap(self, small_dataset):
+        frame = small_dataset[0][0]
+        resized = resize_image(frame.image, 64, max_long_side=60)
+        assert max(resized.image.shape[:2]) <= 61
+        assert resized.scale_factor < 1.0
+
+    def test_resize_identity(self, small_dataset):
+        frame = small_dataset[0][0]
+        resized = resize_image(frame.image, min(frame.image.shape[:2]))
+        assert resized.scale_factor == pytest.approx(1.0)
+        np.testing.assert_array_equal(resized.image, frame.image)
+
+    def test_resize_with_boxes_scales_consistently(self, small_dataset):
+        frame = next(f for f in iterate_frames(small_dataset) if f.num_objects > 0)
+        resized, boxes = resize_with_boxes(frame.image, frame.boxes, 32)
+        expected = frame.boxes * resized.scale_factor
+        expected[:, 0::2] = np.clip(expected[:, 0::2], 0, resized.image.shape[1])
+        expected[:, 1::2] = np.clip(expected[:, 1::2], 0, resized.image.shape[0])
+        np.testing.assert_allclose(boxes, expected, rtol=1e-4)
+
+    def test_resize_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            resize_image(np.zeros((4, 4)), 2)
+        with pytest.raises(ValueError):
+            resize_image(np.zeros((4, 4, 3)), 0)
+
+    def test_normalize_subtracts_mean(self):
+        image = np.tile(PIXEL_MEAN[None, None, :], (4, 5, 1))
+        np.testing.assert_allclose(normalize_image(image), np.zeros((4, 5, 3)), atol=1e-6)
+
+    def test_chw_roundtrip(self, small_dataset):
+        frame = small_dataset[0][0]
+        tensor = image_to_chw(frame.image)
+        assert tensor.shape == (1, 3, frame.height, frame.width)
+        np.testing.assert_allclose(chw_to_image(tensor), frame.image)
+
+    def test_chw_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            image_to_chw(np.zeros((3, 4, 4)))
+        with pytest.raises(ValueError):
+            chw_to_image(np.zeros((2, 3, 4, 4)))
+
+
+class TestFrameLoader:
+    def test_visits_every_frame_once_per_epoch(self, small_dataset, rng):
+        loader = FrameLoader(small_dataset, rng)
+        seen = {(f.snippet_id, f.frame_index) for f in loader.take(len(loader))}
+        assert len(seen) == small_dataset.num_frames
+
+    def test_infinite_stream_reshuffles(self, small_dataset, rng):
+        loader = FrameLoader(small_dataset, rng)
+        frames = loader.take(2 * len(loader))
+        assert len(frames) == 2 * small_dataset.num_frames
+
+    def test_negative_take_rejected(self, small_dataset, rng):
+        loader = FrameLoader(small_dataset, rng)
+        with pytest.raises(ValueError):
+            loader.take(-1)
+
+    def test_iterate_frames_order(self, small_dataset):
+        frames = list(iterate_frames(small_dataset))
+        assert frames[0].snippet_id == 0 and frames[0].frame_index == 0
+        assert frames[-1].snippet_id == len(small_dataset) - 1

@@ -1,0 +1,222 @@
+"""Tests for the object renderers and the scene compositor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.scene import ObjectState, SceneRenderer
+from repro.data.shapes import (
+    CLASS_SPECS,
+    YTBB_CLASS_SPECS,
+    ShapeSpec,
+    render_shape,
+    shape_mask,
+)
+
+ALL_SILHOUETTES = [
+    "disk",
+    "square",
+    "triangle",
+    "diamond",
+    "ring",
+    "cross",
+    "ellipse",
+    "star",
+    "bar",
+    "crescent",
+]
+
+
+class TestShapeMask:
+    @pytest.mark.parametrize("silhouette", ALL_SILHOUETTES)
+    def test_mask_is_binary_and_nonempty(self, silhouette):
+        mask = shape_mask(silhouette, 20, 24)
+        assert mask.shape == (20, 24)
+        assert set(np.unique(mask)).issubset({0.0, 1.0})
+        assert mask.sum() > 0
+
+    @pytest.mark.parametrize("silhouette", ALL_SILHOUETTES)
+    def test_mask_does_not_fill_entire_box(self, silhouette):
+        mask = shape_mask(silhouette, 21, 21)
+        if silhouette != "square":  # square intentionally nearly fills the box
+            assert mask.mean() < 1.0
+
+    def test_disk_centre_inside(self):
+        mask = shape_mask("disk", 21, 21)
+        assert mask[10, 10] == 1.0
+        assert mask[0, 0] == 0.0
+
+    def test_ring_has_hole(self):
+        mask = shape_mask("ring", 31, 31)
+        assert mask[15, 15] == 0.0
+
+    def test_unknown_silhouette_raises(self):
+        with pytest.raises(ValueError):
+            shape_mask("hexagon", 10, 10)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            shape_mask("disk", 0, 4)
+
+
+class TestClassSpecs:
+    def test_vid_palette_size(self):
+        assert len(CLASS_SPECS) >= 8
+
+    def test_ytbb_palette_size(self):
+        assert len(YTBB_CLASS_SPECS) >= 10
+
+    def test_names_unique_within_vid_palette(self):
+        names = [spec.name for spec in CLASS_SPECS]
+        assert len(names) == len(set(names))
+
+    def test_silhouettes_are_valid(self):
+        for spec in CLASS_SPECS + YTBB_CLASS_SPECS:
+            shape_mask(spec.silhouette, 8, 8)
+
+    def test_colors_in_unit_range(self):
+        for spec in CLASS_SPECS + YTBB_CLASS_SPECS:
+            assert all(0.0 <= channel <= 1.0 for channel in spec.color)
+
+
+class TestRenderShape:
+    def test_output_shapes_and_range(self, rng):
+        patch, alpha = render_shape(CLASS_SPECS[0], 16, 20, rng)
+        assert patch.shape == (16, 20, 3)
+        assert alpha.shape == (16, 20)
+        assert patch.min() >= 0.0 and patch.max() <= 1.0
+
+    def test_texture_phase_changes_pattern(self, rng):
+        spec = ShapeSpec("tex", "square", (0.5, 0.5, 0.5), 8.0, 0.5)
+        patch_a, _ = render_shape(spec, 24, 24, np.random.default_rng(0), phase=0.0)
+        patch_b, _ = render_shape(spec, 24, 24, np.random.default_rng(0), phase=0.5)
+        assert not np.allclose(patch_a, patch_b)
+
+    def test_color_dominates_patch(self, rng):
+        spec = CLASS_SPECS[3]  # car: red diamond
+        patch, alpha = render_shape(spec, 32, 32, rng)
+        inside = alpha > 0
+        mean_color = patch[inside].mean(axis=0)
+        assert mean_color[0] > mean_color[2]  # red channel dominates blue
+
+
+class TestObjectState:
+    def _make(self, **kwargs) -> ObjectState:
+        defaults = dict(
+            class_id=0,
+            center=np.array([50.0, 40.0], dtype=np.float32),
+            size=20.0,
+            aspect=1.0,
+            velocity=np.array([2.0, -1.0], dtype=np.float32),
+            growth=1.0,
+        )
+        defaults.update(kwargs)
+        return ObjectState(**defaults)
+
+    def test_bounding_box_centre_and_size(self):
+        obj = self._make()
+        box = obj.bounding_box()
+        assert box[2] - box[0] == pytest.approx(20.0)
+        assert (box[0] + box[2]) / 2 == pytest.approx(50.0)
+
+    def test_aspect_changes_height_width_ratio(self):
+        obj = self._make(aspect=2.0)
+        box = obj.bounding_box()
+        height = box[3] - box[1]
+        width = box[2] - box[0]
+        assert height / width == pytest.approx(2.0, rel=1e-5)
+
+    def test_advance_moves_centre(self):
+        obj = self._make()
+        advanced = obj.advance(100, 120)
+        np.testing.assert_allclose(advanced.center, obj.center + obj.velocity)
+
+    def test_advance_bounces_off_walls(self):
+        obj = self._make(center=np.array([118.0, 50.0], dtype=np.float32), velocity=np.array([5.0, 0.0], dtype=np.float32))
+        advanced = obj.advance(100, 120)
+        assert advanced.velocity[0] < 0
+
+    def test_growth_changes_size(self):
+        obj = self._make(growth=1.1)
+        assert obj.advance(100, 120).size == pytest.approx(22.0)
+
+    def test_advance_preserves_class(self):
+        obj = self._make(class_id=3)
+        assert obj.advance(100, 120).class_id == 3
+
+
+class TestSceneRenderer:
+    def _renderer(self, clutter=0.5, blur=0.3) -> SceneRenderer:
+        return SceneRenderer(
+            class_specs=CLASS_SPECS[:4],
+            frame_height=64,
+            frame_width=80,
+            clutter=clutter,
+            motion_blur=blur,
+        )
+
+    def _object(self, class_id=0, size=24.0, center=(40.0, 32.0)) -> ObjectState:
+        return ObjectState(
+            class_id=class_id,
+            center=np.asarray(center, dtype=np.float32),
+            size=size,
+            aspect=1.0,
+            velocity=np.array([1.0, 1.0], dtype=np.float32),
+            growth=1.0,
+        )
+
+    def test_background_shape_and_range(self, rng):
+        frame = self._renderer().background(rng)
+        assert frame.shape == (64, 80, 3)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_clutter_adds_high_frequency_content(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        clean = self._renderer(clutter=0.0).background(rng_a)
+        noisy = self._renderer(clutter=1.0).background(rng_b)
+        # Total variation (sum of local gradients) is higher with clutter.
+        def total_variation(img):
+            return float(np.abs(np.diff(img, axis=0)).sum() + np.abs(np.diff(img, axis=1)).sum())
+
+        assert total_variation(noisy) > total_variation(clean)
+
+    def test_render_frame_returns_boxes_for_visible_objects(self, rng):
+        frame, boxes, labels = self._renderer().render_frame([self._object()], rng)
+        assert frame.shape == (64, 80, 3)
+        assert boxes.shape == (1, 4)
+        assert labels.tolist() == [0]
+
+    def test_boxes_clipped_to_frame(self, rng):
+        obj = self._object(size=60.0, center=(5.0, 5.0))
+        _, boxes, _ = self._renderer().render_frame([obj], rng)
+        assert boxes[0, 0] >= 0.0 and boxes[0, 1] >= 0.0
+        assert boxes[0, 2] <= 80.0 and boxes[0, 3] <= 64.0
+
+    def test_object_outside_frame_is_dropped(self, rng):
+        obj = self._object(center=(-100.0, -100.0))
+        _, boxes, labels = self._renderer().render_frame([obj], rng)
+        assert boxes.shape == (0, 4)
+        assert labels.shape == (0,)
+
+    def test_object_changes_pixels_inside_box(self, rng):
+        renderer = self._renderer(clutter=0.0, blur=0.0)
+        rng_bg = np.random.default_rng(5)
+        rng_obj = np.random.default_rng(5)
+        background = renderer.background(rng_bg)
+        frame, boxes, _ = renderer.render_frame([self._object(class_id=3)], rng_obj)
+        x1, y1, x2, y2 = boxes[0].astype(int)
+        diff = np.abs(frame[y1:y2, x1:x2] - background[y1:y2, x1:x2]).mean()
+        assert diff > 0.05
+
+    def test_empty_object_list(self, rng):
+        frame, boxes, labels = self._renderer().render_frame([], rng)
+        assert boxes.shape == (0, 4) and labels.shape == (0,)
+        assert frame.shape == (64, 80, 3)
+
+    def test_multiple_objects_all_annotated(self, rng):
+        objects = [self._object(class_id=0, center=(20, 20)), self._object(class_id=2, center=(60, 44))]
+        _, boxes, labels = self._renderer().render_frame(objects, rng)
+        assert boxes.shape == (2, 4)
+        assert sorted(labels.tolist()) == [0, 2]

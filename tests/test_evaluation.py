@@ -1,0 +1,296 @@
+"""Tests for evaluation: matching, AP/mAP, PR curves, TP/FP counts, runtime, reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    DetectionRecord,
+    RuntimeStats,
+    average_precision,
+    count_tp_fp,
+    evaluate_detections,
+    format_table,
+    match_detections,
+    per_class_table,
+    precision_recall_curve,
+    profile_flops,
+)
+from repro.evaluation.reporting import format_float
+
+
+def make_record(det, scores, classes, gt, gt_labels, frame=(0, 0)) -> DetectionRecord:
+    return DetectionRecord(
+        boxes=np.asarray(det, dtype=np.float32).reshape(-1, 4),
+        scores=np.asarray(scores, dtype=np.float32),
+        class_ids=np.asarray(classes, dtype=np.int64),
+        gt_boxes=np.asarray(gt, dtype=np.float32).reshape(-1, 4),
+        gt_labels=np.asarray(gt_labels, dtype=np.int64),
+        frame_id=frame,
+    )
+
+
+class TestMatchDetections:
+    def test_perfect_detection_is_tp(self):
+        match = match_detections(
+            np.array([[0, 0, 10, 10]]), np.array([0.9]), np.array([[0, 0, 10, 10]])
+        )
+        assert match.is_tp.tolist() == [True]
+        assert match.num_gt == 1
+
+    def test_each_gt_matched_at_most_once(self):
+        dets = np.array([[0, 0, 10, 10], [1, 1, 11, 11]])
+        match = match_detections(dets, np.array([0.9, 0.8]), np.array([[0, 0, 10, 10]]))
+        assert match.is_tp.sum() == 1
+        # The higher-scoring detection claims the ground truth.
+        assert match.is_tp[0]
+
+    def test_low_iou_is_fp(self):
+        match = match_detections(
+            np.array([[50, 50, 60, 60]]), np.array([0.9]), np.array([[0, 0, 10, 10]])
+        )
+        assert match.is_tp.tolist() == [False]
+
+    def test_results_sorted_by_score(self):
+        dets = np.array([[0, 0, 10, 10], [20, 20, 30, 30]])
+        match = match_detections(dets, np.array([0.3, 0.8]), np.zeros((0, 4)))
+        assert match.scores[0] == pytest.approx(0.8)
+
+    def test_empty_detections(self):
+        match = match_detections(np.zeros((0, 4)), np.zeros(0), np.array([[0, 0, 5, 5]]))
+        assert match.is_tp.shape == (0,)
+        assert match.num_gt == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            match_detections(np.zeros((1, 4)), np.zeros(2), np.zeros((0, 4)))
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking_gives_ap_one(self):
+        ap, _, _ = average_precision(np.array([True, True]), np.array([0.9, 0.8]), num_gt=2)
+        assert ap == pytest.approx(1.0)
+
+    def test_all_false_positives_gives_zero(self):
+        ap, _, _ = average_precision(np.array([False, False]), np.array([0.9, 0.8]), num_gt=2)
+        assert ap == 0.0
+
+    def test_missing_detections_bound_ap_by_recall(self):
+        ap, _, _ = average_precision(np.array([True]), np.array([0.9]), num_gt=2)
+        assert ap == pytest.approx(0.5)
+
+    def test_fp_before_tp_lowers_ap(self):
+        good, _, _ = average_precision(np.array([True, False]), np.array([0.9, 0.8]), num_gt=1)
+        bad, _, _ = average_precision(np.array([False, True]), np.array([0.9, 0.8]), num_gt=1)
+        assert good > bad
+
+    def test_zero_gt_gives_zero(self):
+        ap, precision, recall = average_precision(np.array([True]), np.array([0.5]), num_gt=0)
+        assert ap == 0.0 and precision.size == 0 and recall.size == 0
+
+    def test_negative_gt_raises(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(0, bool), np.zeros(0), num_gt=-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=20), st.integers(1, 20), st.integers(0, 99))
+    def test_ap_bounded_in_unit_interval(self, flags, num_gt, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(len(flags)).astype(np.float32)
+        num_gt = max(num_gt, int(np.sum(flags)))
+        ap, _, _ = average_precision(np.asarray(flags), scores, num_gt)
+        assert 0.0 <= ap <= 1.0 + 1e-9
+
+
+class TestEvaluateDetections:
+    def test_perfect_detector_scores_full_map(self):
+        record = make_record(
+            [[0, 0, 10, 10], [20, 20, 40, 40]],
+            [0.9, 0.8],
+            [0, 1],
+            [[0, 0, 10, 10], [20, 20, 40, 40]],
+            [0, 1],
+        )
+        result = evaluate_detections([record], ["a", "b"])
+        assert result.mean_ap == pytest.approx(1.0)
+        assert result.ap_of("a") == pytest.approx(1.0)
+
+    def test_wrong_class_counts_as_fp(self):
+        record = make_record([[0, 0, 10, 10]], [0.9], [1], [[0, 0, 10, 10]], [0])
+        result = evaluate_detections([record], ["a", "b"])
+        assert result.per_class_ap["a"] == 0.0
+
+    def test_classes_without_gt_excluded_from_mean(self):
+        record = make_record([[0, 0, 10, 10]], [0.9], [0], [[0, 0, 10, 10]], [0])
+        result = evaluate_detections([record], ["a", "b", "c"])
+        assert result.mean_ap == pytest.approx(1.0)
+        assert result.num_gt["b"] == 0
+
+    def test_accumulates_across_frames(self):
+        hit = make_record([[0, 0, 10, 10]], [0.9], [0], [[0, 0, 10, 10]], [0], frame=(0, 0))
+        miss = make_record(np.zeros((0, 4)), [], [], [[5, 5, 15, 15]], [0], frame=(0, 1))
+        result = evaluate_detections([hit, miss], ["a"])
+        assert result.per_class_ap["a"] == pytest.approx(0.5)
+        assert result.num_frames == 2
+
+    def test_empty_class_names_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_detections([], [])
+
+
+class TestPRCurve:
+    def _records(self):
+        return [
+            make_record(
+                [[0, 0, 10, 10], [30, 30, 40, 40]],
+                [0.9, 0.6],
+                [0, 0],
+                [[0, 0, 10, 10], [100, 100, 110, 110]],
+                [0, 0],
+            )
+        ]
+
+    def test_curve_values_bounded(self):
+        curve = precision_recall_curve(self._records(), class_id=0, class_name="a")
+        assert np.all(curve.precision <= 1.0) and np.all(curve.precision >= 0.0)
+        assert np.all(curve.recall <= 1.0) and np.all(curve.recall >= 0.0)
+
+    def test_recall_monotone_nondecreasing(self):
+        curve = precision_recall_curve(self._records(), class_id=0, class_name="a")
+        assert np.all(np.diff(curve.recall) >= -1e-9)
+
+    def test_precision_at_recall(self):
+        curve = precision_recall_curve(self._records(), class_id=0, class_name="a")
+        assert curve.precision_at_recall(0.0) == pytest.approx(1.0)
+        assert curve.precision_at_recall(1.0) == 0.0  # second GT never found
+
+    def test_sample_returns_requested_points(self):
+        curve = precision_recall_curve(self._records(), class_id=0, class_name="a")
+        levels, values = curve.sample(num_points=5)
+        assert levels.shape == (5,) and values.shape == (5,)
+
+    def test_invalid_recall_level(self):
+        curve = precision_recall_curve(self._records(), class_id=0, class_name="a")
+        with pytest.raises(ValueError):
+            curve.precision_at_recall(1.5)
+
+    def test_ap_consistent_with_evaluate(self):
+        records = self._records()
+        curve = precision_recall_curve(records, class_id=0, class_name="a")
+        result = evaluate_detections(records, ["a"])
+        assert curve.ap == pytest.approx(result.per_class_ap["a"])
+
+
+class TestTpFp:
+    def test_counts_separate_tp_and_fp(self):
+        record = make_record(
+            [[0, 0, 10, 10], [50, 50, 60, 60]],
+            [0.9, 0.8],
+            [0, 0],
+            [[0, 0, 10, 10]],
+            [0],
+        )
+        counts = count_tp_fp([record], ["a"], score_threshold=0.5)
+        assert counts.total_tp == 1
+        assert counts.total_fp == 1
+
+    def test_score_threshold_filters_low_confidence(self):
+        record = make_record([[0, 0, 10, 10]], [0.2], [0], [[0, 0, 10, 10]], [0])
+        counts = count_tp_fp([record], ["a"], score_threshold=0.5)
+        assert counts.total_tp == 0 and counts.total_fp == 0
+
+    def test_normalized_to_baseline(self):
+        record = make_record(
+            [[0, 0, 10, 10], [50, 50, 60, 60]], [0.9, 0.8], [0, 0], [[0, 0, 10, 10]], [0]
+        )
+        counts = count_tp_fp([record], ["a"])
+        normalized = counts.normalized_to(counts)
+        assert normalized == {"tp": 1.0, "fp": 1.0}
+
+    def test_per_class_breakdown(self):
+        record = make_record(
+            [[0, 0, 10, 10], [20, 20, 30, 30]],
+            [0.9, 0.9],
+            [0, 1],
+            [[0, 0, 10, 10], [20, 20, 30, 30]],
+            [0, 1],
+        )
+        counts = count_tp_fp([record], ["a", "b"])
+        assert counts.per_class_tp == {"a": 1, "b": 1}
+
+
+class TestRuntime:
+    def test_mean_median_fps(self):
+        stats = RuntimeStats(name="x")
+        for value in (0.01, 0.02, 0.03):
+            stats.add(value)
+        assert stats.mean_ms == pytest.approx(20.0)
+        assert stats.median_ms == pytest.approx(20.0)
+        assert stats.fps == pytest.approx(50.0)
+        assert stats.count == 3
+
+    def test_speedup_over(self):
+        fast = RuntimeStats()
+        slow = RuntimeStats()
+        fast.add(0.01)
+        slow.add(0.02)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_empty_stats_are_nan(self):
+        stats = RuntimeStats()
+        assert np.isnan(stats.mean_ms) and np.isnan(stats.fps)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeStats().add(-0.1)
+
+    def test_profile_flops_decreases_with_scale(self, micro_bundle):
+        detector = micro_bundle.ms_detector
+        profile = profile_flops(detector, (64, 32), (64, 80), max_long_side=240)
+        assert profile.flops_at(64) > profile.flops_at(32)
+        relative = profile.relative_to(64)
+        assert relative[64] == pytest.approx(1.0)
+        assert relative[32] < 0.5
+
+    def test_profile_flops_validates_scales(self, micro_bundle):
+        with pytest.raises(ValueError):
+            profile_flops(micro_bundle.ms_detector, (0,), (64, 80))
+
+    def test_relative_to_unknown_scale_raises(self, micro_bundle):
+        profile = profile_flops(micro_bundle.ms_detector, (64,), (64, 80))
+        with pytest.raises(KeyError):
+            profile.relative_to(128)
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(12.345) == "12.3"
+        assert format_float(float("nan")) == "nan"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_requires_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_per_class_table_contains_methods_and_classes(self):
+        table = per_class_table(
+            methods={"SS/SS": {"cat": 0.5, "dog": 0.25}, "MS/AdaScale": {"cat": 0.6, "dog": 0.3}},
+            class_names=["cat", "dog"],
+            extra_columns={"mAP(%)": {"SS/SS": 37.5, "MS/AdaScale": 45.0}},
+        )
+        assert "SS/SS" in table and "MS/AdaScale" in table
+        assert "cat" in table and "mAP(%)" in table
+        assert "50.0" in table and "60.0" in table

@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the full Fig. 2 methodology on the micro dataset.
+
+These tests exercise the complete reproduction path — multi-scale fine-tuning,
+optimal-scale labelling, regressor training, Algorithm 1 deployment, and the
+method comparison the paper's tables are built from — on a configuration small
+enough for CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acceleration import DFFDetector
+from repro.core.pipeline import METHODS
+from repro.evaluation import count_tp_fp, precision_recall_curve
+
+
+class TestEndToEnd:
+    def test_all_paper_methods_evaluate(self, micro_bundle):
+        results = micro_bundle.evaluate_methods(METHODS)
+        assert set(results) == set(METHODS)
+        for result in results.values():
+            assert 0.0 <= result.mean_ap <= 1.0
+            assert result.runtime.count == micro_bundle.val_dataset.num_frames
+
+    def test_adascale_is_faster_than_fixed_max_scale_in_flops(self, micro_bundle):
+        """AdaScale processes frames at an average scale no larger than the fixed
+        maximum scale, so its average FLOP cost per frame is lower or equal.
+        (Wall-clock on a busy CI machine is too noisy to assert directly.)"""
+        adascale = micro_bundle.evaluate_method("MS/AdaScale")
+        assert adascale.mean_scale <= micro_bundle.config.adascale.max_scale + 1e-6
+
+    def test_adascale_not_worse_than_random_scaling(self, micro_bundle):
+        adascale = micro_bundle.evaluate_method("MS/AdaScale")
+        random = micro_bundle.evaluate_method("MS/Random")
+        assert adascale.mean_ap >= random.mean_ap - 0.05
+
+    def test_oracle_upper_bounds_are_consistent(self, micro_bundle):
+        """The oracle (per-frame optimal scale from ground truth) is a diagnostic
+        upper bound: it should not be dramatically worse than AdaScale."""
+        oracle = micro_bundle.evaluate_method("MS/Oracle")
+        adascale = micro_bundle.evaluate_method("MS/AdaScale")
+        assert oracle.mean_ap >= adascale.mean_ap - 0.1
+
+    def test_pr_curves_available_for_every_class(self, micro_bundle):
+        result = micro_bundle.evaluate_method("MS/SS")
+        for class_id, class_name in enumerate(micro_bundle.class_names):
+            curve = precision_recall_curve(result.records, class_id, class_name)
+            assert curve.class_name == class_name
+            assert 0.0 <= curve.ap <= 1.0
+
+    def test_tp_fp_accounting_over_methods(self, micro_bundle):
+        baseline = micro_bundle.evaluate_method("SS/SS")
+        adascale = micro_bundle.evaluate_method("MS/AdaScale")
+        base_counts = count_tp_fp(baseline.records, micro_bundle.class_names, score_threshold=0.3)
+        ada_counts = count_tp_fp(adascale.records, micro_bundle.class_names, score_threshold=0.3)
+        normalized = ada_counts.normalized_to(base_counts)
+        assert normalized["tp"] >= 0.0 and normalized["fp"] >= 0.0
+
+    def test_dff_composition_runs_on_trained_bundle(self, micro_bundle):
+        dff = DFFDetector(
+            micro_bundle.ms_detector, key_frame_interval=2, config=micro_bundle.config.adascale
+        )
+        snippet = micro_bundle.val_dataset[0]
+        frames = snippet.frames()
+        output = dff.process_video(frames, scale=micro_bundle.config.adascale.max_scale)
+        records = output.to_records(frames)
+        assert len(records) == len(frames)
+
+    def test_scale_trace_is_temporally_smooth_for_adascale(self, micro_bundle):
+        """Consecutive AdaScale decisions should not oscillate wildly on the
+        synthetic data (temporal-consistency assumption, Fig. 9)."""
+        result = micro_bundle.evaluate_method("MS/AdaScale")
+        for trace in result.scale_trace.values():
+            jumps = np.abs(np.diff(np.asarray(trace, dtype=np.float64)))
+            span = micro_bundle.config.adascale.max_scale - micro_bundle.config.adascale.min_scale
+            # After the initial max-scale frame the decisions stay within the span.
+            assert np.all(jumps <= span)
+
+    def test_regressor_predictions_track_labels_on_training_frames(self, micro_bundle):
+        """On frames whose optimal scale label is the minimum of the set, the
+        regressor should predict a smaller next scale than on frames labelled
+        with the maximum scale (it learned *something* about the dynamics)."""
+        labels = micro_bundle.labels
+        adascale = micro_bundle.adascale
+        config = micro_bundle.config.adascale
+        small_label_preds, large_label_preds = [], []
+        for snippet in micro_bundle.train_dataset:
+            for frame in snippet:
+                label = labels.get(frame.snippet_id, frame.frame_index)
+                output = adascale.detect_frame(frame.image, config.max_scale)
+                if label <= sorted(config.scales)[1]:
+                    small_label_preds.append(output.next_scale)
+                elif label == config.max_scale:
+                    large_label_preds.append(output.next_scale)
+        if small_label_preds and large_label_preds:
+            assert np.mean(small_label_preds) <= np.mean(large_label_preds) + 8.0

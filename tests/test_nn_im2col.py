@@ -1,0 +1,101 @@
+"""Tests for im2col / col2im, including a property-based adjointness check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_output_size, im2col, im2col_indices
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 1, 2) == 4
+        assert conv_output_size(7, 3, 0, 1) == 5
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 0, 1)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 6, dtype=np.float32).reshape(2, 3, 5, 6)
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (3 * 3 * 3, 2 * 5 * 6)
+
+    def test_identity_kernel_reproduces_input(self):
+        x = np.random.default_rng(0).normal(size=(1, 2, 4, 4)).astype(np.float32)
+        cols = im2col(x, 1, 1, 0, 1)
+        np.testing.assert_allclose(cols.reshape(2, 16), x.reshape(2, 16))
+
+    def test_matches_manual_patch_extraction(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        cols = im2col(x, 2, 2, 0, 2)
+        # Patches in row-major output order: (0,0), (0,2), (2,0), (2,2).
+        expected_first = x[0, 0, 0:2, 0:2].reshape(-1)
+        np.testing.assert_allclose(cols[:, 0], expected_first)
+        expected_last = x[0, 0, 2:4, 2:4].reshape(-1)
+        np.testing.assert_allclose(cols[:, 3], expected_last)
+
+    def test_conv_via_im2col_matches_direct(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        weight = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        out = (weight.reshape(3, -1) @ cols).reshape(3, 1, 5, 5).transpose(1, 0, 2, 3)
+        # Direct (slow) convolution.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        direct = np.zeros_like(out)
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    direct[0, f, i, j] = np.sum(padded[0, :, i : i + 3, j : j + 3] * weight[f])
+        np.testing.assert_allclose(out, direct, rtol=1e-4, atol=1e-4)
+
+    def test_indices_shapes_consistent(self):
+        k, i, j = im2col_indices((1, 3, 6, 6), 3, 3, 1, 2)
+        assert k.shape[0] == i.shape[0] == j.shape[0] == 3 * 3 * 3
+
+
+class TestCol2Im:
+    def test_col2im_inverts_im2col_for_disjoint_patches(self):
+        # With kernel == stride and no padding the patches are disjoint, so
+        # col2im(im2col(x)) must reproduce x exactly.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols = im2col(x, 2, 2, 0, 2)
+        restored = col2im(cols, x.shape, 2, 2, 0, 2)
+        np.testing.assert_allclose(restored, x, rtol=1e-5)
+
+    def test_overlapping_patches_accumulate(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        restored = col2im(cols, x.shape, 3, 3, 1, 1)
+        # The centre pixel is visited by all 9 overlapping 3x3 windows.
+        assert restored[0, 0, 1, 1] == pytest.approx(9.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 2),
+        channels=st.integers(1, 3),
+        height=st.integers(4, 9),
+        width=st.integers(4, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_col2im_is_adjoint_of_im2col(self, batch, channels, height, width, kernel, stride, seed):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (adjointness)."""
+        padding = kernel // 2
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, channels, height, width)).astype(np.float32)
+        cols = im2col(x, kernel, kernel, padding, stride)
+        y = rng.normal(size=cols.shape).astype(np.float32)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, kernel, kernel, padding, stride)))
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-2)

@@ -1,0 +1,323 @@
+"""Tests for the NN layers: shapes, modes, state dicts and gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+
+def numeric_gradient(function, x: np.ndarray, grad_out: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of sum(function(x) * grad_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = float(np.sum(function(x) * grad_out))
+        flat[index] = original - eps
+        minus = float(np.sum(function(x) * grad_out))
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestParameter:
+    def test_accumulate_and_zero(self):
+        param = Parameter(np.zeros((2, 2)), name="w")
+        param.accumulate(np.ones((2, 2)))
+        param.accumulate(np.ones((2, 2)))
+        np.testing.assert_array_equal(param.grad, 2 * np.ones((2, 2)))
+        param.zero_grad()
+        np.testing.assert_array_equal(param.grad, np.zeros((2, 2)))
+
+    def test_accumulate_shape_mismatch_raises(self):
+        param = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            param.accumulate(np.ones((3,)))
+
+    def test_data_stored_as_float32(self):
+        param = Parameter(np.arange(3, dtype=np.float64))
+        assert param.data.dtype == np.float32
+
+    def test_repr_mentions_frozen(self):
+        param = Parameter(np.zeros(1), name="x", requires_grad=False)
+        assert "frozen" in repr(param)
+
+
+class TestConv2d:
+    def test_output_shape_same_padding(self, rng):
+        conv = Conv2d(3, 8, 3, rng=rng)
+        out = conv(rng.normal(size=(2, 3, 10, 12)).astype(np.float32))
+        assert out.shape == (2, 8, 10, 12)
+
+    def test_output_shape_stride2(self, rng):
+        conv = Conv2d(3, 4, 3, stride=2, rng=rng)
+        out = conv(rng.normal(size=(1, 3, 9, 9)).astype(np.float32))
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_gradient_check_input(self, rng):
+        conv = Conv2d(2, 3, 3, stride=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        out = conv(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        grad_analytic = conv.backward(grad_out)
+        grad_numeric = numeric_gradient(lambda v: conv.forward(v), x.copy(), grad_out)
+        np.testing.assert_allclose(grad_analytic, grad_numeric, rtol=2e-2, atol=2e-2)
+
+    def test_gradient_check_weights(self, rng):
+        conv = Conv2d(2, 2, 3, rng=rng, bias=True)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        out = conv(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        conv.zero_grad()
+        conv.backward(grad_out)
+        analytic = conv.weight.grad.copy()
+
+        def loss_for_weight(weight_value):
+            conv.weight.data = weight_value
+            return conv.forward(x)
+
+        numeric = numeric_gradient(loss_for_weight, conv.weight.data.copy(), grad_out)
+        np.testing.assert_allclose(analytic, numeric, rtol=2e-2, atol=2e-2)
+
+    def test_bias_gradient_is_sum_of_grad_out(self, rng):
+        conv = Conv2d(1, 2, 1, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3)).astype(np.float32)
+        out = conv(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        conv.zero_grad()
+        conv.backward(grad_out)
+        np.testing.assert_allclose(
+            conv.bias.grad, grad_out.sum(axis=(0, 2, 3)), rtol=1e-4, atol=1e-5
+        )
+
+    def test_flops_scale_quadratically_with_resolution(self, rng):
+        conv = Conv2d(3, 8, 3, rng=rng)
+        assert conv.flops(64, 64) == pytest.approx(4 * conv.flops(32, 32), rel=0.05)
+
+    def test_backward_before_forward_raises(self, rng):
+        conv = Conv2d(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 3, 3), dtype=np.float32))
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        out = layer(rng.normal(size=(3, 6)).astype(np.float32))
+        assert out.shape == (3, 4)
+
+    def test_rejects_wrong_feature_count(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((2, 5), dtype=np.float32))
+
+    def test_gradient_check(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        out = layer(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        grad_analytic = layer.backward(grad_out)
+        grad_numeric = numeric_gradient(lambda v: layer.forward(v), x.copy(), grad_out)
+        np.testing.assert_allclose(grad_analytic, grad_numeric, rtol=1e-2, atol=1e-2)
+
+    def test_weight_gradient(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        out = layer(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        layer.zero_grad()
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.weight.grad, grad_out.T @ x, rtol=1e-4, atol=1e-5)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        relu = ReLU()
+        out = relu(np.array([[-1.0, 0.5]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 0.5]])
+
+    def test_relu_backward_masks_negative(self):
+        relu = ReLU()
+        relu(np.array([[-1.0, 2.0]], dtype=np.float32))
+        grad = relu.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_leaky_relu_keeps_scaled_negative(self):
+        act = LeakyReLU(0.2)
+        out = act(np.array([[-1.0, 1.0]], dtype=np.float32))
+        np.testing.assert_allclose(out, [[-0.2, 1.0]])
+        grad = act.backward(np.array([[1.0, 1.0]], dtype=np.float32))
+        np.testing.assert_allclose(grad, [[0.2, 1.0]])
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_pads_odd_sizes(self):
+        pool = MaxPool2d(2)
+        x = np.ones((1, 1, 5, 5), dtype=np.float32)
+        out = pool(x)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert grad[0, 0, 1, 1] == pytest.approx(1.0)  # value 5 is max of its window
+        assert grad[0, 0, 0, 0] == pytest.approx(0.0)
+
+    def test_avgpool_forward_and_backward(self):
+        pool = AvgPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool(x)
+        assert out[0, 0, 0, 0] == pytest.approx(np.mean([0, 1, 4, 5]))
+        grad = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        np.testing.assert_allclose(grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self, rng):
+        pool = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 4, 5)).astype(np.float32)
+        out = pool(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-5)
+        grad = pool.backward(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose(grad, np.full(x.shape, 1.0 / 20.0), rtol=1e-5)
+
+
+class TestBatchNormDropout:
+    def test_batchnorm_normalises_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(4, 3, 8, 8)).astype(np.float32)
+        out = bn(x)
+        assert abs(float(out.mean())) < 0.1
+        assert float(out.std()) == pytest.approx(1.0, abs=0.1)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 6, 6)).astype(np.float32)
+        for _ in range(20):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        assert abs(float(out_eval.mean())) < 0.3
+
+    def test_batchnorm_gradient_check(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(2, 2, 3, 3)).astype(np.float32)
+        out = bn(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        analytic = bn.backward(grad_out)
+
+        def run(v):
+            fresh = BatchNorm2d(2)
+            fresh.gamma.data = bn.gamma.data
+            fresh.beta.data = bn.beta.data
+            return fresh.forward(v)
+
+        numeric = numeric_gradient(run, x.copy(), grad_out)
+        np.testing.assert_allclose(analytic, numeric, rtol=5e-2, atol=5e-2)
+
+    def test_batchnorm_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(np.zeros((1, 2, 4, 4), dtype=np.float32))
+
+    def test_dropout_identity_in_eval(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(drop(x), x)
+
+    def test_dropout_scales_in_train(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        x = np.ones((1000,), dtype=np.float32)
+        out = drop(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleInfrastructure:
+    def test_sequential_forward_backward_roundtrip(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU(), Flatten(), Linear(2 * 6 * 6, 3, rng=rng))
+        x = rng.normal(size=(2, 1, 6, 6)).astype(np.float32)
+        out = net(x)
+        assert out.shape == (2, 3)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_named_parameters_unique_names(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng), Conv2d(2, 2, 3, rng=rng))
+        names = [name for name, _ in net.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        assert layer.num_parameters() == 4 * 2 + 2
+
+    def test_state_dict_roundtrip(self, rng):
+        net_a = Sequential(Conv2d(1, 2, 3, rng=np.random.default_rng(0)), ReLU())
+        net_b = Sequential(Conv2d(1, 2, 3, rng=np.random.default_rng(1)), ReLU())
+        net_b.load_state_dict(net_a.state_dict())
+        x = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(net_a(x), net_b(x))
+
+    def test_load_state_dict_rejects_unknown_keys(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng))
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng))
+        state = net.state_dict()
+        first_key = next(iter(state))
+        state[first_key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_freeze_and_unfreeze(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer.freeze()
+        assert all(not p.requires_grad for p in layer.parameters())
+        layer.unfreeze()
+        assert all(p.requires_grad for p in layer.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Dropout(0.5, rng=rng), ReLU())
+        net.eval()
+        assert not net.layers[0].training
+        net.train()
+        assert net.layers[0].training
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(1, 3)).astype(np.float32)
+        layer.backward_input = layer(x)
+        layer.backward(np.ones((1, 2), dtype=np.float32))
+        layer.zero_grad()
+        assert float(np.abs(layer.weight.grad).sum()) == 0.0

@@ -1,0 +1,298 @@
+"""Tests for loss functions, optimisers, schedules and tensor functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Linear,
+    Parameter,
+    SGD,
+    Adam,
+    MultiStepLR,
+    bilinear_resize,
+    log_softmax,
+    mse_loss,
+    sigmoid,
+    smooth_l1_loss,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.optim import build_optimizer
+
+
+class TestSoftmaxFunctions:
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(4, 7)).astype(np.float32)
+        np.testing.assert_allclose(softmax(x, axis=1).sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_handles_large_values(self):
+        x = np.array([[1000.0, 1000.0]], dtype=np.float32)
+        out = softmax(x)
+        np.testing.assert_allclose(out, [[0.5, 0.5]], rtol=1e-5)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        np.testing.assert_allclose(np.exp(log_softmax(x)), softmax(x), rtol=1e-5)
+
+    def test_sigmoid_bounds_and_symmetry(self):
+        x = np.array([-100.0, 0.0, 100.0], dtype=np.float32)
+        out = sigmoid(x)
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sigmoid_matches_definition(self, rng):
+        x = rng.normal(size=10).astype(np.float32)
+        np.testing.assert_allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-5)
+
+
+class TestBilinearResize:
+    def test_identity_when_same_size(self, rng):
+        feature = rng.normal(size=(2, 4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(bilinear_resize(feature, 4, 5), feature)
+
+    def test_constant_field_preserved(self):
+        feature = np.full((1, 3, 6, 6), 2.5, dtype=np.float32)
+        out = bilinear_resize(feature, 3, 9)
+        np.testing.assert_allclose(out, 2.5)
+
+    def test_upsample_shape(self, rng):
+        feature = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        assert bilinear_resize(feature, 8, 8).shape == (1, 2, 8, 8)
+
+    def test_3d_input_squeezes(self, rng):
+        feature = rng.normal(size=(2, 4, 4)).astype(np.float32)
+        assert bilinear_resize(feature, 2, 2).shape == (2, 2, 2)
+
+    def test_invalid_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            bilinear_resize(rng.normal(size=(1, 1, 2, 2)), 0, 2)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        loss, _, per_sample = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-3
+        assert per_sample.shape == (2,)
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        logits = np.zeros((3, 4), dtype=np.float32)
+        loss, _, _ = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4), rel=1e-4)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        targets = np.array([1, 0, 3])
+        _, grad, _ = softmax_cross_entropy(logits, targets)
+        eps = 1e-3
+        for index in [(0, 1), (2, 3), (1, 2)]:
+            shifted = logits.copy()
+            shifted[index] += eps
+            plus, _, _ = softmax_cross_entropy(shifted, targets)
+            shifted[index] -= 2 * eps
+            minus, _, _ = softmax_cross_entropy(shifted, targets)
+            assert grad[index] == pytest.approx((plus - minus) / (2 * eps), rel=1e-2, abs=1e-3)
+
+    def test_weights_mask_samples(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]], dtype=np.float32)
+        # Second sample is wrong but masked out.
+        loss, grad, _ = softmax_cross_entropy(logits, np.array([0, 0]), weights=np.array([1.0, 0.0]))
+        assert loss < 1e-2
+        np.testing.assert_array_equal(grad[1], np.zeros(2))
+
+    def test_empty_batch(self):
+        loss, grad, per = softmax_cross_entropy(np.zeros((0, 3), np.float32), np.zeros(0, np.int64))
+        assert loss == 0.0 and grad.shape == (0, 3) and per.shape == (0,)
+
+    def test_sum_reduction(self):
+        logits = np.zeros((2, 2), dtype=np.float32)
+        loss_sum, _, _ = softmax_cross_entropy(logits, np.array([0, 1]), reduction="sum")
+        loss_mean, _, _ = softmax_cross_entropy(logits, np.array([0, 1]), reduction="mean")
+        assert loss_sum == pytest.approx(2 * loss_mean)
+
+    def test_invalid_reduction_raises(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((1, 2), np.float32), np.array([0]), reduction="bogus")
+
+
+class TestSmoothL1:
+    def test_zero_for_identical_inputs(self, rng):
+        pred = rng.normal(size=(4, 4)).astype(np.float32)
+        loss, grad, per = smooth_l1_loss(pred, pred)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(pred))
+
+    def test_quadratic_region(self):
+        pred = np.array([[0.5]], dtype=np.float32)
+        target = np.zeros((1, 1), dtype=np.float32)
+        loss, _, _ = smooth_l1_loss(pred, target, beta=1.0)
+        assert loss == pytest.approx(0.5 * 0.25)
+
+    def test_linear_region(self):
+        pred = np.array([[3.0]], dtype=np.float32)
+        target = np.zeros((1, 1), dtype=np.float32)
+        loss, _, _ = smooth_l1_loss(pred, target, beta=1.0)
+        assert loss == pytest.approx(3.0 - 0.5)
+
+    def test_gradient_bounded_by_one(self, rng):
+        pred = rng.normal(scale=10.0, size=(5, 4)).astype(np.float32)
+        target = np.zeros_like(pred)
+        _, grad, _ = smooth_l1_loss(pred, target, reduction="sum")
+        assert np.all(np.abs(grad) <= 1.0 + 1e-6)
+
+    def test_weights_zero_out_background(self):
+        pred = np.array([[1.0, 1.0, 1.0, 1.0], [2.0, 2.0, 2.0, 2.0]], dtype=np.float32)
+        target = np.zeros_like(pred)
+        weights = np.array([[1.0] * 4, [0.0] * 4], dtype=np.float32)
+        _, grad, per = smooth_l1_loss(pred, target, weights=weights, reduction="none")
+        assert per[1] == 0.0
+        np.testing.assert_array_equal(grad[1], np.zeros(4))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            smooth_l1_loss(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            smooth_l1_loss(np.zeros((1, 4)), np.zeros((1, 4)), beta=0.0)
+
+
+class TestMSE:
+    def test_value_and_gradient(self):
+        pred = np.array([1.0, 2.0], dtype=np.float32)
+        target = np.array([0.0, 0.0], dtype=np.float32)
+        loss, grad, per = mse_loss(pred, target)
+        assert loss == pytest.approx(2.5)
+        np.testing.assert_allclose(grad, [1.0, 2.0])
+
+    def test_zero_loss_for_equal(self, rng):
+        x = rng.normal(size=(3,)).astype(np.float32)
+        loss, _, _ = mse_loss(x, x)
+        assert loss == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=8), st.integers(0, 1000))
+    def test_non_negative(self, values, seed):
+        rng = np.random.default_rng(seed)
+        pred = np.asarray(values, dtype=np.float32)
+        target = rng.normal(size=pred.shape).astype(np.float32)
+        loss, _, _ = mse_loss(pred, target)
+        assert loss >= 0.0
+
+
+class TestOptimisers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        param = Parameter(np.zeros(2, dtype=np.float32), name="w")
+        return param, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        opt = SGD([param], learning_rate=0.1, momentum=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            param.accumulate(2 * (param.data - target))
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        opt = Adam([param], learning_rate=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            param.accumulate(2 * (param.data - target))
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_sgd_skips_frozen_parameters(self):
+        param = Parameter(np.ones(2), requires_grad=False)
+        opt = SGD([param], learning_rate=0.5)
+        param.accumulate(np.ones(2))
+        opt.step()
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+    def test_adam_skips_frozen_parameters(self):
+        param = Parameter(np.ones(2), requires_grad=False)
+        opt = Adam([param], learning_rate=0.5)
+        param.accumulate(np.ones(2))
+        opt.step()
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+    def test_gradient_clipping_limits_step(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], learning_rate=1.0, momentum=0.0, max_grad_norm=1.0)
+        param.accumulate(np.array([100.0], dtype=np.float32))
+        opt.step()
+        assert abs(float(param.data[0])) <= 1.0 + 1e-6
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([param], learning_rate=0.1, momentum=0.0, weight_decay=0.5)
+        opt.step()  # zero gradient, only decay
+        assert float(param.data[0]) < 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ValueError):
+            Adam([], learning_rate=0.1)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], learning_rate=0.0)
+
+    def test_build_optimizer_dispatch(self):
+        params = [Parameter(np.zeros(1))]
+        assert isinstance(build_optimizer("sgd", params, 0.1), SGD)
+        assert isinstance(build_optimizer("adam", params, 0.1), Adam)
+        with pytest.raises(ValueError):
+            build_optimizer("rmsprop", params, 0.1)
+
+    def test_grad_norm(self):
+        param = Parameter(np.zeros(2))
+        opt = SGD([param], learning_rate=0.1)
+        param.accumulate(np.array([3.0, 4.0], dtype=np.float32))
+        assert opt.grad_norm() == pytest.approx(5.0)
+
+
+class TestMultiStepLR:
+    def test_decays_at_milestones(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], learning_rate=1.0)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_current_lr_property(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], learning_rate=0.5)
+        sched = MultiStepLR(opt, milestones=[1])
+        sched.step()
+        assert sched.current_lr == opt.learning_rate
+
+    def test_invalid_gamma(self):
+        opt = SGD([Parameter(np.zeros(1))], learning_rate=0.5)
+        with pytest.raises(ValueError):
+            MultiStepLR(opt, milestones=[1], gamma=0.0)
+
+    def test_training_loop_with_linear_model(self, rng):
+        """End-to-end: a Linear layer fits a linear mapping with Adam."""
+        true_weight = np.array([[2.0, -1.0]], dtype=np.float32)
+        layer = Linear(2, 1, rng=rng)
+        opt = Adam(layer.parameters(), learning_rate=0.05)
+        for _ in range(300):
+            x = rng.normal(size=(16, 2)).astype(np.float32)
+            y = x @ true_weight.T
+            pred = layer(x)
+            loss, grad, _ = mse_loss(pred, y)
+            opt.zero_grad()
+            layer.backward(grad)
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.1)

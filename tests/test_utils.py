@@ -1,0 +1,178 @@
+"""Tests for repro.utils (seeding, timers, registry, checkpoints, logging)."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Registry,
+    Timer,
+    WallClock,
+    get_logger,
+    load_params,
+    new_rng,
+    save_params,
+    seed_everything,
+)
+from repro.utils.checkpoint import load_json, save_json
+from repro.utils.seeding import spawn_rngs
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(123)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_seed_everything_is_reproducible(self):
+        a = seed_everything(5).normal(size=4)
+        b = seed_everything(5).normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_new_rng_independent_streams(self):
+        a = new_rng(1).normal(size=8)
+        b = new_rng(2).normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rngs_count(self):
+        rngs = spawn_rngs(0, 5)
+        assert len(rngs) == 5
+
+    def test_spawn_rngs_streams_differ(self):
+        rngs = spawn_rngs(0, 2)
+        assert not np.allclose(rngs[0].normal(size=8), rngs[1].normal(size=8))
+
+    def test_spawn_rngs_deterministic(self):
+        first = spawn_rngs(3, 2)[1].normal(size=4)
+        second = spawn_rngs(3, 2)[1].normal(size=4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_spawn_rngs_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTimer:
+    def test_wallclock_measures_nonnegative(self):
+        with WallClock() as clock:
+            sum(range(100))
+        assert clock.elapsed >= 0.0
+
+    def test_add_and_mean(self):
+        timer = Timer()
+        timer.add("step", 0.1)
+        timer.add("step", 0.3)
+        assert timer.mean_ms("step") == pytest.approx(200.0)
+
+    def test_negative_duration_rejected(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            timer.add("bad", -1.0)
+
+    def test_mean_of_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            Timer().mean_ms("missing")
+
+    def test_total_and_count(self):
+        timer = Timer()
+        timer.add("x", 0.5)
+        timer.add("x", 0.25)
+        assert timer.total_s("x") == pytest.approx(0.75)
+        assert timer.count("x") == 2
+        assert timer.total_s("unknown") == 0.0
+        assert timer.count("unknown") == 0
+
+    def test_context_manager_records(self):
+        timer = Timer()
+        with timer.time("block"):
+            sum(range(10))
+        assert timer.count("block") == 1
+
+    def test_merge(self):
+        a = Timer()
+        b = Timer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.count("x") == 2
+        assert a.count("y") == 1
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry: Registry[str] = Registry("thing")
+        registry.register("a", "value-a")
+        assert registry.get("a") == "value-a"
+
+    def test_register_as_decorator(self):
+        registry: Registry[object] = Registry("builder")
+
+        @registry.register("make")
+        def make():
+            return 42
+
+        assert registry.get("make")() == 42
+
+    def test_duplicate_registration_raises(self):
+        registry: Registry[str] = Registry("thing")
+        registry.register("a", "x")
+        with pytest.raises(KeyError):
+            registry.register("a", "y")
+
+    def test_unknown_name_error_lists_known(self):
+        registry: Registry[str] = Registry("thing")
+        registry.register("alpha", "x")
+        with pytest.raises(KeyError, match="alpha"):
+            registry.get("beta")
+
+    def test_contains_len_names(self):
+        registry: Registry[str] = Registry("thing")
+        registry.register("b", "x")
+        registry.register("a", "y")
+        assert "a" in registry and "c" not in registry
+        assert len(registry) == 2
+        assert registry.names() == ["a", "b"]
+
+
+class TestCheckpoint:
+    def test_save_and_load_params_roundtrip(self, tmp_path):
+        params = {"w": np.arange(6, dtype=np.float32).reshape(2, 3), "b": np.zeros(3)}
+        save_params(tmp_path / "model.npz", params)
+        loaded = load_params(tmp_path / "model.npz")
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_array_equal(loaded["w"], params["w"])
+
+    def test_load_params_appends_npz_suffix(self, tmp_path):
+        save_params(tmp_path / "model.npz", {"x": np.ones(2)})
+        loaded = load_params(tmp_path / "model")
+        np.testing.assert_array_equal(loaded["x"], np.ones(2))
+
+    def test_save_json_roundtrip_with_numpy_scalars(self, tmp_path):
+        payload = {"value": np.float32(1.5), "vector": np.arange(3)}
+        save_json(tmp_path / "out.json", payload)
+        loaded = load_json(tmp_path / "out.json")
+        assert loaded["value"] == pytest.approx(1.5)
+        assert loaded["vector"] == [0, 1, 2]
+
+    def test_save_json_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "nested" / "dir" / "x.json", {"a": 1})
+        assert path.exists()
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("unit-test")
+        assert logger.name == "repro.unit-test"
+
+    def test_get_logger_accepts_prequalified_name(self):
+        logger = get_logger("repro.core.pipeline")
+        assert logger.name == "repro.core.pipeline"
+
+    def test_root_handler_installed_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
