@@ -1,0 +1,99 @@
+"""Serving throughput/latency benchmark (the load-bearing claim of `repro.serving`).
+
+The paper's Table 1 measures per-frame runtime offline; this benchmark
+measures what a *deployed* AdaScale detector delivers under concurrent
+multi-stream load: total throughput, p50/p95/p99 end-to-end latency, batch
+occupancy, and the behaviour of the backpressure policies under an
+oversubscribed bursty arrival process.
+
+Results are written to ``benchmarks/results/serving_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+from repro.config import ServingConfig
+from repro.evaluation import format_table
+from repro.evaluation.reporting import format_float
+from repro.serving import InferenceServer, LoadGenerator, round_robin_streams
+
+_NUM_STREAMS = 4
+
+
+def _run_config(bundle, serving: ServingConfig, pattern: str, label: str) -> list[str]:
+    streams = round_robin_streams(bundle.val_dataset, _NUM_STREAMS)
+    frames_per_stream = min(len(s) for s in streams)
+    generator = LoadGenerator(
+        num_streams=_NUM_STREAMS,
+        frames_per_stream=frames_per_stream,
+        pattern=pattern,
+        rate_fps=200.0,
+        seed=0,
+    )
+    with InferenceServer(bundle, serving=serving) as server:
+        generator.run(server, streams, time_scale=0.0)
+        assert server.drain(timeout=600.0)
+    snap = server.telemetry()
+    return [
+        label,
+        pattern,
+        str(snap.completed),
+        str(snap.shed),
+        format_float(snap.throughput_fps, 1),
+        format_float(snap.latency.p50_ms),
+        format_float(snap.latency.p95_ms),
+        format_float(snap.latency.p99_ms),
+        format_float(snap.mean_batch_size, 2),
+        str(snap.max_queue_depth),
+    ]
+
+
+def test_serving_throughput(vid_bundle):
+    """Sweep worker/batch configurations and record the telemetry table."""
+    configs = [
+        ("1w/b1 sequential", ServingConfig(num_workers=1, max_batch_size=1, queue_capacity=64)),
+        ("2w/b4 batched", ServingConfig(num_workers=2, max_batch_size=4, queue_capacity=64)),
+        ("4w/b4 batched", ServingConfig(num_workers=4, max_batch_size=4, queue_capacity=64)),
+    ]
+    rows = [
+        _run_config(vid_bundle, serving, "poisson", label) for label, serving in configs
+    ]
+    # Oversubscribed bursty load against a tiny queue: the shedding policies
+    # must degrade gracefully instead of growing the queue without bound.
+    rows.append(
+        _run_config(
+            vid_bundle,
+            ServingConfig(
+                num_workers=2,
+                max_batch_size=4,
+                queue_capacity=4,
+                backpressure="drop-oldest",
+            ),
+            "bursty",
+            "2w/b4 drop-oldest q=4",
+        )
+    )
+    table = format_table(
+        [
+            "Config",
+            "Arrivals",
+            "Served",
+            "Shed",
+            "FPS",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "Batch occ.",
+            "Max depth",
+        ],
+        rows,
+        title=f"Serving throughput — {_NUM_STREAMS} streams, SyntheticVID val snippets",
+    )
+    write_result("serving_throughput", table)
+
+    served = np.array([int(row[2]) for row in rows])
+    assert (served > 0).all()
+    # The lossless (block-policy) configurations must serve every frame.
+    assert int(rows[0][3]) == 0 and int(rows[1][3]) == 0 and int(rows[2][3]) == 0

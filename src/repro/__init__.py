@@ -19,7 +19,11 @@ It contains every substrate the paper depends on:
 * :mod:`repro.acceleration` — Deep Feature Flow and Seq-NMS baselines plus their
   AdaScale combinations (Fig. 7 of the paper).
 * :mod:`repro.evaluation` — VOC-style mAP, precision-recall curves, TP/FP
-  accounting and runtime/FLOP profiling.
+  accounting and runtime/FLOP profiling with tail-latency percentiles.
+* :mod:`repro.serving` — a concurrent multi-stream inference server: per-stream
+  AdaScale sessions, scale-bucketed micro-batching with backpressure, a
+  thread worker pool over detector replicas, latency telemetry and a
+  deterministic load generator.
 
 Quickstart
 ----------
@@ -34,6 +38,7 @@ from repro.config import (
     DetectorConfig,
     ExperimentConfig,
     RegressorConfig,
+    ServingConfig,
     TrainingConfig,
 )
 from repro.version import __version__
@@ -45,5 +50,6 @@ __all__ = [
     "DetectorConfig",
     "ExperimentConfig",
     "RegressorConfig",
+    "ServingConfig",
     "TrainingConfig",
 ]

@@ -15,14 +15,17 @@ the rest of the library:
 """
 
 from repro.acceleration.combined import AdaScaleDFFDetector, adascale_with_seqnms
-from repro.acceleration.dff import DFFDetector
+from repro.acceleration.dff import DFFDetector, DFFFrameOutput, DFFStream
 from repro.acceleration.optical_flow import estimate_flow, warp_features
-from repro.acceleration.seqnms import SeqNMSConfig, seq_nms
+from repro.acceleration.seqnms import SeqNMSConfig, SeqNMSStream, seq_nms
 
 __all__ = [
     "AdaScaleDFFDetector",
     "DFFDetector",
+    "DFFFrameOutput",
+    "DFFStream",
     "SeqNMSConfig",
+    "SeqNMSStream",
     "adascale_with_seqnms",
     "estimate_flow",
     "seq_nms",

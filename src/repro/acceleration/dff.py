@@ -22,7 +22,17 @@ from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult, RFCNDetector
 from repro.evaluation.voc_ap import DetectionRecord
 
-__all__ = ["DFFOutput", "DFFDetector"]
+__all__ = ["DFFFrameOutput", "DFFOutput", "DFFStream", "DFFDetector"]
+
+
+@dataclass(frozen=True)
+class DFFFrameOutput:
+    """Output of one frame processed through a :class:`DFFStream`."""
+
+    detection: DetectionResult
+    is_key_frame: bool
+    runtime_s: float
+    scale_used: int
 
 
 @dataclass
@@ -61,6 +71,136 @@ class DFFOutput:
         ]
 
 
+class DFFStream:
+    """Explicit per-stream DFF state: cached key frame, features and scale.
+
+    The original :meth:`DFFDetector.process_video` kept the key-frame cache in
+    local variables, so DFF could only be applied to a complete snippet at
+    once.  A stream object owns that state explicitly — one per video stream —
+    which lets the serving layer interleave frames of many streams without
+    their key-frame caches bleeding into each other, and lets a stream be
+    :meth:`reset` between snippets.
+
+    Frame ``k`` is a key frame when ``k % key_frame_interval == 0`` (counted
+    since the last reset).  The processing scale may only change at key
+    frames; non-key frames reuse the key frame's scale so the cached features
+    stay aligned.
+    """
+
+    def __init__(
+        self,
+        detector: RFCNDetector,
+        key_frame_interval: int = 4,
+        config: AdaScaleConfig | None = None,
+        flow_cell_size: int = 8,
+        flow_search_radius: int = 3,
+    ) -> None:
+        if key_frame_interval < 1:
+            raise ValueError(f"key_frame_interval must be >= 1, got {key_frame_interval}")
+        self.detector = detector
+        self.key_frame_interval = key_frame_interval
+        self.config = config if config is not None else AdaScaleConfig()
+        self.flow_cell_size = flow_cell_size
+        self.flow_search_radius = flow_search_radius
+        self._key_image: np.ndarray | None = None
+        self._key_features: np.ndarray | None = None
+        self._key_scale: int = self.config.max_scale
+        self._key_scale_factor: float = 1.0
+        self._key_working_shape: tuple[int, int] = (0, 0)
+        self._frame_count: int = 0
+
+    @property
+    def frame_count(self) -> int:
+        """Frames processed since the last :meth:`reset`."""
+        return self._frame_count
+
+    @property
+    def next_is_key_frame(self) -> bool:
+        """Whether the next processed frame will run the full backbone."""
+        return self._frame_count % self.key_frame_interval == 0
+
+    @property
+    def key_scale(self) -> int:
+        """Scale of the current key frame (inherited by non-key frames)."""
+        return self._key_scale
+
+    def reset(self) -> None:
+        """Clear the cached key frame; the next frame becomes a key frame."""
+        self._key_image = None
+        self._key_features = None
+        self._key_scale = self.config.max_scale
+        self._key_scale_factor = 1.0
+        self._key_working_shape = (0, 0)
+        self._frame_count = 0
+
+    def process_frame(
+        self,
+        image: np.ndarray | VideoFrame,
+        scale: int | None = None,
+        detector: RFCNDetector | None = None,
+    ) -> DFFFrameOutput:
+        """Process the stream's next frame.
+
+        ``scale`` is honoured only at key frames (non-key frames must reuse
+        the key frame's scale).  ``detector`` optionally overrides the
+        detector used for this frame — the serving worker pool passes its
+        per-worker replica here; any replica with identical weights produces
+        identical outputs, so the cached features stay valid across workers.
+        """
+        detector = detector if detector is not None else self.detector
+        array = image.image if isinstance(image, VideoFrame) else np.asarray(image)
+        is_key = self.next_is_key_frame
+        if is_key:
+            if scale is not None:
+                self._key_scale = int(scale)
+            start = time.perf_counter()
+            resized = resize_image(array, self._key_scale, self.config.max_long_side)
+            tensor = image_to_chw(normalize_image(resized.image))
+            features = detector.extract_features(tensor)
+            detection = detector.detect_from_features(
+                features,
+                working_shape=resized.image.shape[:2],
+                scale_factor=resized.scale_factor,
+                image_size=array.shape[:2],
+                target_scale=self._key_scale,
+            )
+            runtime = time.perf_counter() - start
+            self._key_image = resized.image
+            self._key_features = features
+            self._key_scale_factor = resized.scale_factor
+            self._key_working_shape = resized.image.shape[:2]
+        else:
+            if self._key_features is None or self._key_image is None:
+                raise RuntimeError("non-key frame encountered before any key frame")
+            start = time.perf_counter()
+            resized = resize_image(array, self._key_scale, self.config.max_long_side)
+            current = _match_shape(resized.image, self._key_image.shape[:2])
+            flow = estimate_flow(
+                self._key_image,
+                current,
+                cell_size=self.flow_cell_size,
+                search_radius=self.flow_search_radius,
+            )
+            warped = warp_features(
+                self._key_features, flow, detector.config.feature_stride
+            )
+            detection = detector.detect_from_features(
+                warped,
+                working_shape=self._key_working_shape,
+                scale_factor=self._key_scale_factor,
+                image_size=array.shape[:2],
+                target_scale=self._key_scale,
+            )
+            runtime = time.perf_counter() - start
+        self._frame_count += 1
+        return DFFFrameOutput(
+            detection=detection,
+            is_key_frame=is_key,
+            runtime_s=runtime,
+            scale_used=self._key_scale,
+        )
+
+
 class DFFDetector:
     """Key-frame detection with flow-warped features on intermediate frames."""
 
@@ -80,6 +220,16 @@ class DFFDetector:
         self.flow_cell_size = flow_cell_size
         self.flow_search_radius = flow_search_radius
 
+    def new_stream(self) -> DFFStream:
+        """A fresh per-stream state object (one per concurrent video stream)."""
+        return DFFStream(
+            self.detector,
+            self.key_frame_interval,
+            self.config,
+            self.flow_cell_size,
+            self.flow_search_radius,
+        )
+
     # -- single-snippet processing ------------------------------------------
     def process_video(
         self,
@@ -87,7 +237,7 @@ class DFFDetector:
         scale: int | None = None,
         scale_schedule: Sequence[int] | None = None,
     ) -> DFFOutput:
-        """Process one snippet.
+        """Process one snippet with a fresh :class:`DFFStream`.
 
         ``scale`` fixes the processing scale for every frame; alternatively
         ``scale_schedule`` provides a per-key-frame scale (used by the
@@ -96,66 +246,23 @@ class DFFDetector:
         """
         if scale is None and scale_schedule is None:
             scale = self.config.max_scale
+        stream = self.new_stream()
         output = DFFOutput()
-        key_image: np.ndarray | None = None
-        key_features: np.ndarray | None = None
-        key_scale: int = int(scale) if scale is not None else self.config.max_scale
-        key_scale_factor = 1.0
-        key_working_shape = (0, 0)
-
         for index, frame in enumerate(frames):
-            image = frame.image if isinstance(frame, VideoFrame) else np.asarray(frame)
-            is_key = index % self.key_frame_interval == 0
-            if is_key:
+            frame_scale: int | None
+            if stream.next_is_key_frame:
                 if scale_schedule is not None:
                     key_index = index // self.key_frame_interval
-                    key_scale = int(scale_schedule[min(key_index, len(scale_schedule) - 1)])
-                elif scale is not None:
-                    key_scale = int(scale)
-                start = time.perf_counter()
-                resized = resize_image(image, key_scale, self.config.max_long_side)
-                tensor = image_to_chw(normalize_image(resized.image))
-                features = self.detector.extract_features(tensor)
-                detection = self.detector.detect_from_features(
-                    features,
-                    working_shape=resized.image.shape[:2],
-                    scale_factor=resized.scale_factor,
-                    image_size=image.shape[:2],
-                    target_scale=key_scale,
-                )
-                runtime = time.perf_counter() - start
-                key_image = resized.image
-                key_features = features
-                key_scale_factor = resized.scale_factor
-                key_working_shape = resized.image.shape[:2]
+                    frame_scale = int(scale_schedule[min(key_index, len(scale_schedule) - 1)])
+                else:
+                    frame_scale = int(scale) if scale is not None else None
             else:
-                if key_features is None or key_image is None:
-                    raise RuntimeError("non-key frame encountered before any key frame")
-                start = time.perf_counter()
-                resized = resize_image(image, key_scale, self.config.max_long_side)
-                current = _match_shape(resized.image, key_image.shape[:2])
-                flow = estimate_flow(
-                    key_image,
-                    current,
-                    cell_size=self.flow_cell_size,
-                    search_radius=self.flow_search_radius,
-                )
-                warped = warp_features(
-                    key_features, flow, self.detector.config.feature_stride
-                )
-                detection = self.detector.detect_from_features(
-                    warped,
-                    working_shape=key_working_shape,
-                    scale_factor=key_scale_factor,
-                    image_size=image.shape[:2],
-                    target_scale=key_scale,
-                )
-                runtime = time.perf_counter() - start
-
-            output.detections.append(detection)
-            output.is_key_frame.append(is_key)
-            output.runtimes_s.append(runtime)
-            output.scales_used.append(key_scale)
+                frame_scale = None
+            result = stream.process_frame(frame, scale=frame_scale)
+            output.detections.append(result.detection)
+            output.is_key_frame.append(result.is_key_frame)
+            output.runtimes_s.append(result.runtime_s)
+            output.scales_used.append(result.scale_used)
         return output
 
 

@@ -18,7 +18,7 @@ import numpy as np
 from repro.detection.boxes import iou_matrix
 from repro.evaluation.voc_ap import DetectionRecord
 
-__all__ = ["SeqNMSConfig", "seq_nms"]
+__all__ = ["SeqNMSConfig", "SeqNMSStream", "seq_nms"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +104,52 @@ def seq_nms(
         )
         for index, record in enumerate(records)
     ]
+
+
+class SeqNMSStream:
+    """Explicit per-stream Seq-NMS history.
+
+    Seq-NMS rescoring needs the whole temporal window of one stream, so when
+    many streams are processed concurrently (``repro.serving``) each stream
+    must own its history — sharing a buffer across streams would link
+    detections from unrelated videos.  The stream object makes that state
+    explicit: frames are appended in temporal order with :meth:`add`,
+    :meth:`finalize` runs Seq-NMS over the accumulated window, and
+    :meth:`reset` clears the history so the object can be reused for the next
+    snippet of the same stream.
+    """
+
+    def __init__(self, num_classes: int, config: SeqNMSConfig | None = None) -> None:
+        self.num_classes = int(num_classes)
+        self.config = config if config is not None else SeqNMSConfig()
+        self._records: list[DetectionRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[DetectionRecord]:
+        """The accumulated per-frame records (original scores)."""
+        return list(self._records)
+
+    def add(self, record: DetectionRecord) -> None:
+        """Append the next frame of this stream (temporal order)."""
+        self._records.append(record)
+
+    def reset(self) -> None:
+        """Drop all accumulated history (start of a new snippet / stream)."""
+        self._records.clear()
+
+    def finalize(self, reset: bool = False) -> list[DetectionRecord]:
+        """Rescore the accumulated window with Seq-NMS.
+
+        Returns new records with updated scores; with ``reset=True`` the
+        history is cleared afterwards.
+        """
+        rescored = seq_nms(self._records, self.num_classes, self.config)
+        if reset:
+            self.reset()
+        return rescored
 
 
 def _best_path(

@@ -1,13 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``train`` — run the full AdaScale pipeline (Fig. 2) on a preset configuration
   and save the trained bundle to a directory;
 * ``evaluate`` — load a saved bundle (or train one on the fly) and print the
-  Table-1-style comparison of the requested methods;
+  Table-1-style comparison of the requested methods, including tail-latency
+  percentiles;
 * ``labels`` — compute and print the optimal-scale label distribution for the
-  training split (the Eq. 2 statistics behind Fig. 10).
+  training split (the Eq. 2 statistics behind Fig. 10);
+* ``serve`` — start the multi-stream inference server, replay a synthetic
+  load-generated session against it, and print the latency/throughput
+  telemetry (see :mod:`repro.serving`).
+
+Presets and datasets are resolved by name through the registries in
+:mod:`repro.presets` (``EXPERIMENT_PRESETS`` / ``DATASETS``), so new presets
+registered by downstream code are automatically selectable here.
 """
 
 from __future__ import annotations
@@ -16,45 +24,49 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.config import BACKPRESSURE_POLICIES
 from repro.core import AdaScalePipeline
 from repro.core.pipeline import METHODS, ExperimentBundle
-from repro.data.mini_ytbb import MiniYTBB
-from repro.data.synthetic_vid import SyntheticVID
 from repro.evaluation import format_table
-from repro.presets import (
-    small_experiment_config,
-    small_ytbb_experiment_config,
-    tiny_experiment_config,
-)
+from repro.presets import EXPERIMENT_PRESETS
 
 __all__ = ["main", "build_parser"]
-
-_PRESETS = {
-    "tiny": (tiny_experiment_config, SyntheticVID),
-    "vid": (small_experiment_config, SyntheticVID),
-    "ytbb": (small_ytbb_experiment_config, MiniYTBB),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="AdaScale (MLSys 2019) reproduction — training and evaluation CLI",
+        description="AdaScale (MLSys 2019) reproduction — training, evaluation and serving CLI",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--preset",
-        choices=sorted(_PRESETS),
+        choices=EXPERIMENT_PRESETS.names(),
         default="tiny",
         help="experiment preset: tiny (seconds), vid (SyntheticVID benchmark), ytbb (MiniYTBB)",
     )
+    # The same flags are accepted after the subcommand (`repro serve --preset
+    # tiny`); SUPPRESS keeps the subparser from clobbering a value given
+    # before the subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=argparse.SUPPRESS, help="experiment seed")
+    common.add_argument(
+        "--preset",
+        choices=EXPERIMENT_PRESETS.names(),
+        default=argparse.SUPPRESS,
+        help="experiment preset",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    train = subparsers.add_parser("train", help="run the full pipeline and save the bundle")
+    train = subparsers.add_parser(
+        "train", help="run the full pipeline and save the bundle", parents=[common]
+    )
     train.add_argument("--output", type=Path, required=True, help="directory for the saved bundle")
 
-    evaluate = subparsers.add_parser("evaluate", help="evaluate methods on the validation split")
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate methods on the validation split", parents=[common]
+    )
     evaluate.add_argument(
         "--bundle", type=Path, default=None, help="directory of a bundle saved by `train` (optional)"
     )
@@ -66,17 +78,140 @@ def build_parser() -> argparse.ArgumentParser:
         help="methods to evaluate",
     )
 
-    subparsers.add_parser("labels", help="print the optimal-scale label distribution")
+    subparsers.add_parser(
+        "labels", help="print the optimal-scale label distribution", parents=[common]
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-stream inference server under a synthetic load",
+        parents=[common],
+    )
+    serve.add_argument(
+        "--bundle", type=Path, default=None, help="directory of a bundle saved by `train` (optional)"
+    )
+    serve.add_argument("--streams", type=int, default=4, help="number of concurrent video streams")
+    serve.add_argument(
+        "--frames", type=int, default=None, help="frames per stream (default: snippet length)"
+    )
+    serve.add_argument("--workers", type=int, default=None, help="worker threads (default: preset)")
+    serve.add_argument(
+        "--batch-size", type=int, default=None, help="max micro-batch size (default: preset)"
+    )
+    serve.add_argument(
+        "--queue", type=int, default=None, help="scheduler queue capacity (default: preset)"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=BACKPRESSURE_POLICIES,
+        default=None,
+        help="backpressure policy when the queue is full (default: preset)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="shed queued frames older than this deadline (default: none)",
+    )
+    serve.add_argument(
+        "--pattern",
+        choices=("poisson", "bursty", "uniform"),
+        default="poisson",
+        help="arrival process of the synthetic load",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=30.0, help="mean per-stream arrival rate (frames/s)"
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="replay speed: 0 = as fast as backpressure allows, 1 = real-time arrivals",
+    )
+    serve.add_argument(
+        "--seqnms", action="store_true", help="apply Seq-NMS rescoring per stream at finalize"
+    )
+    serve.add_argument(
+        "--key-frame-interval",
+        type=int,
+        default=None,
+        help="Deep-Feature-Flow key-frame interval (1 = full detection every frame)",
+    )
     return parser
 
 
 def _build_or_load(args: argparse.Namespace) -> ExperimentBundle:
-    config_factory, dataset_cls = _PRESETS[args.preset]
-    config = config_factory(args.seed)
+    preset = EXPERIMENT_PRESETS.get(args.preset)
+    config = preset.build_config(args.seed)
     bundle_dir = getattr(args, "bundle", None)
     if bundle_dir is not None:
-        return ExperimentBundle.load(bundle_dir, config, dataset_cls)
-    return AdaScalePipeline(config, dataset_cls=dataset_cls).run()
+        return ExperimentBundle.load(bundle_dir, config, preset.dataset_cls)
+    return AdaScalePipeline(config, dataset_cls=preset.dataset_cls).run()
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serving import InferenceServer, LoadGenerator, round_robin_streams
+
+    if args.streams < 1:
+        raise SystemExit(f"repro serve: error: --streams must be >= 1, got {args.streams}")
+    if args.frames is not None and args.frames < 1:
+        raise SystemExit(f"repro serve: error: --frames must be >= 1, got {args.frames}")
+    bundle = _build_or_load(args)
+    serving = bundle.config.serving
+    overrides = {
+        "num_workers": args.workers,
+        "max_batch_size": args.batch_size,
+        "queue_capacity": args.queue,
+        "backpressure": args.policy,
+        "deadline_ms": args.deadline_ms,
+        "key_frame_interval": args.key_frame_interval,
+    }
+    serving = serving.with_(**{k: v for k, v in overrides.items() if v is not None})
+    if args.seqnms:
+        serving = serving.with_(use_seqnms=True)
+
+    # Stream sources: validation snippets, reused round-robin across streams.
+    streams = round_robin_streams(bundle.val_dataset, args.streams)
+    shortest = min(len(s) for s in streams)
+    frames_per_stream = min(args.frames, shortest) if args.frames is not None else shortest
+    generator = LoadGenerator(
+        num_streams=args.streams,
+        frames_per_stream=frames_per_stream,
+        pattern=args.pattern,
+        rate_fps=args.rate,
+        seed=args.seed,
+    )
+    with InferenceServer(bundle, serving=serving) as server:
+        generator.run(server, streams, time_scale=args.time_scale)
+        server.drain()
+    results = server.finalize()
+    print(
+        server.telemetry().format(
+            title=(
+                f"Serving telemetry — preset '{args.preset}', {args.streams} streams, "
+                f"{args.pattern} arrivals, policy {serving.backpressure}"
+            )
+        )
+    )
+    scale_rows = [
+        [
+            str(stream_id),
+            str(result.completed),
+            str(result.shed),
+            " ".join(str(scale) for scale in result.scales_used[:12])
+            + (" ..." if len(result.scales_used) > 12 else ""),
+        ]
+        for stream_id, result in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Stream", "Served", "Shed", "Scale trace"],
+            scale_rows,
+            title="Adaptive-scale traces",
+        )
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,12 +236,14 @@ def main(argv: list[str] | None = None) -> int:
                     method,
                     f"{100 * result.mean_ap:.1f}",
                     f"{result.runtime.median_ms:.1f}",
+                    f"{result.runtime.p95_ms:.1f}",
+                    f"{result.runtime.p99_ms:.1f}",
                     f"{result.mean_scale:.0f}",
                 ]
             )
         print(
             format_table(
-                ["Method", "mAP (%)", "Runtime (ms)", "Mean scale"],
+                ["Method", "mAP (%)", "Runtime p50 (ms)", "p95 (ms)", "p99 (ms)", "Mean scale"],
                 rows,
                 title=f"AdaScale evaluation — preset '{args.preset}', seed {args.seed}",
             )
@@ -125,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -22,12 +22,17 @@ __all__ = [
     "TrainingConfig",
     "RegressorConfig",
     "AdaScaleConfig",
+    "ServingConfig",
     "ExperimentConfig",
     "PAPER_SCALES",
     "REDUCED_SCALES",
     "PAPER_REGRESSOR_SCALES",
     "REDUCED_REGRESSOR_SCALES",
+    "BACKPRESSURE_POLICIES",
 ]
+
+#: Admission-control policies of the serving frame scheduler.
+BACKPRESSURE_POLICIES: tuple[str, ...] = ("block", "drop-oldest", "reject")
 
 #: Scale sets used by the paper (pixels of the shortest image side).
 PAPER_SCALES: tuple[int, ...] = (600, 480, 360, 240)
@@ -184,6 +189,63 @@ class AdaScaleConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Concurrent inference-server parameters (``repro.serving``).
+
+    The server turns a trained bundle into a multi-stream video service:
+    frames arrive per stream, a bounded scheduler groups same-scale frames
+    into micro-batches, and a thread pool of detector replicas drains them.
+    """
+
+    #: worker threads, each owning an independent detector/regressor replica
+    num_workers: int = 2
+    #: maximum frames per scale-bucketed micro-batch
+    max_batch_size: int = 4
+    #: bound of the scheduler's request queue (admitted, not yet completed)
+    queue_capacity: int = 64
+    #: what happens when the queue is full: "block" the submitter,
+    #: "drop-oldest" (shed the oldest queued frame), or "reject" the new one
+    backpressure: str = "block"
+    #: per-frame latency deadline; queued frames older than this are shed at
+    #: dispatch time (None disables deadline shedding)
+    deadline_ms: float | None = None
+    #: how long an idle worker waits for more same-scale frames before
+    #: dispatching a partial batch
+    batch_wait_ms: float = 2.0
+    #: apply Seq-NMS rescoring to each stream's history at finalize time
+    use_seqnms: bool = False
+    #: Deep-Feature-Flow key-frame interval; 1 = full detection on every frame
+    key_frame_interval: int = 1
+    #: scale of each stream's first frame (None = AdaScale's S_max)
+    initial_scale: int | None = None
+
+    def with_(self, **kwargs: object) -> "ServingConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity checks; raises ``ValueError`` on inconsistency."""
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, got {self.backpressure!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.batch_wait_ms < 0:
+            raise ValueError(f"batch_wait_ms must be >= 0, got {self.batch_wait_ms}")
+        if self.key_frame_interval < 1:
+            raise ValueError(
+                f"key_frame_interval must be >= 1, got {self.key_frame_interval}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Top-level experiment composition used by the pipeline and benchmarks."""
 
@@ -192,6 +254,7 @@ class ExperimentConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     regressor: RegressorConfig = field(default_factory=RegressorConfig)
     adascale: AdaScaleConfig = field(default_factory=AdaScaleConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
     seed: int = 0
 
     def with_(self, **kwargs: object) -> "ExperimentConfig":
@@ -211,6 +274,14 @@ class ExperimentConfig:
             raise ValueError("train_scales exceed the AdaScale maximum scale")
         _require_descending(self.adascale.scales, "adascale.scales")
         _require_descending(self.adascale.regressor_scales, "adascale.regressor_scales")
+        self.serving.validate()
+        if self.serving.initial_scale is not None and not (
+            self.adascale.min_scale <= self.serving.initial_scale <= self.adascale.max_scale
+        ):
+            raise ValueError(
+                "serving.initial_scale must lie within the AdaScale scale range "
+                f"[{self.adascale.min_scale}, {self.adascale.max_scale}]"
+            )
 
 
 def _require_descending(values: Sequence[int], name: str) -> None:

@@ -106,26 +106,39 @@ class AdaScaleDetector:
         self.regressor = regressor
         self.config = config if config is not None else AdaScaleConfig()
 
+    def predict_next_scale(
+        self, detection: DetectionResult, image_shape: tuple[int, int]
+    ) -> tuple[int, float, float]:
+        """Predict the next frame's scale from an existing detection.
+
+        This is the feedback half of Algorithm 1, split out so stream-oriented
+        callers (``repro.serving.StreamSession``) can run it on detections that
+        were produced elsewhere — e.g. by a worker-pool detector replica or a
+        DFF key frame.  Returns ``(next_scale, regressed_target, seconds)``.
+        """
+        start = time.perf_counter()
+        target = self.regressor.predict(detection.features)
+        regressor_time = time.perf_counter() - start
+        # base_size: shortest side of the image as the detector saw it.
+        base_size = float(min(image_shape[0], image_shape[1]) * detection.scale_factor)
+        next_scale = decode_scale(
+            target, base_size, self.config.min_scale, self.config.max_scale
+        )
+        return int(next_scale), float(target), regressor_time
+
     def detect_frame(self, image: np.ndarray, scale: int) -> FrameOutput:
         """Detect one frame at ``scale`` and predict the scale for the next frame."""
         detection = self.detector.detect(
             image, target_scale=int(scale), max_long_side=self.config.max_long_side
         )
-        start = time.perf_counter()
-        target = self.regressor.predict(detection.features)
-        regressor_time = time.perf_counter() - start
-        # base_size: shortest side of the image as the detector saw it.
-        base_size = float(
-            min(image.shape[0], image.shape[1]) * detection.scale_factor
-        )
-        next_scale = decode_scale(
-            target, base_size, self.config.min_scale, self.config.max_scale
+        next_scale, target, regressor_time = self.predict_next_scale(
+            detection, (image.shape[0], image.shape[1])
         )
         return FrameOutput(
             detection=detection,
             scale_used=int(scale),
-            next_scale=int(next_scale),
-            regressed_target=float(target),
+            next_scale=next_scale,
+            regressed_target=target,
             runtime_s=detection.runtime_s + regressor_time,
         )
 

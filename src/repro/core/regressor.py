@@ -51,6 +51,13 @@ class ScaleRegressor(Module):
         self.fc = Linear(fused, 1, rng=rng, name="regressor.fc")
         self._stream_widths = self.config.stream_channels
 
+    def clone(self) -> "ScaleRegressor":
+        """An independent replica with identical weights (see ``RFCNDetector.clone``)."""
+        replica = ScaleRegressor(self.in_channels, self.config, seed=0)
+        replica.load_state_dict(self.state_dict())
+        replica.train(self.training)
+        return replica
+
     def forward(self, features: np.ndarray) -> np.ndarray:
         """Predict the relative scale for a (1, C, H, W) feature map.
 

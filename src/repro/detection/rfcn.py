@@ -214,6 +214,19 @@ class RFCNDetector(Module):
         grad_neck = grad_neck + self.bbox_ps_conv.backward(grad_bbox_maps)
         return self.neck_conv.backward(self.neck_relu.backward(grad_neck))
 
+    def clone(self) -> "RFCNDetector":
+        """An independent replica with identical weights.
+
+        Layer forward passes cache activations on the layer objects, so one
+        detector instance must never run concurrently from two threads; the
+        serving worker pool gives each worker its own replica instead.  A
+        replica built from the same weights produces bit-identical outputs.
+        """
+        replica = RFCNDetector(self.config, seed=0)
+        replica.load_state_dict(self.state_dict())
+        replica.train(self.training)
+        return replica
+
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------

@@ -8,7 +8,7 @@ the appendix), and per-frame runtime / FLOP profiling (all tables, Fig. 7).
 
 from repro.evaluation.matching import FrameMatch, match_detections
 from repro.evaluation.pr_curve import PRCurve, precision_recall_curve
-from repro.evaluation.reporting import format_table, per_class_table
+from repro.evaluation.reporting import format_table, per_class_table, runtime_summary_table
 from repro.evaluation.runtime import FlopProfile, RuntimeStats, profile_flops
 from repro.evaluation.tpfp import TpFpCounts, count_tp_fp
 from repro.evaluation.voc_ap import DetectionRecord, EvalResult, average_precision, evaluate_detections
@@ -29,4 +29,5 @@ __all__ = [
     "per_class_table",
     "precision_recall_curve",
     "profile_flops",
+    "runtime_summary_table",
 ]

@@ -7,9 +7,12 @@ EXPERIMENTS.md records the resulting numbers.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-__all__ = ["format_table", "per_class_table", "format_float"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime → reporting)
+    from repro.evaluation.runtime import RuntimeStats
+
+__all__ = ["format_table", "per_class_table", "format_float", "runtime_summary_table"]
 
 
 def format_float(value: float, digits: int = 1) -> str:
@@ -46,6 +49,33 @@ def format_table(
     lines.append("-+-".join("-" * width for width in widths))
     lines.extend(render_row(row) for row in normalized_rows)
     return "\n".join(lines)
+
+
+def runtime_summary_table(
+    stats: Sequence["RuntimeStats"],
+    title: str | None = None,
+) -> str:
+    """Latency summary table shared by offline evaluation and the serving layer.
+
+    One row per :class:`~repro.evaluation.runtime.RuntimeStats`, reporting the
+    sample count, mean, p50/p95/p99 latency and implied throughput.
+    """
+    headers = ["Name", "Frames", "Mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "FPS"]
+    rows = []
+    for stat in stats:
+        summary = stat.summary()
+        rows.append(
+            [
+                stat.name or "-",
+                str(int(summary["count"])),
+                format_float(summary["mean_ms"]),
+                format_float(summary["p50_ms"]),
+                format_float(summary["p95_ms"]),
+                format_float(summary["p99_ms"]),
+                format_float(summary["fps"]),
+            ]
+        )
+    return format_table(headers, rows, title=title)
 
 
 def per_class_table(

@@ -57,6 +57,44 @@ class RuntimeStats:
             return float("nan")
         return 1000.0 / mean
 
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of the per-frame runtime in milliseconds.
+
+        Tail percentiles are the serving-side quality metric: a batch server is
+        judged on p95/p99 latency, not on the mean (see ``repro.serving``).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples_s:
+            return float("nan")
+        return 1000.0 * float(np.percentile(self.samples_s, q))
+
+    @property
+    def p50_ms(self) -> float:
+        """50th-percentile per-frame runtime in milliseconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-frame runtime in milliseconds."""
+        return self.percentile(95.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-frame runtime in milliseconds."""
+        return self.percentile(99.0)
+
+    def summary(self) -> dict[str, float]:
+        """Mean/median/percentile summary used by table reporting."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "fps": self.fps,
+        }
+
     def speedup_over(self, other: "RuntimeStats") -> float:
         """How many times faster this method is than ``other``."""
         if not self.samples_s or not other.samples_s:

@@ -13,6 +13,9 @@ Three sizes are provided:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 from repro.config import (
     AdaScaleConfig,
     DatasetConfig,
@@ -21,19 +24,48 @@ from repro.config import (
     PAPER_REGRESSOR_SCALES,
     PAPER_SCALES,
     RegressorConfig,
+    ServingConfig,
     TrainingConfig,
 )
 from repro.core.pipeline import AdaScalePipeline, ExperimentBundle
 from repro.data.mini_ytbb import MiniYTBB, default_ytbb_config
 from repro.data.synthetic_vid import SyntheticVID
+from repro.utils.registry import Registry
 
 __all__ = [
+    "DATASETS",
+    "EXPERIMENT_PRESETS",
+    "ExperimentPreset",
     "tiny_experiment_config",
     "tiny_experiment",
     "small_experiment_config",
     "small_ytbb_experiment_config",
     "paper_scales",
 ]
+
+#: Dataset builders selectable by name (the `repro` CLI and future commands
+#: resolve components through these registries instead of hard-coded dicts).
+DATASETS: Registry[type[SyntheticVID]] = Registry("dataset")
+DATASETS.register("synthetic-vid", SyntheticVID)
+DATASETS.register("mini-ytbb", MiniYTBB)
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """A named experiment: a config factory plus the dataset it runs on."""
+
+    name: str
+    config_factory: Callable[[int], ExperimentConfig]
+    dataset_cls: type[SyntheticVID]
+    description: str = ""
+
+    def build_config(self, seed: int = 0) -> ExperimentConfig:
+        """Instantiate the preset's configuration for ``seed``."""
+        return self.config_factory(seed)
+
+
+#: Experiment presets selectable by name (``--preset`` on every CLI command).
+EXPERIMENT_PRESETS: Registry[ExperimentPreset] = Registry("experiment preset")
 
 
 def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
@@ -69,12 +101,14 @@ def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
         regressor_scales=(96, 72, 48, 36, 24),
         max_long_side=320,
     )
+    serving = ServingConfig(num_workers=2, max_batch_size=2, queue_capacity=16)
     return ExperimentConfig(
         dataset=dataset,
         detector=detector,
         training=training,
         regressor=regressor,
         adascale=adascale,
+        serving=serving,
         seed=seed,
     )
 
@@ -113,12 +147,14 @@ def small_experiment_config(seed: int = 0) -> ExperimentConfig:
         regressor_scales=(128, 96, 72, 48, 32),
         max_long_side=426,
     )
+    serving = ServingConfig(num_workers=4, max_batch_size=4, queue_capacity=64)
     return ExperimentConfig(
         dataset=dataset,
         detector=detector,
         training=training,
         regressor=regressor,
         adascale=adascale,
+        serving=serving,
         seed=seed,
     )
 
@@ -159,3 +195,32 @@ def paper_scales() -> AdaScaleConfig:
         regressor_scales=PAPER_REGRESSOR_SCALES,
         max_long_side=2000,
     )
+
+
+EXPERIMENT_PRESETS.register(
+    "tiny",
+    ExperimentPreset(
+        name="tiny",
+        config_factory=tiny_experiment_config,
+        dataset_cls=SyntheticVID,
+        description="seconds-scale smoke preset (tests, quickstart, serve demo)",
+    ),
+)
+EXPERIMENT_PRESETS.register(
+    "vid",
+    ExperimentPreset(
+        name="vid",
+        config_factory=small_experiment_config,
+        dataset_cls=SyntheticVID,
+        description="SyntheticVID benchmark preset (ImageNet-VID stand-in)",
+    ),
+)
+EXPERIMENT_PRESETS.register(
+    "ytbb",
+    ExperimentPreset(
+        name="ytbb",
+        config_factory=small_ytbb_experiment_config,
+        dataset_cls=MiniYTBB,
+        description="MiniYTBB benchmark preset (YouTube-BB stand-in)",
+    ),
+)

@@ -1,0 +1,57 @@
+"""Multi-stream adaptive-scale inference serving.
+
+AdaScale's whole point is joint accuracy *and* latency for real-time video
+detection; this package is the layer that actually serves frames under load.
+It turns a trained :class:`~repro.core.pipeline.ExperimentBundle` into a
+concurrent video-inference service:
+
+* :mod:`repro.serving.request` — frame request/result types with
+  future-based completion;
+* :mod:`repro.serving.session` — :class:`StreamSession`, the per-stream
+  sequential state (AdaScale scale feedback, DFF key-frame cache, Seq-NMS
+  history) that lets many independent streams be served correctly at once;
+* :mod:`repro.serving.scheduler` — :class:`FrameScheduler`, a bounded queue
+  with scale-bucketed micro-batching, deadline-aware ordering, and
+  block / drop-oldest / reject backpressure;
+* :mod:`repro.serving.worker` — :class:`WorkerPool`, threads driving the
+  scheduler against per-worker detector replicas;
+* :mod:`repro.serving.metrics` — :class:`ServerMetrics`, p50/p95/p99 latency,
+  queue depth, batch occupancy and per-stream throughput telemetry;
+* :mod:`repro.serving.loadgen` — :class:`LoadGenerator`, deterministic
+  Poisson / bursty / uniform arrival schedules for load testing;
+* :mod:`repro.serving.server` — :class:`InferenceServer`, the composition of
+  all of the above behind ``submit``/``drain``/``finalize``.
+
+The key invariant, proven by the multi-stream equivalence test: for any
+worker count and batching, a served stream produces bit-identical detections
+and scale traces to sequential single-stream
+:meth:`~repro.core.adascale.AdaScaleDetector.process_video` inference.
+"""
+
+from repro.serving.loadgen import ArrivalEvent, LoadGenerator, round_robin_streams
+from repro.serving.metrics import ServerMetrics, StreamSnapshot, TelemetrySnapshot
+from repro.serving.request import FrameRequest, FrameResult, RequestStatus
+from repro.serving.scheduler import FrameScheduler, SchedulerClosedError
+from repro.serving.server import InferenceServer
+from repro.serving.session import FrameExecution, StreamResult, StreamSession
+from repro.serving.worker import WorkerContext, WorkerPool
+
+__all__ = [
+    "ArrivalEvent",
+    "FrameExecution",
+    "FrameRequest",
+    "FrameResult",
+    "FrameScheduler",
+    "InferenceServer",
+    "LoadGenerator",
+    "RequestStatus",
+    "SchedulerClosedError",
+    "ServerMetrics",
+    "StreamResult",
+    "StreamSession",
+    "StreamSnapshot",
+    "TelemetrySnapshot",
+    "WorkerContext",
+    "WorkerPool",
+    "round_robin_streams",
+]

@@ -1,0 +1,159 @@
+"""Synthetic multi-stream load generation for the inference server.
+
+Generates a deterministic arrival *schedule* — ``(time, stream, frame)``
+events — and replays it against an :class:`~repro.serving.server.InferenceServer`.
+Two arrival processes cover the interesting load shapes:
+
+* ``"poisson"`` — independent per-stream Poisson arrivals (exponential
+  inter-arrival times at ``rate_fps``), the classic open-loop serving model;
+* ``"bursty"`` — frames arrive in back-to-back bursts of ``burst_size`` with
+  idle gaps that preserve the same average rate, stressing the queue bound
+  and the shedding policies;
+* ``"uniform"`` — fixed-interval arrivals (a camera at constant FPS).
+
+The schedule depends only on the constructor arguments (fixed seed → same
+schedule, element for element), which the determinism test asserts.  Replay
+can run *open-loop* at true arrival times (``time_scale=1``), time-compressed
+(``time_scale<1``), or as-fast-as-possible (``time_scale=0``) where the
+scheduler's backpressure policy, not the clock, paces admissions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.data.synthetic_vid import VideoFrame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.request import FrameRequest
+    from repro.serving.server import InferenceServer
+
+__all__ = ["ArrivalEvent", "LoadGenerator", "round_robin_streams"]
+
+
+def round_robin_streams(snippets, num_streams: int) -> list[list[VideoFrame]]:
+    """Assign dataset snippets to ``num_streams`` serving streams round-robin.
+
+    The shared stream-setup of the `serve` CLI, the serving benchmark and the
+    example: stream ``i`` replays snippet ``i % len(snippets)``.
+    """
+    snippets = list(snippets)
+    if not snippets:
+        raise ValueError("need at least one snippet to build streams")
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+    return [snippets[i % len(snippets)].frames() for i in range(num_streams)]
+
+_PATTERNS = ("poisson", "bursty", "uniform")
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One scheduled frame arrival (time is seconds from generator start)."""
+
+    time_s: float
+    stream_id: int
+    frame_index: int
+
+
+class LoadGenerator:
+    """Deterministic open-loop arrival generator over multiple streams."""
+
+    def __init__(
+        self,
+        num_streams: int,
+        frames_per_stream: int,
+        pattern: str = "poisson",
+        rate_fps: float = 30.0,
+        burst_size: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        if frames_per_stream < 1:
+            raise ValueError(f"frames_per_stream must be >= 1, got {frames_per_stream}")
+        if pattern not in _PATTERNS:
+            raise ValueError(f"pattern must be one of {_PATTERNS}, got {pattern!r}")
+        if rate_fps <= 0:
+            raise ValueError(f"rate_fps must be positive, got {rate_fps}")
+        if burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+        self.num_streams = num_streams
+        self.frames_per_stream = frames_per_stream
+        self.pattern = pattern
+        self.rate_fps = rate_fps
+        self.burst_size = burst_size
+        self.seed = seed
+
+    def schedule(self) -> list[ArrivalEvent]:
+        """The full arrival schedule, sorted by time (deterministic in seed)."""
+        rng = np.random.default_rng(self.seed)
+        mean_gap = 1.0 / self.rate_fps
+        events: list[ArrivalEvent] = []
+        for stream_id in range(self.num_streams):
+            # One child generator per stream so adding streams never perturbs
+            # the arrival times of existing ones.
+            stream_rng = np.random.default_rng(rng.integers(0, 2**63))
+            if self.pattern == "poisson":
+                gaps = stream_rng.exponential(mean_gap, size=self.frames_per_stream)
+                times = np.cumsum(gaps)
+            elif self.pattern == "bursty":
+                # Bursts of `burst_size` near-simultaneous frames; the gap
+                # between burst starts keeps the long-run average at
+                # `rate_fps`.  A random per-stream phase desynchronises the
+                # streams' bursts.
+                burst_gap = self.burst_size * mean_gap
+                phase = stream_rng.uniform(0.0, burst_gap)
+                frame_ids = np.arange(self.frames_per_stream)
+                burst_ids = frame_ids // self.burst_size
+                within_burst = frame_ids % self.burst_size
+                times = phase + burst_ids * burst_gap + within_burst * 1e-4
+            else:  # uniform
+                offset = stream_rng.uniform(0.0, mean_gap)
+                times = offset + np.arange(1, self.frames_per_stream + 1) * mean_gap
+            events.extend(
+                ArrivalEvent(time_s=float(t), stream_id=stream_id, frame_index=int(i))
+                for i, t in enumerate(times)
+            )
+        events.sort(key=lambda e: (e.time_s, e.stream_id, e.frame_index))
+        return events
+
+    def run(
+        self,
+        server: "InferenceServer",
+        streams: Sequence[Sequence[VideoFrame | np.ndarray]],
+        time_scale: float = 0.0,
+    ) -> list["FrameRequest"]:
+        """Replay the schedule against ``server`` and return the requests.
+
+        ``streams[s][f]`` supplies stream ``s``'s frame ``f``.  With
+        ``time_scale > 0`` the generator sleeps so arrivals land at
+        ``time_s * time_scale``; with ``time_scale = 0`` frames are submitted
+        as fast as admission control lets them through.
+        """
+        if len(streams) < self.num_streams:
+            raise ValueError(
+                f"need {self.num_streams} streams of frames, got {len(streams)}"
+            )
+        requests: list[FrameRequest] = []
+        start = time.monotonic()
+        for event in self.schedule():
+            if time_scale > 0:
+                target = start + event.time_s * time_scale
+                delay = target - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            frame = streams[event.stream_id][event.frame_index]
+            image = frame.image if isinstance(frame, VideoFrame) else np.asarray(frame)
+            requests.append(
+                server.submit(
+                    stream_id=event.stream_id,
+                    image=image,
+                    frame_index=event.frame_index,
+                )
+            )
+        return requests

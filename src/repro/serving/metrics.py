@@ -1,0 +1,249 @@
+"""Serving telemetry: latency percentiles, queue depth, batch occupancy.
+
+Extends the offline :class:`~repro.evaluation.runtime.RuntimeStats` profiling
+to the quantities that matter under load:
+
+* **end-to-end latency** (submission → completion) and its decomposition into
+  queue wait and service time, reported as p50/p95/p99 — tail latency is the
+  paper's "real-time" claim restated for a loaded server;
+* **queue depth** sampled at every admission and dispatch — the backpressure
+  signal;
+* **batch occupancy** — how full the scale-bucketed micro-batches run, i.e.
+  how much cross-stream batching the scale regressor's predictions enable;
+* **per-stream throughput** — fairness across concurrent streams.
+
+All hooks are thread-safe; workers and submitters share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.reporting import format_float, format_table, runtime_summary_table
+from repro.evaluation.runtime import RuntimeStats
+
+__all__ = ["StreamSnapshot", "TelemetrySnapshot", "ServerMetrics"]
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """Per-stream completion statistics."""
+
+    stream_id: int
+    completed: int
+    mean_latency_ms: float
+    p95_latency_ms: float
+    throughput_fps: float
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Point-in-time summary of a serving session."""
+
+    submitted: int
+    completed: int
+    dropped: int
+    expired: int
+    rejected: int
+    failed: int
+    cancelled: int
+    latency: RuntimeStats
+    queue_wait: RuntimeStats
+    service: RuntimeStats
+    mean_batch_size: float
+    max_batch_size: int
+    mean_queue_depth: float
+    max_queue_depth: int
+    wall_s: float
+    throughput_fps: float
+    streams: tuple[StreamSnapshot, ...] = ()
+
+    @property
+    def shed(self) -> int:
+        """Total frames not processed (dropped + expired + rejected + cancelled)."""
+        return self.dropped + self.expired + self.rejected + self.cancelled
+
+    def format(self, title: str = "Serving telemetry") -> str:
+        """Render the full telemetry report (the `serve` CLI output)."""
+        counter_rows = [
+            ["submitted", str(self.submitted)],
+            ["completed", str(self.completed)],
+            ["dropped", str(self.dropped)],
+            ["expired", str(self.expired)],
+            ["rejected", str(self.rejected)],
+            ["failed", str(self.failed)],
+            ["cancelled", str(self.cancelled)],
+            ["wall time (s)", format_float(self.wall_s, 2)],
+            ["throughput (frames/s)", format_float(self.throughput_fps, 2)],
+            ["mean batch occupancy", format_float(self.mean_batch_size, 2)],
+            ["max batch size", str(self.max_batch_size)],
+            ["mean queue depth", format_float(self.mean_queue_depth, 2)],
+            ["max queue depth", str(self.max_queue_depth)],
+        ]
+        sections = [
+            format_table(["Counter", "Value"], counter_rows, title=title),
+            runtime_summary_table(
+                [self.latency, self.queue_wait, self.service],
+                title="Latency breakdown",
+            ),
+        ]
+        if self.streams:
+            stream_rows = [
+                [
+                    str(stream.stream_id),
+                    str(stream.completed),
+                    format_float(stream.mean_latency_ms),
+                    format_float(stream.p95_latency_ms),
+                    format_float(stream.throughput_fps, 2),
+                ]
+                for stream in self.streams
+            ]
+            sections.append(
+                format_table(
+                    ["Stream", "Frames", "Mean (ms)", "p95 (ms)", "FPS"],
+                    stream_rows,
+                    title="Per-stream throughput",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+@dataclass
+class _StreamCounters:
+    latency: RuntimeStats
+    first_completion: float = float("inf")
+    last_completion: float = float("-inf")
+
+
+class ServerMetrics:
+    """Thread-safe accumulator behind :class:`TelemetrySnapshot`."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.latency = RuntimeStats(name="end-to-end")
+        self.queue_wait = RuntimeStats(name="queue wait")
+        self.service = RuntimeStats(name="service")
+        self._streams: dict[int, _StreamCounters] = {}
+        self._batch_sizes: list[int] = []
+        self._queue_depths: list[int] = []
+        self.submitted = 0
+        self.completed = 0
+        self.dropped = 0
+        self.expired = 0
+        self.rejected = 0
+        self.failed = 0
+        self.cancelled = 0
+        self._first_submit = float("inf")
+        self._last_completion = float("-inf")
+
+    # -- hooks --------------------------------------------------------------
+    def on_submitted(self) -> None:
+        """Record one admission attempt."""
+        with self._lock:
+            self.submitted += 1
+            self._first_submit = min(self._first_submit, self._clock())
+
+    def on_shed(self, kind: str) -> None:
+        """Record one shed frame; ``kind`` matches a RequestStatus value."""
+        with self._lock:
+            if kind == "dropped":
+                self.dropped += 1
+            elif kind == "expired":
+                self.expired += 1
+            elif kind == "rejected":
+                self.rejected += 1
+            elif kind == "cancelled":
+                self.cancelled += 1
+            elif kind == "failed":
+                self.failed += 1
+            else:
+                raise ValueError(f"unknown shed kind {kind!r}")
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Sample the scheduler's queue depth (called on admit and dispatch)."""
+        with self._lock:
+            self._queue_depths.append(int(depth))
+
+    def observe_batch(self, size: int) -> None:
+        """Record the occupancy of one dispatched micro-batch."""
+        with self._lock:
+            self._batch_sizes.append(int(size))
+
+    def on_completed(
+        self,
+        stream_id: int,
+        queue_wait_s: float,
+        service_s: float,
+        latency_s: float,
+    ) -> None:
+        """Record one successfully served frame."""
+        now = self._clock()
+        with self._lock:
+            self.completed += 1
+            self.latency.add(latency_s)
+            self.queue_wait.add(queue_wait_s)
+            self.service.add(service_s)
+            stream = self._streams.get(stream_id)
+            if stream is None:
+                stream = _StreamCounters(latency=RuntimeStats(name=f"stream {stream_id}"))
+                self._streams[stream_id] = stream
+            stream.latency.add(latency_s)
+            stream.first_completion = min(stream.first_completion, now)
+            stream.last_completion = max(stream.last_completion, now)
+            self._last_completion = max(self._last_completion, now)
+
+    # -- reporting ----------------------------------------------------------
+    def snapshot(self) -> TelemetrySnapshot:
+        """Consistent copy of all counters and distributions."""
+        with self._lock:
+            wall = self._last_completion - self._first_submit
+            wall = wall if np.isfinite(wall) and wall > 0 else float("nan")
+            throughput = self.completed / wall if wall == wall and wall > 0 else float("nan")
+            streams = []
+            for stream_id in sorted(self._streams):
+                stream = self._streams[stream_id]
+                span = stream.last_completion - self._first_submit
+                fps = (
+                    stream.latency.count / span
+                    if np.isfinite(span) and span > 0
+                    else float("nan")
+                )
+                streams.append(
+                    StreamSnapshot(
+                        stream_id=stream_id,
+                        completed=stream.latency.count,
+                        mean_latency_ms=stream.latency.mean_ms,
+                        p95_latency_ms=stream.latency.p95_ms,
+                        throughput_fps=fps,
+                    )
+                )
+            return TelemetrySnapshot(
+                submitted=self.submitted,
+                completed=self.completed,
+                dropped=self.dropped,
+                expired=self.expired,
+                rejected=self.rejected,
+                failed=self.failed,
+                cancelled=self.cancelled,
+                latency=RuntimeStats(samples_s=list(self.latency.samples_s), name="end-to-end"),
+                queue_wait=RuntimeStats(
+                    samples_s=list(self.queue_wait.samples_s), name="queue wait"
+                ),
+                service=RuntimeStats(samples_s=list(self.service.samples_s), name="service"),
+                mean_batch_size=(
+                    float(np.mean(self._batch_sizes)) if self._batch_sizes else float("nan")
+                ),
+                max_batch_size=max(self._batch_sizes, default=0),
+                mean_queue_depth=(
+                    float(np.mean(self._queue_depths)) if self._queue_depths else float("nan")
+                ),
+                max_queue_depth=max(self._queue_depths, default=0),
+                wall_s=wall,
+                throughput_fps=throughput,
+                streams=tuple(streams),
+            )

@@ -1,0 +1,270 @@
+"""Bounded frame scheduler with scale-bucketed micro-batching.
+
+The scheduler is the seam between asynchronous frame arrivals and the worker
+pool:
+
+* **Bounded queue + backpressure.**  Admission is capped at
+  ``queue_capacity`` outstanding frames.  When full, the configured policy
+  decides: ``block`` stalls the submitter (lossless, load-generator friendly),
+  ``drop-oldest`` sheds the stalest queued frame to admit the new one (video
+  semantics — a late frame is worth less than a fresh one), ``reject`` refuses
+  the new frame.
+* **Per-stream ordering.**  AdaScale's feedback loop is sequential within a
+  stream — frame ``k``'s regressor output decides frame ``k+1``'s scale — so
+  at most one frame per stream is ever dispatched at a time, and a stream's
+  next frame only becomes *ready* once :meth:`FrameScheduler.task_done` is
+  called for the previous one.
+* **Scale-bucketed micro-batching.**  Ready frames are grouped by the scale
+  their stream's regressor predicted; one batch contains only same-scale
+  frames (of distinct streams), mirroring how a GPU server would pad and stack
+  them into one detector launch.  In this NumPy reproduction the win is
+  dispatch amortisation and cache-warm weights rather than SIMD, but the
+  scheduling semantics are the same.
+* **Deadline-aware ordering + shedding.**  Batches are formed from the bucket
+  whose head is closest to its deadline (enqueue order when no deadlines are
+  configured); frames whose deadline already passed are shed at dispatch time
+  instead of wasting detector work.
+
+All state is guarded by one condition variable; submitters and workers may
+call concurrently from any thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serving.request import FrameRequest, RequestStatus
+
+__all__ = ["SchedulerClosedError", "FrameScheduler"]
+
+
+class SchedulerClosedError(RuntimeError):
+    """Raised when submitting to a scheduler that has been closed."""
+
+
+@dataclass
+class _StreamState:
+    """Per-stream FIFO plus the one-in-flight dispatch guard."""
+
+    pending: deque[FrameRequest] = field(default_factory=deque)
+    busy: bool = False
+
+
+class FrameScheduler:
+    """Thread-safe bounded queue producing scale-bucketed micro-batches."""
+
+    def __init__(
+        self,
+        queue_capacity: int = 64,
+        backpressure: str = "block",
+        max_batch_size: int = 4,
+        batch_wait_s: float = 0.002,
+        deadline_s: float | None = None,
+        on_shed: Callable[[FrameRequest, RequestStatus], None] | None = None,
+        on_depth: Callable[[int], None] | None = None,
+        on_batch: Callable[[int], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if backpressure not in ("block", "drop-oldest", "reject"):
+            raise ValueError(f"unknown backpressure policy {backpressure!r}")
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.max_batch_size = max_batch_size
+        self.batch_wait_s = batch_wait_s
+        self.deadline_s = deadline_s
+        self._on_shed = on_shed
+        self._on_depth = on_depth
+        self._on_batch = on_batch
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._streams: dict[int, _StreamState] = {}
+        self._size = 0  # queued (admitted, not yet dispatched) frames
+        self._closed = False
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet dispatched) frames."""
+        with self._cond:
+            return self._size
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._cond:
+            return self._closed
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, request: FrameRequest) -> bool:
+        """Admit one frame; returns False if it was rejected.
+
+        Applies the backpressure policy when the queue is at capacity.  Shed
+        victims (drop-oldest) and rejected requests have their futures
+        resolved here, so submitters never observe a hang.
+        """
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosedError("scheduler is closed")
+            if self.backpressure == "block":
+                while self._size >= self.queue_capacity and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    raise SchedulerClosedError("scheduler closed while blocked on submit")
+            elif self._size >= self.queue_capacity:
+                if self.backpressure == "reject":
+                    self._shed(request, RequestStatus.REJECTED)
+                    return False
+                # drop-oldest: shed the stalest queued frame to make room.
+                victim = self._oldest_queued()
+                if victim is not None:
+                    self._remove(victim)
+                    self._shed(victim, RequestStatus.DROPPED)
+            if self.deadline_s is not None and request.deadline is None:
+                request.deadline = request.enqueue_time + self.deadline_s
+            state = self._streams.setdefault(request.stream_id, _StreamState())
+            state.pending.append(request)
+            self._size += 1
+            if self._on_depth is not None:
+                self._on_depth(self._size)
+            self._cond.notify_all()
+            return True
+
+    # -- dispatch -----------------------------------------------------------
+    def next_batch(self, timeout: float | None = 0.05) -> list[FrameRequest] | None:
+        """Form the next micro-batch, waiting up to ``timeout`` for work.
+
+        Returns ``None`` when the scheduler is closed and fully drained (the
+        worker-exit signal) and ``[]`` on a timeout with no ready work.
+        Dispatched streams are marked busy until :meth:`task_done`.
+        """
+        wait_deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                self._expire_overdue()
+                ready = self._ready_heads()
+                if ready:
+                    break
+                if self._closed and self._size == 0:
+                    return None
+                remaining = None if wait_deadline is None else wait_deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return []
+                self._cond.wait(remaining if remaining is not None else None)
+
+            # Deadline-aware bucket choice: serve the scale bucket whose head
+            # is most urgent (earliest deadline, enqueue order as tie-break).
+            ready.sort(key=self._urgency)
+            bucket_scale = ready[0].resolve_scale()
+
+            # Adaptive fill: briefly wait for more same-scale heads when the
+            # batch is not full and other streams are still mid-flight.  A
+            # stream can never batch with itself (one-in-flight ordering) and
+            # an already-ready head's scale cannot change, so the wait only
+            # pays off while some stream is busy and about to release a head.
+            if self.batch_wait_s > 0 and any(s.busy for s in self._streams.values()):
+                fill_deadline = self._clock() + self.batch_wait_s
+                while not self._closed:
+                    batch_candidates = [
+                        r for r in ready if r.resolve_scale() == bucket_scale
+                    ]
+                    if len(batch_candidates) >= self.max_batch_size:
+                        break
+                    remaining = fill_deadline - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                    self._expire_overdue()
+                    ready = self._ready_heads()
+                    if not ready:
+                        break
+                    ready.sort(key=self._urgency)
+                    bucket_scale = ready[0].resolve_scale()
+
+            batch = [r for r in ready if r.resolve_scale() == bucket_scale]
+            batch = batch[: self.max_batch_size]
+            for request in batch:
+                state = self._streams[request.stream_id]
+                state.pending.popleft()
+                state.busy = True
+                self._size -= 1
+            if batch:
+                if self._on_depth is not None:
+                    self._on_depth(self._size)
+                if self._on_batch is not None:
+                    self._on_batch(len(batch))
+            self._cond.notify_all()
+            return batch
+
+    def task_done(self, stream_id: int) -> None:
+        """Mark a dispatched frame finished; the stream's next frame is ready."""
+        with self._cond:
+            state = self._streams.get(stream_id)
+            if state is None or not state.busy:
+                raise RuntimeError(f"task_done for stream {stream_id} with no frame in flight")
+            state.busy = False
+            self._cond.notify_all()
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self, cancel_pending: bool = False) -> None:
+        """Stop admissions; optionally cancel everything still queued."""
+        with self._cond:
+            self._closed = True
+            if cancel_pending:
+                for state in self._streams.values():
+                    while state.pending:
+                        self._shed(state.pending.popleft(), RequestStatus.CANCELLED)
+                        self._size -= 1
+            self._cond.notify_all()
+
+    # -- internals (call with the lock held) --------------------------------
+    def _ready_heads(self) -> list[FrameRequest]:
+        return [
+            state.pending[0]
+            for state in self._streams.values()
+            if state.pending and not state.busy
+        ]
+
+    def _urgency(self, request: FrameRequest) -> tuple[float, int]:
+        key = request.deadline if request.deadline is not None else request.enqueue_time
+        return (key, request.request_id)
+
+    def _oldest_queued(self) -> FrameRequest | None:
+        oldest: FrameRequest | None = None
+        for state in self._streams.values():
+            if state.pending:
+                head = state.pending[0]
+                if oldest is None or self._urgency(head) < self._urgency(oldest):
+                    oldest = head
+        return oldest
+
+    def _remove(self, request: FrameRequest) -> None:
+        state = self._streams[request.stream_id]
+        state.pending.remove(request)
+        self._size -= 1
+        self._cond.notify_all()
+
+    def _expire_overdue(self) -> None:
+        if self.deadline_s is None:
+            return
+        now = self._clock()
+        for state in self._streams.values():
+            while state.pending and (
+                state.pending[0].deadline is not None and state.pending[0].deadline < now
+            ):
+                expired = state.pending.popleft()
+                self._size -= 1
+                self._shed(expired, RequestStatus.EXPIRED)
+        self._cond.notify_all()
+
+    def _shed(self, request: FrameRequest, status: RequestStatus) -> None:
+        request.resolve_shed(status)
+        if self._on_shed is not None:
+            self._on_shed(request, status)

@@ -1,0 +1,195 @@
+"""Per-stream sequential state for concurrent video serving.
+
+AdaScale's inference loop (Algorithm 1) is stateful *per video stream*: the
+regressor output of frame ``k`` chooses the scale of frame ``k+1``, DFF caches
+key-frame features, and Seq-NMS accumulates a temporal detection history.
+When many independent streams are served through one worker pool, that state
+must be owned per stream or streams would contaminate each other — the wrong
+scale, warped features from another video, cross-video detection links.
+
+:class:`StreamSession` owns exactly that state.  The scheduler guarantees at
+most one frame of a session is in flight at a time, so session methods need no
+internal locking: the scheduler's condition variable orders the previous
+frame's ``advance`` before the next frame's dispatch.
+
+Determinism: a session processed through the server — any worker count, any
+batching — produces bit-identical detections and scale traces to running
+:meth:`repro.core.adascale.AdaScaleDetector.process_video` sequentially on the
+same frames, because the exact same code path runs on replicas with identical
+weights (see the multi-stream equivalence test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acceleration.dff import DFFStream
+from repro.acceleration.seqnms import SeqNMSConfig, SeqNMSStream
+from repro.config import AdaScaleConfig, ServingConfig
+from repro.detection.rfcn import DetectionResult
+from repro.evaluation.voc_ap import DetectionRecord
+from repro.serving.request import FrameRequest, FrameResult
+
+__all__ = ["FrameExecution", "StreamResult", "StreamSession"]
+
+
+@dataclass(frozen=True)
+class FrameExecution:
+    """What a worker produced for one frame (before bookkeeping)."""
+
+    detection: DetectionResult
+    scale_used: int
+    next_scale: int | None  # None: keep the current scale (non-key DFF frame)
+    is_key_frame: bool
+    service_s: float
+
+
+@dataclass
+class StreamResult:
+    """Everything a finished stream produced, in frame order."""
+
+    stream_id: int
+    records: list[DetectionRecord] = field(default_factory=list)
+    scales_used: list[int] = field(default_factory=list)
+    frame_indices: list[int] = field(default_factory=list)
+    completed: int = 0
+    shed: int = 0
+
+
+class StreamSession:
+    """Sequential state of one video stream inside the server."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        adascale_config: AdaScaleConfig,
+        serving_config: ServingConfig,
+        num_classes: int,
+        seqnms_config: SeqNMSConfig | None = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.adascale_config = adascale_config
+        self.serving_config = serving_config
+        #: scale the stream's *next* frame will execute at — this is what the
+        #: scheduler buckets by, so it must track actual execution scale (for
+        #: DFF that is the cached key scale on non-key frames, not the
+        #: regressor's prediction for the next key frame)
+        self.current_scale = (
+            int(serving_config.initial_scale)
+            if serving_config.initial_scale is not None
+            else adascale_config.max_scale
+        )
+        self._next_key_scale = self.current_scale
+        #: DFF key-frame cache; shared structurally with the offline DFF
+        #: detector via DFFStream (the detector instance is supplied per call
+        #: by the executing worker, so the bound one is never used).
+        self.dff_stream: DFFStream | None = None
+        if serving_config.key_frame_interval > 1:
+            self.dff_stream = DFFStream(
+                detector=None,  # type: ignore[arg-type] — workers always pass theirs
+                key_frame_interval=serving_config.key_frame_interval,
+                config=adascale_config,
+            )
+        self.seqnms_stream: SeqNMSStream | None = None
+        if serving_config.use_seqnms:
+            self.seqnms_stream = SeqNMSStream(num_classes, seqnms_config)
+        self._result = StreamResult(stream_id=stream_id)
+        #: frames submitted so far (maintained by the server; one submitter
+        #: per stream — frames must arrive in temporal order anyway)
+        self.submitted = 0
+
+    # -- worker-side execution ---------------------------------------------
+    def execute(self, request: FrameRequest, worker) -> FrameExecution:
+        """Run one frame on ``worker``'s detector replica.
+
+        ``worker`` is a :class:`~repro.serving.worker.WorkerContext`.  Called
+        from exactly one worker thread at a time (scheduler guarantee).
+        """
+        image = request.image
+        if self.dff_stream is not None:
+            is_key = self.dff_stream.next_is_key_frame
+            out = self.dff_stream.process_frame(
+                image,
+                scale=request.resolve_scale() if is_key else None,
+                detector=worker.detector,
+            )
+            next_scale: int | None = None
+            service_s = out.runtime_s
+            if is_key:
+                # AdaScale+DFF: the regressor reads key-frame features and
+                # picks the scale of the *next key frame* (Fig. 7 combination).
+                next_scale, _, regress_s = worker.adascale.predict_next_scale(
+                    out.detection, (image.shape[0], image.shape[1])
+                )
+                service_s += regress_s
+            return FrameExecution(
+                detection=out.detection,
+                scale_used=out.scale_used,
+                next_scale=next_scale,
+                is_key_frame=out.is_key_frame,
+                service_s=service_s,
+            )
+        output = worker.adascale.detect_frame(image, request.resolve_scale())
+        return FrameExecution(
+            detection=output.detection,
+            scale_used=output.scale_used,
+            next_scale=output.next_scale,
+            is_key_frame=True,
+            service_s=output.runtime_s,
+        )
+
+    # -- completion bookkeeping ---------------------------------------------
+    def advance(self, request: FrameRequest, execution: FrameExecution) -> None:
+        """Fold one completed frame into the stream state.
+
+        Must run before the scheduler releases the stream's next frame
+        (``task_done``) so the next dispatch reads the updated scale.
+        """
+        if execution.next_scale is not None:
+            self._next_key_scale = int(execution.next_scale)
+        if self.dff_stream is not None:
+            # Non-key frames execute at the cached key scale regardless of the
+            # regressor's prediction; only the next key frame adopts it.
+            self.current_scale = (
+                self._next_key_scale
+                if self.dff_stream.next_is_key_frame
+                else self.dff_stream.key_scale
+            )
+        elif execution.next_scale is not None:
+            self.current_scale = int(execution.next_scale)
+        record = _to_record(execution.detection, self.stream_id, request.frame_index)
+        self._result.records.append(record)
+        self._result.scales_used.append(execution.scale_used)
+        self._result.frame_indices.append(request.frame_index)
+        self._result.completed += 1
+        if self.seqnms_stream is not None:
+            self.seqnms_stream.add(record)
+
+    def on_shed(self, request: FrameRequest) -> None:
+        """Account for a frame that was shed instead of processed.
+
+        The AdaScale feedback chain simply skips the frame: the next frame of
+        the stream runs at the last predicted scale.
+        """
+        self._result.shed += 1
+
+    # -- results ------------------------------------------------------------
+    def finalize(self) -> StreamResult:
+        """Per-stream results; applies Seq-NMS rescoring when enabled."""
+        if self.seqnms_stream is not None and len(self.seqnms_stream) > 0:
+            self._result.records = self.seqnms_stream.finalize()
+        return self._result
+
+
+def _to_record(detection: DetectionResult, stream_id: int, frame_index: int) -> DetectionRecord:
+    """Detections as an evaluation record; serving has no ground truth."""
+    return DetectionRecord(
+        boxes=detection.boxes,
+        scores=detection.scores,
+        class_ids=detection.class_ids,
+        gt_boxes=np.zeros((0, 4), dtype=np.float32),
+        gt_labels=np.zeros((0,), dtype=np.int64),
+        frame_id=(stream_id, frame_index),
+    )

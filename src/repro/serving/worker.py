@@ -1,0 +1,124 @@
+"""Thread-based worker pool driving the scheduler against the detector.
+
+Each worker owns an independent **replica** of the detector and regressor
+(``Module`` layers cache forward activations on the layer objects, so a shared
+instance is not thread-safe).  Replicas are built once at startup from the
+bundle's weights; since inference is pure NumPy arithmetic, every replica
+produces bit-identical outputs, which is what makes multi-worker serving
+exactly equivalent to sequential single-stream inference.
+
+Workers loop: pull a scale-bucketed micro-batch from the scheduler, run each
+frame through its stream's session (AdaScale or DFF path), and hand the result
+to the server's completion callback, which updates the session and releases
+the stream's next frame.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import AdaScaleConfig
+from repro.core.adascale import AdaScaleDetector
+from repro.core.regressor import ScaleRegressor
+from repro.detection.rfcn import RFCNDetector
+from repro.serving.request import FrameRequest
+from repro.serving.scheduler import FrameScheduler
+from repro.serving.session import FrameExecution
+from repro.utils.logging import get_logger
+
+__all__ = ["WorkerContext", "WorkerPool"]
+
+_LOGGER = get_logger("serving.worker")
+
+
+@dataclass
+class WorkerContext:
+    """One worker's private model replicas."""
+
+    detector: RFCNDetector
+    regressor: ScaleRegressor
+    adascale: AdaScaleDetector
+
+    @classmethod
+    def replicate(
+        cls,
+        detector: RFCNDetector,
+        regressor: ScaleRegressor,
+        config: AdaScaleConfig,
+    ) -> "WorkerContext":
+        """Clone the shared models into an independent per-worker context."""
+        detector_replica = detector.clone()
+        regressor_replica = regressor.clone()
+        return cls(
+            detector=detector_replica,
+            regressor=regressor_replica,
+            adascale=AdaScaleDetector(detector_replica, regressor_replica, config),
+        )
+
+
+class WorkerPool:
+    """Fixed pool of threads executing scheduler batches."""
+
+    def __init__(
+        self,
+        scheduler: FrameScheduler,
+        build_context: Callable[[], WorkerContext],
+        complete: Callable[[FrameRequest, FrameExecution | None, BaseException | None], None],
+        num_workers: int = 2,
+        poll_timeout_s: float = 0.05,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._scheduler = scheduler
+        self._build_context = build_context
+        self._complete = complete
+        self.num_workers = num_workers
+        self._poll_timeout_s = poll_timeout_s
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-serving-worker-{index}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the workers to exit (after the scheduler is closed)."""
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def _run(self) -> None:
+        context = self._build_context()
+        while True:
+            batch = self._scheduler.next_batch(timeout=self._poll_timeout_s)
+            if batch is None:  # closed and drained
+                return
+            for request in batch:
+                session = request.session
+                execution = None
+                error: BaseException | None = None
+                if session is None:
+                    error = RuntimeError("request has no stream session")
+                else:
+                    try:
+                        execution = session.execute(request, context)
+                    except Exception as exc:  # pragma: no cover - defensive
+                        _LOGGER.exception("worker failed on stream %s", request.stream_id)
+                        error = exc
+                # The completion callback must never kill the worker thread:
+                # a dead worker would strand the rest of the batch and hang
+                # every pending drain()/result() call.
+                try:
+                    self._complete(request, execution, error)
+                except Exception:  # pragma: no cover - defensive
+                    _LOGGER.exception(
+                        "completion callback failed for stream %s", request.stream_id
+                    )

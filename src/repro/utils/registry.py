@@ -31,20 +31,26 @@ class Registry(Generic[T]):
         self.kind = kind
         self._entries: dict[str, T] = {}
 
-    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
-        """Register ``obj`` under ``name``; usable as a decorator when ``obj`` is None."""
+    def register(
+        self, name: str, obj: T | None = None, override: bool = False
+    ) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``; usable as a decorator when ``obj`` is None.
+
+        ``override=True`` replaces an existing entry (used by tests that point
+        a preset name at a smaller configuration).
+        """
         if obj is not None:
-            self._insert(name, obj)
+            self._insert(name, obj, override)
             return obj
 
         def decorator(target: T) -> T:
-            self._insert(name, target)
+            self._insert(name, target, override)
             return target
 
         return decorator
 
-    def _insert(self, name: str, obj: T) -> None:
-        if name in self._entries:
+    def _insert(self, name: str, obj: T, override: bool = False) -> None:
+        if name in self._entries and not override:
             raise KeyError(f"{self.kind} {name!r} is already registered")
         self._entries[name] = obj
 

@@ -5,6 +5,19 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.presets import EXPERIMENT_PRESETS, ExperimentPreset
+
+
+def _point_tiny_at_micro(monkeypatch, micro_config, dataset_cls):
+    """Re-register the 'tiny' preset to the micro configuration (auto-restored)."""
+    preset = ExperimentPreset(
+        name="tiny",
+        config_factory=lambda seed=0: micro_config,
+        dataset_cls=dataset_cls,
+        description="micro test override",
+    )
+    monkeypatch.setitem(EXPERIMENT_PRESETS._entries, "tiny", preset)
+    return preset
 
 
 class TestParser:
@@ -30,6 +43,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--methods", "MS/Bogus"])
 
+    def test_preset_choices_come_from_registry(self):
+        parser = build_parser()
+        for name in EXPERIMENT_PRESETS.names():
+            args = parser.parse_args(["--preset", name, "labels"])
+            assert args.preset == name
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.streams == 4
+        assert args.pattern == "poisson"
+        assert args.policy is None
+
+
+class TestRegistries:
+    def test_known_presets_registered(self):
+        assert set(EXPERIMENT_PRESETS.names()) >= {"tiny", "vid", "ytbb"}
+
+    def test_datasets_registered(self):
+        from repro.data.mini_ytbb import MiniYTBB
+        from repro.data.synthetic_vid import SyntheticVID
+        from repro.presets import DATASETS
+
+        assert DATASETS.get("synthetic-vid") is SyntheticVID
+        assert DATASETS.get("mini-ytbb") is MiniYTBB
+
+    def test_registry_rejects_duplicate_without_override(self):
+        preset = EXPERIMENT_PRESETS.get("tiny")
+        with pytest.raises(KeyError):
+            EXPERIMENT_PRESETS.register("tiny", preset)
+        EXPERIMENT_PRESETS.register("tiny", preset, override=True)
+
 
 class TestCommands:
     def test_evaluate_from_saved_bundle(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
@@ -37,21 +81,20 @@ class TestCommands:
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
         # Point the 'tiny' preset at the micro configuration so load shapes match.
-        import repro.cli as cli
-
-        monkeypatch.setitem(cli._PRESETS, "tiny", (lambda seed=0: micro_config, type(micro_bundle.train_dataset)))
+        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
         exit_code = main(["evaluate", "--bundle", str(bundle_dir), "--methods", "MS/SS"])
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "MS/SS" in captured.out
         assert "mAP" in captured.out
+        assert "p95" in captured.out
 
     def test_labels_command(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
         import repro.cli as cli
 
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
-        monkeypatch.setitem(cli._PRESETS, "tiny", (lambda seed=0: micro_config, type(micro_bundle.train_dataset)))
+        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
         monkeypatch.setattr(
             cli, "_build_or_load", lambda args: cli.ExperimentBundle.load(bundle_dir, micro_config)
         )
@@ -59,3 +102,27 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "optimal scale" in captured.out
+
+    def test_serve_command(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
+        """`serve --bundle` runs a load-generated session and prints telemetry."""
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
+        exit_code = main(
+            [
+                "serve",
+                "--bundle",
+                str(bundle_dir),
+                "--streams",
+                "2",
+                "--frames",
+                "2",
+                "--workers",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "p95" in captured.out
+        assert "throughput" in captured.out
+        assert "Adaptive-scale traces" in captured.out

@@ -1,0 +1,390 @@
+"""Tests for the multi-stream serving subsystem (``repro.serving``)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.acceleration.combined import AdaScaleDFFDetector
+from repro.acceleration.seqnms import seq_nms
+from repro.config import ServingConfig
+from repro.evaluation.runtime import RuntimeStats
+from repro.serving import (
+    ArrivalEvent,
+    FrameRequest,
+    FrameScheduler,
+    InferenceServer,
+    LoadGenerator,
+    RequestStatus,
+    ServerMetrics,
+)
+
+
+def _request(stream_id: int, frame_index: int, scale: int, enqueue_time: float = 0.0):
+    return FrameRequest(
+        stream_id=stream_id,
+        frame_index=frame_index,
+        image=np.zeros((4, 4, 3), dtype=np.float32),
+        enqueue_time=enqueue_time,
+        scale=scale,
+    )
+
+
+class TestRuntimeStatsPercentiles:
+    def test_percentiles(self):
+        stats = RuntimeStats(name="x")
+        for value in range(1, 101):  # 1ms .. 100ms
+            stats.add(value / 1000.0)
+        assert stats.p50_ms == pytest.approx(50.5, abs=0.6)
+        assert stats.p95_ms == pytest.approx(95.05, abs=0.6)
+        assert stats.p99_ms == pytest.approx(99.01, abs=0.6)
+        assert stats.percentile(0.0) == pytest.approx(1.0)
+        assert stats.percentile(100.0) == pytest.approx(100.0)
+
+    def test_empty_and_invalid(self):
+        stats = RuntimeStats()
+        assert np.isnan(stats.p95_ms)
+        with pytest.raises(ValueError):
+            stats.percentile(101.0)
+
+    def test_summary_keys(self):
+        stats = RuntimeStats(name="y")
+        stats.add(0.01)
+        summary = stats.summary()
+        assert set(summary) == {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "fps"}
+
+    def test_runtime_summary_table(self):
+        from repro.evaluation import runtime_summary_table
+
+        stats = RuntimeStats(name="svc")
+        stats.add(0.002)
+        table = runtime_summary_table([stats], title="latency")
+        assert "p95 (ms)" in table
+        assert "svc" in table
+
+
+class TestFrameScheduler:
+    def test_batches_group_by_scale(self):
+        scheduler = FrameScheduler(queue_capacity=16, max_batch_size=4, batch_wait_s=0.0)
+        for stream, scale in enumerate([64, 48, 64, 64, 48]):
+            scheduler.submit(_request(stream, 0, scale, enqueue_time=float(stream)))
+        batch = scheduler.next_batch(timeout=0.1)
+        # Oldest head has scale 64; all ready same-scale heads batch together.
+        assert [r.stream_id for r in batch] == [0, 2, 3]
+        assert all(r.resolve_scale() == 64 for r in batch)
+
+    def test_max_batch_size(self):
+        scheduler = FrameScheduler(queue_capacity=16, max_batch_size=2, batch_wait_s=0.0)
+        for stream in range(4):
+            scheduler.submit(_request(stream, 0, 64, enqueue_time=float(stream)))
+        assert len(scheduler.next_batch(timeout=0.1)) == 2
+        assert len(scheduler.next_batch(timeout=0.1)) == 2
+
+    def test_per_stream_sequencing(self):
+        scheduler = FrameScheduler(queue_capacity=16, max_batch_size=4, batch_wait_s=0.0)
+        scheduler.submit(_request(0, 0, 64, enqueue_time=0.0))
+        scheduler.submit(_request(0, 1, 64, enqueue_time=1.0))
+        batch = scheduler.next_batch(timeout=0.1)
+        assert [(r.stream_id, r.frame_index) for r in batch] == [(0, 0)]
+        # Frame 1 is not ready until frame 0 is marked done.
+        assert scheduler.next_batch(timeout=0.02) == []
+        scheduler.task_done(0)
+        batch = scheduler.next_batch(timeout=0.1)
+        assert [(r.stream_id, r.frame_index) for r in batch] == [(0, 1)]
+
+    def test_reject_policy(self):
+        scheduler = FrameScheduler(queue_capacity=1, backpressure="reject", batch_wait_s=0.0)
+        assert scheduler.submit(_request(0, 0, 64)) is True
+        rejected = _request(1, 0, 64)
+        assert scheduler.submit(rejected) is False
+        assert rejected.result(timeout=1.0).status is RequestStatus.REJECTED
+
+    def test_drop_oldest_policy(self):
+        scheduler = FrameScheduler(queue_capacity=2, backpressure="drop-oldest", batch_wait_s=0.0)
+        oldest = _request(0, 0, 64, enqueue_time=0.0)
+        scheduler.submit(oldest)
+        scheduler.submit(_request(1, 0, 64, enqueue_time=1.0))
+        newest = _request(2, 0, 64, enqueue_time=2.0)
+        assert scheduler.submit(newest) is True
+        assert oldest.result(timeout=1.0).status is RequestStatus.DROPPED
+        assert scheduler.depth == 2
+
+    def test_block_policy_unblocks_on_dispatch(self):
+        scheduler = FrameScheduler(queue_capacity=1, backpressure="block", batch_wait_s=0.0)
+        scheduler.submit(_request(0, 0, 64))
+        admitted = threading.Event()
+
+        def blocked_submit():
+            scheduler.submit(_request(1, 0, 64, enqueue_time=1.0))
+            admitted.set()
+
+        thread = threading.Thread(target=blocked_submit, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # still blocked: queue full
+        assert len(scheduler.next_batch(timeout=0.2)) == 1  # frees a slot
+        assert admitted.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+
+    def test_deadline_expiry(self):
+        now = [100.0]
+        scheduler = FrameScheduler(
+            queue_capacity=8, deadline_s=0.5, batch_wait_s=0.0, clock=lambda: now[0]
+        )
+        stale = _request(0, 0, 64, enqueue_time=100.0)
+        scheduler.submit(stale)
+        now[0] = 101.0  # deadline (100.5) has passed
+        fresh = _request(1, 0, 64, enqueue_time=101.0)
+        scheduler.submit(fresh)
+        batch = scheduler.next_batch(timeout=0.1)
+        assert [r.stream_id for r in batch] == [1]
+        assert stale.result(timeout=1.0).status is RequestStatus.EXPIRED
+
+    def test_deadline_ordering_prefers_urgent_bucket(self):
+        scheduler = FrameScheduler(queue_capacity=8, batch_wait_s=0.0)
+        late = _request(0, 0, 48, enqueue_time=5.0)
+        urgent = _request(1, 0, 64, enqueue_time=9.0)
+        urgent.deadline = 10.0
+        late.deadline = 20.0
+        scheduler.submit(late)
+        scheduler.submit(urgent)
+        batch = scheduler.next_batch(timeout=0.1)
+        assert [r.stream_id for r in batch] == [1]
+
+    def test_close_cancels_pending(self):
+        scheduler = FrameScheduler(queue_capacity=8, batch_wait_s=0.0)
+        request = _request(0, 0, 64)
+        scheduler.submit(request)
+        scheduler.close(cancel_pending=True)
+        assert request.result(timeout=1.0).status is RequestStatus.CANCELLED
+        assert scheduler.next_batch(timeout=0.05) is None  # closed + drained
+
+
+class TestServerMetrics:
+    def test_snapshot_counts_and_percentiles(self):
+        metrics = ServerMetrics()
+        for _ in range(10):
+            metrics.on_submitted()
+        for i in range(8):
+            metrics.on_completed(stream_id=i % 2, queue_wait_s=0.001, service_s=0.004, latency_s=0.005)
+        metrics.on_shed("dropped")
+        metrics.on_shed("rejected")
+        metrics.observe_batch(3)
+        metrics.observe_queue_depth(5)
+        snap = metrics.snapshot()
+        assert snap.submitted == 10
+        assert snap.completed == 8
+        assert snap.dropped == 1 and snap.rejected == 1
+        assert snap.shed == 2
+        assert snap.latency.p95_ms == pytest.approx(5.0)
+        assert snap.mean_batch_size == pytest.approx(3.0)
+        assert snap.max_queue_depth == 5
+        assert len(snap.streams) == 2
+
+    def test_format_contains_tail_latency(self):
+        metrics = ServerMetrics()
+        metrics.on_submitted()
+        metrics.on_completed(stream_id=0, queue_wait_s=0.001, service_s=0.004, latency_s=0.005)
+        text = metrics.snapshot().format()
+        assert "p95 (ms)" in text and "p99 (ms)" in text
+        assert "throughput (frames/s)" in text
+        assert "Per-stream throughput" in text
+
+    def test_unknown_shed_kind(self):
+        with pytest.raises(ValueError):
+            ServerMetrics().on_shed("vanished")
+
+
+class TestServingConfig:
+    def test_validation(self):
+        ServingConfig().validate()
+        with pytest.raises(ValueError):
+            ServingConfig(num_workers=0).validate()
+        with pytest.raises(ValueError):
+            ServingConfig(backpressure="explode").validate()
+        with pytest.raises(ValueError):
+            ServingConfig(deadline_ms=-1.0).validate()
+        with pytest.raises(ValueError):
+            ServingConfig(key_frame_interval=0).validate()
+
+    def test_experiment_config_validates_serving(self, micro_config):
+        bad = micro_config.with_(serving=ServingConfig(max_batch_size=0))
+        with pytest.raises(ValueError):
+            bad.validate()
+        bad_scale = micro_config.with_(serving=ServingConfig(initial_scale=7))
+        with pytest.raises(ValueError):
+            bad_scale.validate()
+
+
+class TestLoadGenerator:
+    def test_schedule_deterministic_under_seed(self):
+        kwargs = dict(num_streams=3, frames_per_stream=5, pattern="poisson", rate_fps=20.0)
+        first = LoadGenerator(seed=7, **kwargs).schedule()
+        second = LoadGenerator(seed=7, **kwargs).schedule()
+        assert first == second
+        different = LoadGenerator(seed=8, **kwargs).schedule()
+        assert first != different
+
+    def test_schedule_covers_every_frame(self):
+        for pattern in ("poisson", "bursty", "uniform"):
+            events = LoadGenerator(
+                num_streams=2, frames_per_stream=4, pattern=pattern, rate_fps=10.0, seed=1
+            ).schedule()
+            assert len(events) == 8
+            seen = {(e.stream_id, e.frame_index) for e in events}
+            assert seen == {(s, f) for s in range(2) for f in range(4)}
+            times = [e.time_s for e in events]
+            assert times == sorted(times)
+
+    def test_per_stream_arrivals_are_ordered(self):
+        events = LoadGenerator(
+            num_streams=2, frames_per_stream=6, pattern="bursty", rate_fps=30.0, seed=3
+        ).schedule()
+        for stream in range(2):
+            indices = [e.frame_index for e in events if e.stream_id == stream]
+            assert indices == sorted(indices)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(num_streams=0, frames_per_stream=1)
+        with pytest.raises(ValueError):
+            LoadGenerator(num_streams=1, frames_per_stream=1, pattern="tsunami")
+        with pytest.raises(ValueError):
+            LoadGenerator(num_streams=1, frames_per_stream=1, rate_fps=0.0)
+
+    def test_event_is_frozen(self):
+        event = ArrivalEvent(time_s=0.0, stream_id=0, frame_index=0)
+        with pytest.raises(AttributeError):
+            event.time_s = 1.0  # type: ignore[misc]
+
+
+@pytest.fixture(scope="module")
+def serving_config() -> ServingConfig:
+    return ServingConfig(num_workers=2, max_batch_size=2, queue_capacity=8)
+
+
+class TestInferenceServerIntegration:
+    def test_multi_stream_matches_sequential_inference(self, micro_bundle, serving_config):
+        """Served streams are bit-identical to sequential Algorithm-1 inference."""
+        snippets = list(micro_bundle.val_dataset)[:2]
+        references = [micro_bundle.adascale.process_video(s.frames()) for s in snippets]
+
+        with InferenceServer(micro_bundle, serving=serving_config) as server:
+            requests = []
+            # Interleave submissions round-robin to force cross-stream batching.
+            max_len = max(len(s) for s in snippets)
+            for frame_index in range(max_len):
+                for stream_id, snippet in enumerate(snippets):
+                    if frame_index < len(snippet):
+                        requests.append(
+                            server.submit(stream_id, snippet[frame_index].image, frame_index)
+                        )
+            assert server.drain(timeout=120.0)
+            results = server.finalize()
+
+        for stream_id, reference in enumerate(references):
+            served = results[stream_id]
+            assert served.completed == len(reference)
+            assert served.shed == 0
+            assert served.scales_used == reference.scales_used
+            for record, ref_output in zip(served.records, reference.outputs):
+                assert np.array_equal(record.boxes, ref_output.detection.boxes)
+                assert np.array_equal(record.scores, ref_output.detection.scores)
+                assert np.array_equal(record.class_ids, ref_output.detection.class_ids)
+
+        snap = server.telemetry()
+        assert snap.completed == sum(len(s) for s in snippets)
+        assert snap.shed == 0
+        assert np.isfinite(snap.latency.p95_ms)
+        # every request future resolved successfully
+        assert all(r.result(timeout=1.0).ok for r in requests)
+
+    def test_seqnms_serving_matches_offline_rescoring(self, micro_bundle, serving_config):
+        snippet = list(micro_bundle.val_dataset)[0]
+        config = serving_config.with_(use_seqnms=True, num_workers=1)
+        with InferenceServer(micro_bundle, serving=config) as server:
+            for frame in snippet.frames():
+                server.submit(0, frame.image)
+            assert server.drain(timeout=120.0)
+            served = server.finalize_stream(0)
+
+        # The same per-frame detections rescored offline must agree exactly.
+        reference = micro_bundle.adascale.process_video(snippet.frames())
+        raw_records = server.session(0).seqnms_stream.records
+        num_classes = micro_bundle.config.detector.num_classes
+        expected = seq_nms(raw_records, num_classes)
+        for served_record, expected_record in zip(served.records, expected):
+            assert np.array_equal(served_record.scores, expected_record.scores)
+        for raw, ref_output in zip(raw_records, reference.outputs):
+            assert np.array_equal(raw.boxes, ref_output.detection.boxes)
+
+    def test_dff_serving_matches_offline_combination(self, micro_bundle, serving_config):
+        """Served DFF streams match the offline AdaScale+DFF detector."""
+        snippet = list(micro_bundle.val_dataset)[0]
+        frames = snippet.frames()
+        offline = AdaScaleDFFDetector(
+            micro_bundle.ms_detector,
+            micro_bundle.regressor,
+            key_frame_interval=2,
+            config=micro_bundle.config.adascale,
+        ).process_video(frames)
+
+        config = serving_config.with_(key_frame_interval=2, num_workers=2)
+        with InferenceServer(micro_bundle, serving=config) as server:
+            for frame in frames:
+                server.submit(0, frame.image)
+            assert server.drain(timeout=120.0)
+            served = server.finalize_stream(0)
+
+        assert served.scales_used == offline.scales_used
+        for record, detection in zip(served.records, offline.detections):
+            assert np.array_equal(record.boxes, detection.boxes)
+            assert np.array_equal(record.scores, detection.scores)
+
+    def test_reject_policy_sheds_but_serves_rest(self, micro_bundle):
+        config = ServingConfig(
+            num_workers=1, max_batch_size=1, queue_capacity=1, backpressure="reject"
+        )
+        snippet = list(micro_bundle.val_dataset)[0]
+        frames = snippet.frames()
+        with InferenceServer(micro_bundle, serving=config) as server:
+            requests = [server.submit(0, frame.image) for frame in frames]
+            assert server.drain(timeout=120.0)
+        statuses = [r.result(timeout=1.0).status for r in requests]
+        assert statuses.count(RequestStatus.COMPLETED) >= 1
+        snap = server.telemetry()
+        assert snap.completed + snap.rejected == len(frames)
+        # Rejected frames must not advance the stream's frame bookkeeping.
+        assert server.finalize_stream(0).completed == snap.completed
+
+    def test_cancelled_future_does_not_hang_drain(self, micro_bundle, serving_config):
+        """Externally cancelling a request future must not kill a worker."""
+        snippet = list(micro_bundle.val_dataset)[0]
+        frames = snippet.frames()
+        with InferenceServer(micro_bundle, serving=serving_config) as server:
+            requests = [server.submit(0, frame.image) for frame in frames]
+            requests[-1].future.cancel()  # may race with completion; both fine
+            assert server.drain(timeout=120.0)
+        snap = server.telemetry()
+        assert snap.completed + snap.shed + snap.failed == len(frames)
+
+    def test_load_generator_end_to_end(self, micro_bundle, serving_config):
+        snippets = list(micro_bundle.val_dataset)[:2]
+        streams = [s.frames() for s in snippets]
+        generator = LoadGenerator(
+            num_streams=2,
+            frames_per_stream=min(len(s) for s in streams),
+            pattern="bursty",
+            rate_fps=100.0,
+            seed=5,
+        )
+        with InferenceServer(micro_bundle, serving=serving_config) as server:
+            requests = generator.run(server, streams, time_scale=0.0)
+            assert server.drain(timeout=120.0)
+        assert all(r.result(timeout=1.0).ok for r in requests)
+        snap = server.telemetry()
+        assert snap.completed == len(requests)
+        assert snap.mean_batch_size >= 1.0
