@@ -15,7 +15,7 @@ the rest of the library:
 """
 
 from repro.acceleration.combined import AdaScaleDFFDetector, adascale_with_seqnms
-from repro.acceleration.dff import DFFDetector, DFFFrameOutput, DFFStream
+from repro.acceleration.dff import DFFDetector, DFFFrameOutput, DFFFramePlan, DFFStream
 from repro.acceleration.optical_flow import estimate_flow, warp_features
 from repro.acceleration.seqnms import SeqNMSConfig, SeqNMSStream, seq_nms
 
@@ -23,6 +23,7 @@ __all__ = [
     "AdaScaleDFFDetector",
     "DFFDetector",
     "DFFFrameOutput",
+    "DFFFramePlan",
     "DFFStream",
     "SeqNMSConfig",
     "SeqNMSStream",

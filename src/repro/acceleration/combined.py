@@ -22,6 +22,7 @@ from repro.config import AdaScaleConfig
 from repro.core.adascale import AdaScaleDetector
 from repro.core.regressor import ScaleRegressor
 from repro.core.scale_coding import decode_scale
+from repro.core.scale_set import ScaleSet
 from repro.data.synthetic_vid import VideoFrame
 from repro.detection.rfcn import RFCNDetector
 from repro.evaluation.voc_ap import DetectionRecord
@@ -49,6 +50,11 @@ class AdaScaleDFFDetector:
         """Process one snippet with adaptive key-frame scaling."""
         frames = list(frames)
         output = DFFOutput()
+        quantize_to = (
+            ScaleSet.from_sequence(self.config.regressor_scales)
+            if self.config.quantize_predicted_scale
+            else None
+        )
         scale = self.config.max_scale
         key_scale = scale
         index = 0
@@ -72,6 +78,8 @@ class AdaScaleDFFDetector:
             image = group[0].image if isinstance(group[0], VideoFrame) else np.asarray(group[0])
             base_size = float(min(image.shape[0], image.shape[1]) * key_detection.scale_factor)
             scale = decode_scale(target, base_size, self.config.min_scale, self.config.max_scale)
+            if quantize_to is not None:
+                scale = quantize_to.nearest(scale)
             index += len(group)
         return output
 

@@ -20,9 +20,10 @@ from repro.config import AdaScaleConfig
 from repro.data.synthetic_vid import VideoFrame
 from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult, RFCNDetector
+from repro.nn.layers import inference_mode
 from repro.evaluation.voc_ap import DetectionRecord
 
-__all__ = ["DFFFrameOutput", "DFFOutput", "DFFStream", "DFFDetector"]
+__all__ = ["DFFFrameOutput", "DFFFramePlan", "DFFOutput", "DFFStream", "DFFDetector"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,30 @@ class DFFFrameOutput:
     is_key_frame: bool
     runtime_s: float
     scale_used: int
+
+
+@dataclass(frozen=True)
+class DFFFramePlan:
+    """Read-only preparation of one DFF frame, produced by :meth:`DFFStream.plan_frame`.
+
+    Splitting DFF into a *plan* phase (resize, flow estimation, feature
+    warping — no stream-state mutation) and a *commit* phase (cache updates)
+    lets the serving worker batch the detector work of many streams between
+    the two phases: key-frame tensors stack through the backbone, warped
+    non-key features stack through the detection head.
+
+    ``tensor`` is the normalised (1, 3, h, w) backbone input (key frames
+    only); ``warped_features`` are head-ready features (non-key frames only).
+    """
+
+    is_key_frame: bool
+    scale: int
+    image_size: tuple[int, int]
+    working_shape: tuple[int, int]
+    scale_factor: float
+    tensor: np.ndarray | None = None
+    resized_image: np.ndarray | None = None
+    warped_features: np.ndarray | None = None
 
 
 @dataclass
@@ -133,72 +158,120 @@ class DFFStream:
         self._key_working_shape = (0, 0)
         self._frame_count = 0
 
+    def plan_frame(
+        self,
+        image: np.ndarray | VideoFrame,
+        scale: int | None = None,
+        detector: RFCNDetector | None = None,
+    ) -> DFFFramePlan:
+        """Prepare the stream's next frame without mutating stream state.
+
+        Key frames are resized and normalised into a backbone-ready tensor;
+        non-key frames are resized, the key→current optical flow is estimated
+        and the cached key features are warped into head-ready features.  The
+        returned plan must be passed to :meth:`commit_frame` after the
+        detector ran — only then does the stream advance.
+        """
+        detector = detector if detector is not None else self.detector
+        array = image.image if isinstance(image, VideoFrame) else np.asarray(image)
+        if self.next_is_key_frame:
+            key_scale = int(scale) if scale is not None else self._key_scale
+            resized = resize_image(array, key_scale, self.config.max_long_side)
+            return DFFFramePlan(
+                is_key_frame=True,
+                scale=key_scale,
+                image_size=array.shape[:2],
+                working_shape=resized.image.shape[:2],
+                scale_factor=resized.scale_factor,
+                tensor=image_to_chw(normalize_image(resized.image)),
+                resized_image=resized.image,
+            )
+        if self._key_features is None or self._key_image is None:
+            raise RuntimeError("non-key frame encountered before any key frame")
+        resized = resize_image(array, self._key_scale, self.config.max_long_side)
+        current = _match_shape(resized.image, self._key_image.shape[:2])
+        flow = estimate_flow(
+            self._key_image,
+            current,
+            cell_size=self.flow_cell_size,
+            search_radius=self.flow_search_radius,
+        )
+        warped = warp_features(self._key_features, flow, detector.config.feature_stride)
+        return DFFFramePlan(
+            is_key_frame=False,
+            scale=self._key_scale,
+            image_size=array.shape[:2],
+            working_shape=self._key_working_shape,
+            scale_factor=self._key_scale_factor,
+            warped_features=warped,
+        )
+
+    def commit_frame(
+        self,
+        plan: DFFFramePlan,
+        detection: DetectionResult,
+        features: np.ndarray | None = None,
+        runtime_s: float = 0.0,
+    ) -> DFFFrameOutput:
+        """Fold one executed plan back into the stream state.
+
+        ``features`` are the backbone features of the planned tensor (key
+        frames only); they become the cache that non-key frames warp from.
+        """
+        if plan.is_key_frame:
+            if features is None:
+                raise ValueError("key-frame commit requires the backbone features")
+            self._key_scale = plan.scale
+            self._key_image = plan.resized_image
+            # Copy: batched workers hand over a view into a whole stacked
+            # micro-batch; caching the view would pin every batch-mate's
+            # features in memory for the full key-frame interval.  (A plain
+            # .copy() — a leading-axis slice is already contiguous, so
+            # ascontiguousarray would return the view unchanged.)
+            self._key_features = features.copy()
+            self._key_scale_factor = plan.scale_factor
+            self._key_working_shape = plan.working_shape
+        self._frame_count += 1
+        return DFFFrameOutput(
+            detection=detection,
+            is_key_frame=plan.is_key_frame,
+            runtime_s=runtime_s,
+            scale_used=plan.scale,
+        )
+
     def process_frame(
         self,
         image: np.ndarray | VideoFrame,
         scale: int | None = None,
         detector: RFCNDetector | None = None,
     ) -> DFFFrameOutput:
-        """Process the stream's next frame.
+        """Process the stream's next frame (plan + detect + commit in one call).
 
         ``scale`` is honoured only at key frames (non-key frames must reuse
         the key frame's scale).  ``detector`` optionally overrides the
-        detector used for this frame — the serving worker pool passes its
-        per-worker replica here; any replica with identical weights produces
-        identical outputs, so the cached features stay valid across workers.
+        detector used for this frame — inference is thread-safe and
+        deterministic, so any detector with identical weights keeps the
+        cached features valid.
         """
         detector = detector if detector is not None else self.detector
-        array = image.image if isinstance(image, VideoFrame) else np.asarray(image)
-        is_key = self.next_is_key_frame
-        if is_key:
-            if scale is not None:
-                self._key_scale = int(scale)
-            start = time.perf_counter()
-            resized = resize_image(array, self._key_scale, self.config.max_long_side)
-            tensor = image_to_chw(normalize_image(resized.image))
-            features = detector.extract_features(tensor)
+        start = time.perf_counter()
+        # inference_mode keeps the detector free of side effects (no layer
+        # caches), so a shared detector stays safe even on this per-frame path.
+        with inference_mode():
+            plan = self.plan_frame(image, scale=scale, detector=detector)
+            if plan.is_key_frame:
+                features = detector.extract_features(plan.tensor)
+            else:
+                features = None
             detection = detector.detect_from_features(
-                features,
-                working_shape=resized.image.shape[:2],
-                scale_factor=resized.scale_factor,
-                image_size=array.shape[:2],
-                target_scale=self._key_scale,
+                features if plan.is_key_frame else plan.warped_features,
+                working_shape=plan.working_shape,
+                scale_factor=plan.scale_factor,
+                image_size=plan.image_size,
+                target_scale=plan.scale,
             )
-            runtime = time.perf_counter() - start
-            self._key_image = resized.image
-            self._key_features = features
-            self._key_scale_factor = resized.scale_factor
-            self._key_working_shape = resized.image.shape[:2]
-        else:
-            if self._key_features is None or self._key_image is None:
-                raise RuntimeError("non-key frame encountered before any key frame")
-            start = time.perf_counter()
-            resized = resize_image(array, self._key_scale, self.config.max_long_side)
-            current = _match_shape(resized.image, self._key_image.shape[:2])
-            flow = estimate_flow(
-                self._key_image,
-                current,
-                cell_size=self.flow_cell_size,
-                search_radius=self.flow_search_radius,
-            )
-            warped = warp_features(
-                self._key_features, flow, detector.config.feature_stride
-            )
-            detection = detector.detect_from_features(
-                warped,
-                working_shape=self._key_working_shape,
-                scale_factor=self._key_scale_factor,
-                image_size=array.shape[:2],
-                target_scale=self._key_scale,
-            )
-            runtime = time.perf_counter() - start
-        self._frame_count += 1
-        return DFFFrameOutput(
-            detection=detection,
-            is_key_frame=is_key,
-            runtime_s=runtime,
-            scale_used=self._key_scale,
-        )
+        runtime = time.perf_counter() - start
+        return self.commit_frame(plan, detection, features=features, runtime_s=runtime)
 
 
 class DFFDetector:

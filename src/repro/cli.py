@@ -137,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Deep-Feature-Flow key-frame interval (1 = full detection every frame)",
     )
+    serve.add_argument(
+        "--unbatched",
+        action="store_true",
+        help="execute micro-batches frame by frame instead of as one stacked tensor",
+    )
+    serve.add_argument(
+        "--quantize-scales",
+        action="store_true",
+        help=(
+            "snap predicted scales to the regressor scale set so concurrent "
+            "streams share scheduler batch buckets"
+        ),
+    )
     return parser
 
 
@@ -169,6 +182,17 @@ def _run_serve(args: argparse.Namespace) -> int:
     serving = serving.with_(**{k: v for k, v in overrides.items() if v is not None})
     if args.seqnms:
         serving = serving.with_(use_seqnms=True)
+    if args.unbatched:
+        serving = serving.with_(batched_execution=False)
+    if args.quantize_scales:
+        from dataclasses import replace as _replace
+
+        bundle = _replace(
+            bundle,
+            config=bundle.config.with_(
+                adascale=bundle.config.adascale.with_(quantize_predicted_scale=True)
+            ),
+        )
 
     # Stream sources: validation snippets, reused round-robin across streams.
     streams = round_robin_streams(bundle.val_dataset, args.streams)

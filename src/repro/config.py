@@ -172,6 +172,15 @@ class AdaScaleConfig:
     max_long_side: int = 426
     #: number of top-loss foreground boxes is truncated to n_min (Sec. 3.1)
     use_foreground_truncation: bool = True
+    #: snap the decoded next-frame scale to the nearest member of
+    #: ``regressor_scales`` instead of keeping the raw rounded integer.
+    #: Deployments serving many streams enable this so the scheduler's scale
+    #: buckets actually coincide across streams (a continuous scale makes
+    #: nearly every bucket a singleton and defeats micro-batching); the
+    #: regressor only ever saw the discrete scales during training, so the
+    #: accuracy impact is marginal.  Off by default to preserve the paper's
+    #: continuous Algorithm-1 decoding.
+    quantize_predicted_scale: bool = False
 
     @property
     def min_scale(self) -> int:
@@ -194,13 +203,18 @@ class ServingConfig:
 
     The server turns a trained bundle into a multi-stream video service:
     frames arrive per stream, a bounded scheduler groups same-scale frames
-    into micro-batches, and a thread pool of detector replicas drains them.
+    into micro-batches, and a thread pool executes each micro-batch as one
+    stacked tensor through a shared detector.
     """
 
-    #: worker threads, each owning an independent detector/regressor replica
+    #: worker threads sharing one detector/regressor (inference-mode forwards
+    #: are side-effect free, so no per-worker replicas are needed)
     num_workers: int = 2
     #: maximum frames per scale-bucketed micro-batch
     max_batch_size: int = 4
+    #: execute each micro-batch as one stacked tensor (bit-identical to the
+    #: per-frame path; disable only to benchmark the unbatched baseline)
+    batched_execution: bool = True
     #: bound of the scheduler's request queue (admitted, not yet completed)
     queue_capacity: int = 64
     #: what happens when the queue is full: "block" the submitter,

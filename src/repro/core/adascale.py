@@ -20,6 +20,8 @@ import numpy as np
 from repro.config import AdaScaleConfig
 from repro.core.regressor import ScaleRegressor
 from repro.core.scale_coding import decode_scale
+from repro.core.scale_set import ScaleSet
+from repro.utils.grouping import group_indices, stack_group
 from repro.data.synthetic_vid import VideoFrame
 from repro.detection.rfcn import DetectionResult, RFCNDetector
 from repro.evaluation.voc_ap import DetectionRecord
@@ -113,34 +115,102 @@ class AdaScaleDetector:
 
         This is the feedback half of Algorithm 1, split out so stream-oriented
         callers (``repro.serving.StreamSession``) can run it on detections that
-        were produced elsewhere — e.g. by a worker-pool detector replica or a
-        DFF key frame.  Returns ``(next_scale, regressed_target, seconds)``.
+        were produced elsewhere — e.g. by a serving worker or a DFF key frame.
+        Returns ``(next_scale, regressed_target, seconds)``.
         """
-        start = time.perf_counter()
-        target = self.regressor.predict(detection.features)
-        regressor_time = time.perf_counter() - start
-        # base_size: shortest side of the image as the detector saw it.
-        base_size = float(min(image_shape[0], image_shape[1]) * detection.scale_factor)
-        next_scale = decode_scale(
-            target, base_size, self.config.min_scale, self.config.max_scale
+        return self.predict_next_scales([detection], [image_shape])[0]
+
+    def predict_next_scales(
+        self,
+        detections: Sequence[DetectionResult],
+        image_shapes: Sequence[tuple[int, int]],
+    ) -> list[tuple[int, float, float]]:
+        """Batched feedback half of Algorithm 1.
+
+        Feature maps of the same spatial shape are stacked and regressed in
+        one batch-invariant forward, so the predicted scales are bit-identical
+        to calling :meth:`predict_next_scale` per frame.  Returns one
+        ``(next_scale, regressed_target, seconds)`` triple per detection,
+        where ``seconds`` is the frame's amortised share of its batch.
+        """
+        if len(detections) != len(image_shapes):
+            raise ValueError(
+                f"{len(detections)} detections but {len(image_shapes)} image shapes"
+            )
+        targets = np.empty(len(detections), dtype=np.float32)
+        shares = np.empty(len(detections), dtype=np.float64)
+        for indices in group_indices(
+            detections, key=lambda detection: detection.features.shape[1:]
+        ):
+            start = time.perf_counter()
+            values = self.regressor.predict_batch(
+                stack_group([detections[i].features for i in indices])
+            )
+            share = (time.perf_counter() - start) / len(indices)
+            for position, value in zip(indices, values):
+                targets[position] = value
+                shares[position] = share
+
+        # Snap to the discrete regressor scale set so concurrent streams land
+        # in shared scheduler buckets (see AdaScaleConfig).
+        quantize_to = (
+            ScaleSet.from_sequence(self.config.regressor_scales)
+            if self.config.quantize_predicted_scale
+            else None
         )
-        return int(next_scale), float(target), regressor_time
+        results: list[tuple[int, float, float]] = []
+        for detection, image_shape, target, share in zip(
+            detections, image_shapes, targets, shares
+        ):
+            # base_size: shortest side of the image as the detector saw it.
+            base_size = float(min(image_shape[0], image_shape[1]) * detection.scale_factor)
+            next_scale = decode_scale(
+                float(target), base_size, self.config.min_scale, self.config.max_scale
+            )
+            if quantize_to is not None:
+                next_scale = quantize_to.nearest(next_scale)
+            results.append((int(next_scale), float(target), float(share)))
+        return results
 
     def detect_frame(self, image: np.ndarray, scale: int) -> FrameOutput:
         """Detect one frame at ``scale`` and predict the scale for the next frame."""
-        detection = self.detector.detect(
-            image, target_scale=int(scale), max_long_side=self.config.max_long_side
+        return self.detect_frames([image], [scale])[0]
+
+    def detect_frames(
+        self, images: Sequence[np.ndarray], scales: Sequence[int]
+    ) -> list[FrameOutput]:
+        """Batched detector phase of Algorithm 1 over independent frames.
+
+        Frames are detected as scale-grouped stacked tensors and the scale
+        regressor runs once per feature-shape group; results are bit-identical
+        to calling :meth:`detect_frame` per frame.  The per-frame sequential
+        feedback (frame ``k`` choosing frame ``k+1``'s scale) stays with the
+        caller — this method only batches frames that are already independent,
+        e.g. frames of *different* streams in the serving scheduler or frames
+        of one video under a fixed-scale policy.
+        """
+        if len(images) != len(scales):
+            raise ValueError(f"{len(images)} images but {len(scales)} scales")
+        detections = self.detector.detect_batch(
+            images,
+            [int(scale) for scale in scales],
+            max_long_side=self.config.max_long_side,
         )
-        next_scale, target, regressor_time = self.predict_next_scale(
-            detection, (image.shape[0], image.shape[1])
+        feedback = self.predict_next_scales(
+            detections, [(image.shape[0], image.shape[1]) for image in images]
         )
-        return FrameOutput(
-            detection=detection,
-            scale_used=int(scale),
-            next_scale=next_scale,
-            regressed_target=target,
-            runtime_s=detection.runtime_s + regressor_time,
-        )
+        return [
+            FrameOutput(
+                detection=detection,
+                scale_used=int(scale),
+                next_scale=next_scale,
+                regressed_target=target,
+                runtime_s=detection.runtime_s + regressor_time,
+            )
+            for detection, scale, (next_scale, target, regressor_time) in zip(
+                detections, scales, feedback
+            )
+        ]
 
     def process_video(
         self,

@@ -46,6 +46,16 @@ _LOGGER = get_logger("core.pipeline")
 #: Methods reported in the paper's evaluation (Table 1, Fig. 5, Fig. 6).
 METHODS: tuple[str, ...] = ("SS/SS", "MS/SS", "MS/MS", "MS/Random", "MS/AdaScale")
 
+#: Frames per detector micro-batch in the feedback-free evaluation loops.
+#: Bounds peak im2col memory (which scales with the stacked batch) while
+#: keeping the batching win; long snippets are processed chunk by chunk.
+EVAL_BATCH_SIZE: int = 8
+
+
+def _chunks(items: list, size: int) -> list[list]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
 
 def merge_detections(
     results: Sequence[DetectionResult],
@@ -240,14 +250,19 @@ class ExperimentBundle:
         runtime = RuntimeStats(name=name)
         trace: dict[int, list[int]] = {}
         for snippet in dataset:
-            trace[snippet.snippet_id] = []
-            for frame in snippet:
-                result = detector.detect(
-                    frame.image, target_scale=scale, max_long_side=self.config.adascale.max_long_side
+            # Fixed-scale evaluation has no cross-frame feedback, so snippet
+            # frames run through the batched detector path in bounded chunks.
+            frames = snippet.frames()
+            for chunk in _chunks(frames, EVAL_BATCH_SIZE):
+                results = detector.detect_batch(
+                    [frame.image for frame in chunk],
+                    scale,
+                    max_long_side=self.config.adascale.max_long_side,
                 )
-                records.append(_to_record(result, frame))
-                runtime.add(result.runtime_s)
-                trace[snippet.snippet_id].append(scale)
+                for frame, result in zip(chunk, results):
+                    records.append(_to_record(result, frame))
+                    runtime.add(result.runtime_s)
+            trace[snippet.snippet_id] = [scale] * len(frames)
         return MethodResult(
             name=name,
             eval=evaluate_detections(records, dataset.class_names),
@@ -264,14 +279,13 @@ class ExperimentBundle:
         for snippet in dataset:
             trace[snippet.snippet_id] = []
             for frame in snippet:
-                per_scale = [
-                    self.ms_detector.detect(
-                        frame.image,
-                        target_scale=int(scale),
-                        max_long_side=config.adascale.max_long_side,
-                    )
-                    for scale in config.adascale.scales
-                ]
+                # One frame at every test scale forms a natural micro-batch
+                # (each scale is its own stack inside detect_batch).
+                per_scale = self.ms_detector.detect_batch(
+                    [frame.image] * len(config.adascale.scales),
+                    [int(scale) for scale in config.adascale.scales],
+                    max_long_side=config.adascale.max_long_side,
+                )
                 boxes, scores, class_ids = merge_detections(
                     per_scale,
                     config.detector.nms_threshold,
@@ -305,15 +319,24 @@ class ExperimentBundle:
         runtime = RuntimeStats(name="MS/Random")
         trace: dict[int, list[int]] = {}
         for snippet in dataset:
-            trace[snippet.snippet_id] = []
-            for frame in snippet:
-                scale = int(reg_scales[int(rng.integers(len(reg_scales)))])
-                result = self.ms_detector.detect(
-                    frame.image, target_scale=scale, max_long_side=config.adascale.max_long_side
+            frames = snippet.frames()
+            # Scales are drawn per frame up front (same RNG stream as the
+            # sequential loop), then the snippet runs as scale-grouped batches.
+            scales = [
+                int(reg_scales[int(rng.integers(len(reg_scales)))]) for _ in frames
+            ]
+            for chunk, scale_chunk in zip(
+                _chunks(frames, EVAL_BATCH_SIZE), _chunks(scales, EVAL_BATCH_SIZE)
+            ):
+                results = self.ms_detector.detect_batch(
+                    [frame.image for frame in chunk],
+                    scale_chunk,
+                    max_long_side=config.adascale.max_long_side,
                 )
-                records.append(_to_record(result, frame))
-                runtime.add(result.runtime_s)
-                trace[snippet.snippet_id].append(scale)
+                for frame, result in zip(chunk, results):
+                    records.append(_to_record(result, frame))
+                    runtime.add(result.runtime_s)
+            trace[snippet.snippet_id] = scales
         return MethodResult(
             name="MS/Random",
             eval=evaluate_detections(records, dataset.class_names),

@@ -15,7 +15,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import RegressorConfig
-from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, Module, ReLU
+from repro.nn.layers import (
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    inference_mode,
+    is_inference,
+)
 
 __all__ = ["ScaleRegressor"]
 
@@ -59,9 +67,12 @@ class ScaleRegressor(Module):
         return replica
 
     def forward(self, features: np.ndarray) -> np.ndarray:
-        """Predict the relative scale for a (1, C, H, W) feature map.
+        """Predict the relative scale for an (N, C, H, W) feature stack.
 
-        Returns a (batch,) array (batch is 1 in the video pipeline).
+        Returns an (N,) array.  In inference mode the forward is
+        batch-invariant: row ``n`` is bit-identical to running feature map
+        ``n`` alone, so micro-batched scale prediction matches the sequential
+        Algorithm-1 loop exactly.
         """
         features = np.asarray(features, dtype=np.float32)
         if features.ndim != 4 or features.shape[1] != self.in_channels:
@@ -72,7 +83,8 @@ class ScaleRegressor(Module):
         for conv, act, pool in zip(self.streams, self.activations, self.pools):
             pooled_streams.append(pool(act(conv(features))))
         fused = np.concatenate(pooled_streams, axis=1)
-        self._fused_shape = fused.shape
+        if not is_inference():
+            self._fused_shape = fused.shape
         prediction = self.fc(fused)
         return prediction[:, 0]
 
@@ -93,7 +105,16 @@ class ScaleRegressor(Module):
 
     def predict(self, features: np.ndarray) -> float:
         """Convenience scalar prediction for a single feature map."""
-        return float(self.forward(features)[0])
+        return float(self.predict_batch(features)[0])
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Side-effect-free (N,) prediction for a stack of feature maps.
+
+        Runs in :func:`repro.nn.inference_mode`, so a shared regressor may be
+        called concurrently from many serving workers.
+        """
+        with inference_mode():
+            return self.forward(features).astype(np.float32)
 
     def overhead_flops(self, feature_height: int, feature_width: int) -> int:
         """Multiply–accumulate cost of the regressor itself.

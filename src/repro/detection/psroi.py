@@ -8,13 +8,21 @@ The implementation is fully vectorised: the forward pass evaluates every
 rectangular bin sum through a 2-D integral image (summed-area table), and the
 backward pass scatters the four signed corner impulses of each bin and
 recovers the dense gradient with two cumulative sums — the adjoint of the
-integral-image lookup.  Both passes cost O(channels x H x W + R x k^2)
+integral-image lookup.  Both passes cost O(batch x channels x H x W + R x k^2)
 instead of a Python loop over every (RoI, bin) pair.
+
+The operator is batch-first: ``score_maps`` may hold several images and each
+RoI carries a batch index selecting the image it pools from, so one pass
+serves a whole scale-bucketed micro-batch.  Per-image summed-area tables are
+independent cumulative sums, which keeps batched pooling bit-identical to
+pooling each image alone.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.layers import is_inference
 
 __all__ = ["PSRoIPool"]
 
@@ -86,15 +94,23 @@ class PSRoIPool:
         return ys, ye, xs, xe
 
     # ------------------------------------------------------------------
-    def forward(self, score_maps: np.ndarray, rois: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        score_maps: np.ndarray,
+        rois: np.ndarray,
+        batch_indices: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Pool ``rois`` from ``score_maps``.
 
         Parameters
         ----------
         score_maps:
-            (1, k*k*output_dim, H, W) position-sensitive maps.
+            (B, k*k*output_dim, H, W) position-sensitive maps.
         rois:
             (R, 4) boxes in *image* coordinates.
+        batch_indices:
+            (R,) index of the image each RoI pools from.  May be omitted only
+            for single-image maps (B == 1), where it defaults to zeros.
 
         Returns
         -------
@@ -102,8 +118,8 @@ class PSRoIPool:
         """
         score_maps = np.asarray(score_maps, dtype=np.float32)
         rois = np.asarray(rois, dtype=np.float32).reshape(-1, 4)
-        if score_maps.ndim != 4 or score_maps.shape[0] != 1:
-            raise ValueError(f"score_maps must be (1, C, H, W), got {score_maps.shape}")
+        if score_maps.ndim != 4:
+            raise ValueError(f"score_maps must be (B, C, H, W), got {score_maps.shape}")
         if score_maps.shape[1] != self.expected_channels:
             raise ValueError(
                 f"score_maps have {score_maps.shape[1]} channels, expected {self.expected_channels}"
@@ -111,56 +127,74 @@ class PSRoIPool:
         k = self.group_size
         dim = self.output_dim
         num_rois = rois.shape[0]
-        _, _, height, width = score_maps.shape
+        batch, _, height, width = score_maps.shape
+        if batch_indices is None:
+            if batch != 1:
+                raise ValueError("batch_indices is required for multi-image score_maps")
+            batch_indices = np.zeros(num_rois, dtype=np.int64)
+        else:
+            batch_indices = np.asarray(batch_indices, dtype=np.int64).reshape(-1)
+            if batch_indices.shape[0] != num_rois:
+                raise ValueError(
+                    f"{num_rois} rois but {batch_indices.shape[0]} batch indices"
+                )
         output = np.zeros((num_rois, dim, k, k), dtype=np.float32)
         if num_rois == 0:
-            self._cache = {
-                "maps_shape": np.asarray(score_maps.shape),
-                "ys": np.zeros((0, k, k), np.int64),
-                "ye": np.zeros((0, k, k), np.int64),
-                "xs": np.zeros((0, k, k), np.int64),
-                "xe": np.zeros((0, k, k), np.int64),
-                "counts": np.zeros((0, k, k), np.float32),
-            }
+            if not is_inference():
+                self._cache = {
+                    "maps_shape": np.asarray(score_maps.shape),
+                    "batch_indices": batch_indices,
+                    "ys": np.zeros((0, k, k), np.int64),
+                    "ye": np.zeros((0, k, k), np.int64),
+                    "xs": np.zeros((0, k, k), np.int64),
+                    "xe": np.zeros((0, k, k), np.int64),
+                    "counts": np.zeros((0, k, k), np.float32),
+                }
             return output
 
         ys, ye, xs, xe = self._bin_edges(rois, height, width)
         counts = np.maximum((ye - ys) * (xe - xs), 0).astype(np.float32)
 
-        # Integral image over each channel: I[c, y, x] = sum(maps[c, :y, :x]).
-        maps = score_maps[0].astype(np.float64)
-        integral = np.zeros((maps.shape[0], height + 1, width + 1), dtype=np.float64)
-        integral[:, 1:, 1:] = maps.cumsum(axis=1).cumsum(axis=2)
+        # Integral image per (image, channel):
+        # I[b, c, y, x] = sum(maps[b, c, :y, :x]).  Cumulative sums run along
+        # the spatial axes only, so each image's table is independent of its
+        # batch neighbours (batched pooling == per-image pooling, bit for bit).
+        maps = score_maps.astype(np.float64)
+        integral = np.zeros((batch, maps.shape[1], height + 1, width + 1), dtype=np.float64)
+        integral[:, :, 1:, 1:] = maps.cumsum(axis=2).cumsum(axis=3)
 
-        grouped = integral.reshape(k * k, dim, height + 1, width + 1)
+        grouped = integral.reshape(batch, k * k, dim, height + 1, width + 1)
+        roi_batch = batch_indices
         for bin_row in range(k):
             for bin_col in range(k):
                 bin_index = bin_row * k + bin_col
-                block = grouped[bin_index]  # (dim, H+1, W+1)
+                block = grouped[:, bin_index]  # (B, dim, H+1, W+1)
                 y0 = ys[:, bin_row, bin_col]
                 y1 = ye[:, bin_row, bin_col]
                 x0 = xs[:, bin_row, bin_col]
                 x1 = xe[:, bin_row, bin_col]
                 sums = (
-                    block[:, y1, x1]
-                    - block[:, y0, x1]
-                    - block[:, y1, x0]
-                    + block[:, y0, x0]
-                )  # (dim, R)
+                    block[roi_batch, :, y1, x1]
+                    - block[roi_batch, :, y0, x1]
+                    - block[roi_batch, :, y1, x0]
+                    + block[roi_batch, :, y0, x0]
+                )  # (R, dim)
                 count = counts[:, bin_row, bin_col]
                 valid = count > 0
                 means = np.zeros_like(sums)
-                means[:, valid] = sums[:, valid] / count[valid]
-                output[:, :, bin_row, bin_col] = means.T
+                means[valid] = sums[valid] / count[valid, None]
+                output[:, :, bin_row, bin_col] = means
 
-        self._cache = {
-            "maps_shape": np.asarray(score_maps.shape),
-            "ys": ys,
-            "ye": ye,
-            "xs": xs,
-            "xe": xe,
-            "counts": counts,
-        }
+        if not is_inference():
+            self._cache = {
+                "maps_shape": np.asarray(score_maps.shape),
+                "batch_indices": batch_indices,
+                "ys": ys,
+                "ye": ye,
+                "xs": xs,
+                "xe": xe,
+                "counts": counts,
+            }
         return output
 
     # ------------------------------------------------------------------
@@ -174,7 +208,7 @@ class PSRoIPool:
 
         Returns
         -------
-        Gradient with the same shape as the forward ``score_maps``.
+        Gradient with the same (B, C, H, W) shape as the forward ``score_maps``.
         """
         if self._cache is None:
             raise RuntimeError("backward called before forward")
@@ -182,14 +216,15 @@ class PSRoIPool:
         k = self.group_size
         dim = self.output_dim
         maps_shape = tuple(int(v) for v in self._cache["maps_shape"])
-        _, channels, height, width = maps_shape
+        batch, channels, height, width = maps_shape
         ys, ye = self._cache["ys"], self._cache["ye"]
         xs, xe = self._cache["xs"], self._cache["xe"]
         counts = self._cache["counts"]
+        roi_batch = self._cache["batch_indices"]
 
         # Corner-impulse buffer; the dense gradient is its double cumsum.
-        corners = np.zeros((channels, height + 1, width + 1), dtype=np.float64)
-        corners_grouped = corners.reshape(k * k, dim, height + 1, width + 1)
+        corners = np.zeros((batch, channels, height + 1, width + 1), dtype=np.float64)
+        corners_grouped = corners.reshape(batch, k * k, dim, height + 1, width + 1)
 
         safe_counts = np.where(counts > 0, counts, 1.0)
         per_bin_grad = grad_output / safe_counts[:, None, :, :]
@@ -198,16 +233,16 @@ class PSRoIPool:
         for bin_row in range(k):
             for bin_col in range(k):
                 bin_index = bin_row * k + bin_col
-                values = per_bin_grad[:, :, bin_row, bin_col].T  # (dim, R)
+                values = per_bin_grad[:, :, bin_row, bin_col]  # (R, dim)
                 y0 = ys[:, bin_row, bin_col]
                 y1 = ye[:, bin_row, bin_col]
                 x0 = xs[:, bin_row, bin_col]
                 x1 = xe[:, bin_row, bin_col]
-                block = corners_grouped[bin_index]
-                np.add.at(block, (slice(None), y0, x0), values)
-                np.add.at(block, (slice(None), y0, x1), -values)
-                np.add.at(block, (slice(None), y1, x0), -values)
-                np.add.at(block, (slice(None), y1, x1), values)
+                block = corners_grouped[:, bin_index]
+                np.add.at(block, (roi_batch, slice(None), y0, x0), values)
+                np.add.at(block, (roi_batch, slice(None), y0, x1), -values)
+                np.add.at(block, (roi_batch, slice(None), y1, x0), -values)
+                np.add.at(block, (roi_batch, slice(None), y1, x1), values)
 
-        dense = np.cumsum(np.cumsum(corners, axis=1), axis=2)[:, : height, : width]
-        return dense[None].astype(np.float32)
+        dense = np.cumsum(np.cumsum(corners, axis=2), axis=3)[:, :, :height, :width]
+        return dense.astype(np.float32)

@@ -5,17 +5,25 @@ The detector exposes three levels of API:
 * :meth:`RFCNDetector.extract_features` / :meth:`RFCNDetector.head_forward` —
   the differentiable building blocks used by the trainer and by AdaScale's
   regressor (which consumes the backbone's deep features, Sec. 3.2);
-* :meth:`RFCNDetector.detect` — single-image inference: resize to a target
-  scale, produce final scored boxes in original-image coordinates (this is the
+* :meth:`RFCNDetector.detect_batch` — batch-first inference: resize a list of
+  frames to their target scales, stack same-shape frames into one NCHW
+  tensor, run backbone + RPN + head once per stack, and fan per-image NMS
+  back out.  :meth:`RFCNDetector.detect` is its batch-of-1 wrapper (the
   ``detector.detect`` call of Algorithm 1);
 * :meth:`RFCNDetector.train_step` — one fully backpropagated training step on
   an already-resized image (used by :class:`~repro.detection.trainer.DetectorTrainer`).
+
+Inference runs inside :func:`repro.nn.inference_mode`, which makes every
+forward side-effect free (safe to share one detector across serving worker
+threads) and batch-invariant (a frame detected inside a micro-batch is
+bit-identical to the same frame detected alone).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -28,7 +36,8 @@ from repro.detection.nms import batched_nms
 from repro.detection.psroi import PSRoIPool
 from repro.detection.rpn import RPNHead, RPNOutput
 from repro.nn.functional import softmax
-from repro.nn.layers import Conv2d, Module, ReLU, Sequential
+from repro.nn.layers import Conv2d, Module, ReLU, Sequential, inference_mode, is_inference
+from repro.utils.grouping import group_indices, stack_group
 
 __all__ = ["Detection", "DetectionResult", "RFCNDetector", "build_backbone"]
 
@@ -173,25 +182,35 @@ class RFCNDetector(Module):
     # differentiable building blocks
     # ------------------------------------------------------------------
     def extract_features(self, image_chw: np.ndarray) -> np.ndarray:
-        """Backbone forward pass on a (1, 3, H, W) normalised image."""
+        """Backbone forward pass on an (N, 3, H, W) stack of normalised images."""
         return self.backbone(image_chw)
 
-    def head_forward(self, features: np.ndarray, rois: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Position-sensitive head: per-RoI class logits and box deltas."""
+    def head_forward(
+        self,
+        features: np.ndarray,
+        rois: np.ndarray,
+        batch_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Position-sensitive head: per-RoI class logits and box deltas.
+
+        ``features`` may stack several images; ``batch_indices`` then selects,
+        per RoI, the image it pools from (defaults to zeros for B == 1).
+        """
         rois = np.asarray(rois, dtype=np.float32).reshape(-1, 4)
         neck = self.neck_relu(self.neck_conv(features))
         cls_maps = self.cls_ps_conv(neck)
         bbox_maps = self.bbox_ps_conv(neck)
-        pooled_cls = self.cls_pool.forward(cls_maps, rois)
-        pooled_bbox = self.bbox_pool.forward(bbox_maps, rois)
+        pooled_cls = self.cls_pool.forward(cls_maps, rois, batch_indices)
+        pooled_bbox = self.bbox_pool.forward(bbox_maps, rois, batch_indices)
         # Voting: average over the k x k position-sensitive bins.
         roi_logits = pooled_cls.mean(axis=(2, 3))
         roi_deltas = pooled_bbox.mean(axis=(2, 3))
-        self._head_cache = {
-            "num_rois": np.asarray(rois.shape[0]),
-            "pooled_shape_cls": np.asarray(pooled_cls.shape),
-            "pooled_shape_bbox": np.asarray(pooled_bbox.shape),
-        }
+        if not is_inference():
+            self._head_cache = {
+                "num_rois": np.asarray(rois.shape[0]),
+                "pooled_shape_cls": np.asarray(pooled_cls.shape),
+                "pooled_shape_bbox": np.asarray(pooled_bbox.shape),
+            }
         return roi_logits, roi_deltas
 
     def head_backward(self, grad_logits: np.ndarray, grad_deltas: np.ndarray) -> np.ndarray:
@@ -217,10 +236,10 @@ class RFCNDetector(Module):
     def clone(self) -> "RFCNDetector":
         """An independent replica with identical weights.
 
-        Layer forward passes cache activations on the layer objects, so one
-        detector instance must never run concurrently from two threads; the
-        serving worker pool gives each worker its own replica instead.  A
-        replica built from the same weights produces bit-identical outputs.
+        Inference runs in :func:`repro.nn.inference_mode` and is thread-safe
+        on a shared instance, so cloning is only needed when two callers must
+        *train* (or otherwise cache activations) concurrently.  A replica
+        built from the same weights produces bit-identical outputs.
         """
         replica = RFCNDetector(self.config, seed=0)
         replica.load_state_dict(self.state_dict())
@@ -241,31 +260,87 @@ class RFCNDetector(Module):
 
         When ``target_scale`` is given the image is resized (shortest side =
         ``target_scale``, Fast R-CNN protocol) before the forward pass and the
-        reported boxes are mapped back to the original coordinates.
+        reported boxes are mapped back to the original coordinates.  This is a
+        batch-of-1 wrapper around :meth:`detect_batch`.
         """
-        start = time.perf_counter()
-        original_height, original_width = image.shape[:2]
-        if target_scale is not None:
-            resized = resize_image(image, target_scale, max_long_side)
-            working = resized.image
-            scale_factor = resized.scale_factor
-        else:
-            working = np.asarray(image, dtype=np.float32)
-            scale_factor = 1.0
-
-        working_height, working_width = working.shape[:2]
-        tensor = image_to_chw(normalize_image(working))
-        features = self.extract_features(tensor)
-        result = self.detect_from_features(
-            features,
-            working_shape=(working_height, working_width),
-            scale_factor=scale_factor,
-            image_size=(original_height, original_width),
-            target_scale=target_scale,
+        return self.detect_batch(
+            [image],
+            [target_scale],
+            max_long_side=max_long_side,
             score_threshold=score_threshold,
-        )
-        result.runtime_s = time.perf_counter() - start
-        return result
+        )[0]
+
+    def detect_batch(
+        self,
+        images: Sequence[np.ndarray],
+        target_scales: Sequence[int | None] | int | None = None,
+        max_long_side: int | None = None,
+        score_threshold: float | None = None,
+    ) -> list[DetectionResult]:
+        """Run detection on a list of (H, W, 3) float images as micro-batches.
+
+        Every image is resized to its target scale, frames whose resized
+        tensors share a spatial shape are stacked into one NCHW tensor, and
+        backbone + RPN + head each run once per stack; only the final per-image
+        NMS fans back out.  ``target_scales`` may be a single scale applied to
+        every image or one (possibly ``None``) scale per image.
+
+        Outputs are bit-identical to calling :meth:`detect` frame by frame —
+        inference-mode kernels are batch-invariant — so batching is purely a
+        throughput optimisation.
+        """
+        images = list(images)
+        if target_scales is None or isinstance(target_scales, int):
+            scales: list[int | None] = [target_scales] * len(images)
+        else:
+            scales = list(target_scales)
+            if len(scales) != len(images):
+                raise ValueError(f"{len(images)} images but {len(scales)} target scales")
+        if not images:
+            return []
+
+        start = time.perf_counter()
+        with inference_mode():
+            tensors: list[np.ndarray] = []
+            metas: list[tuple[tuple[int, int], float, tuple[int, int], int | None]] = []
+            for image, scale in zip(images, scales):
+                original_size = (int(image.shape[0]), int(image.shape[1]))
+                if scale is not None:
+                    resized = resize_image(image, scale, max_long_side)
+                    working = resized.image
+                    scale_factor = resized.scale_factor
+                else:
+                    working = np.asarray(image, dtype=np.float32)
+                    scale_factor = 1.0
+                tensors.append(image_to_chw(normalize_image(working)))
+                metas.append((working.shape[:2], scale_factor, original_size, scale))
+
+            # Stacking requires identical spatial dims; frames of one scale
+            # bucket can still differ (different source aspect ratios), so
+            # each distinct tensor shape becomes its own stack.
+            results: list[DetectionResult | None] = [None] * len(images)
+            for indices in group_indices(tensors, key=lambda tensor: tensor.shape):
+                features = self.extract_features(
+                    stack_group([tensors[i] for i in indices])
+                )
+                group = self.detect_from_features_batch(
+                    features,
+                    working_shapes=[metas[i][0] for i in indices],
+                    scale_factors=[metas[i][1] for i in indices],
+                    image_sizes=[metas[i][2] for i in indices],
+                    target_scales=[metas[i][3] for i in indices],
+                    score_threshold=score_threshold,
+                )
+                for position, result in zip(indices, group):
+                    results[position] = result
+
+        # Wall-clock cost is shared by the whole batch; report the amortised
+        # per-frame figure so runtime accounting stays per-frame.
+        per_frame_s = (time.perf_counter() - start) / len(images)
+        for result in results:
+            assert result is not None
+            result.runtime_s = per_frame_s
+        return [result for result in results if result is not None]
 
     def detect_from_features(
         self,
@@ -276,32 +351,109 @@ class RFCNDetector(Module):
         target_scale: int | None = None,
         score_threshold: float | None = None,
     ) -> DetectionResult:
-        """Run the RPN + head on precomputed backbone features.
+        """Run the RPN + head on precomputed backbone features of one image.
 
         This is the path Deep Feature Flow uses on non-key frames: the backbone
         is skipped and the head runs on features warped from the key frame.
         ``working_shape`` is the (height, width) of the resized image the
         features correspond to; reported boxes are divided by ``scale_factor``.
         """
+        return self.detect_from_features_batch(
+            features,
+            working_shapes=[working_shape],
+            scale_factors=[scale_factor],
+            image_sizes=[image_size],
+            target_scales=[target_scale],
+            score_threshold=score_threshold,
+        )[0]
+
+    def detect_from_features_batch(
+        self,
+        features: np.ndarray,
+        working_shapes: Sequence[tuple[int, int]],
+        scale_factors: Sequence[float],
+        image_sizes: Sequence[tuple[int, int]],
+        target_scales: Sequence[int | None] | None = None,
+        score_threshold: float | None = None,
+    ) -> list[DetectionResult]:
+        """RPN + position-sensitive head over a (B, C, H', W') feature stack.
+
+        The RPN and head convolutions run once for the whole stack; RoIs from
+        every image are pooled in one pass through a batch-index column; the
+        score threshold + per-class NMS fan out per image at the very end.
+        """
         start = time.perf_counter()
-        working_height, working_width = working_shape
-        original_height, original_width = image_size
-        rpn_out = self.rpn(features)
-        proposals, _ = self.rpn.generate_proposals(rpn_out, working_height, working_width)
-
+        batch = int(features.shape[0])
+        if not (len(working_shapes) == len(scale_factors) == len(image_sizes) == batch):
+            raise ValueError("per-image metadata must match the feature batch size")
+        if target_scales is None:
+            target_scales = [None] * batch
         threshold = self.config.score_threshold if score_threshold is None else score_threshold
-        if proposals.shape[0] == 0:
-            empty = self._empty_result(
-                features, proposals, scale_factor, target_scale, (original_height, original_width)
-            )
-            empty.runtime_s = time.perf_counter() - start
-            return empty
 
-        roi_logits, roi_deltas = self.head_forward(features, proposals)
-        probs = softmax(roi_logits, axis=1)
-        refined = decode_boxes(proposals, roi_deltas)
-        refined = clip_boxes(refined, working_height, working_width)
+        with inference_mode():
+            rpn_outs = self.rpn.forward_batch(features)
+            proposals_per_image = [
+                proposals
+                for proposals, _ in self.rpn.generate_proposals_batch(
+                    rpn_outs, [tuple(shape) for shape in working_shapes]
+                )
+            ]
 
+            counts = [int(p.shape[0]) for p in proposals_per_image]
+            results: list[DetectionResult | None] = [None] * batch
+            populated = [index for index in range(batch) if counts[index] > 0]
+            if populated:
+                rois = np.concatenate([proposals_per_image[i] for i in populated], axis=0)
+                batch_indices = np.concatenate(
+                    [np.full(counts[i], i, dtype=np.int64) for i in populated]
+                )
+                roi_logits, roi_deltas = self.head_forward(features, rois, batch_indices)
+                probs = softmax(roi_logits, axis=1)
+                refined = decode_boxes(rois, roi_deltas)
+
+                offset = 0
+                for index in populated:
+                    span = slice(offset, offset + counts[index])
+                    offset += counts[index]
+                    height, width = working_shapes[index]
+                    results[index] = self._finalize_image(
+                        probs=probs[span],
+                        refined=clip_boxes(refined[span], height, width),
+                        proposals=proposals_per_image[index],
+                        features=features[index : index + 1],
+                        scale_factor=float(scale_factors[index]),
+                        target_scale=target_scales[index],
+                        image_size=image_sizes[index],
+                        threshold=threshold,
+                    )
+            for index in range(batch):
+                if results[index] is None:
+                    results[index] = self._empty_result(
+                        features[index : index + 1],
+                        proposals_per_image[index],
+                        float(scale_factors[index]),
+                        target_scales[index],
+                        image_sizes[index],
+                    )
+
+        per_frame_s = (time.perf_counter() - start) / batch
+        for result in results:
+            assert result is not None
+            result.runtime_s = per_frame_s
+        return [result for result in results if result is not None]
+
+    def _finalize_image(
+        self,
+        probs: np.ndarray,
+        refined: np.ndarray,
+        proposals: np.ndarray,
+        features: np.ndarray,
+        scale_factor: float,
+        target_scale: int | None,
+        image_size: tuple[int, int],
+        threshold: float,
+    ) -> DetectionResult:
+        """Score-threshold + per-class NMS fan-out for one image of a batch."""
         boxes_list: list[np.ndarray] = []
         scores_list: list[np.ndarray] = []
         classes_list: list[np.ndarray] = []
@@ -317,11 +469,7 @@ class RFCNDetector(Module):
             probs_list.append(probs[keep])
 
         if not boxes_list:
-            empty = self._empty_result(
-                features, proposals, scale_factor, target_scale, (original_height, original_width)
-            )
-            empty.runtime_s = time.perf_counter() - start
-            return empty
+            return self._empty_result(features, proposals, scale_factor, target_scale, image_size)
 
         all_boxes = np.concatenate(boxes_list, axis=0)
         all_scores = np.concatenate(scores_list, axis=0)
@@ -330,7 +478,7 @@ class RFCNDetector(Module):
         keep = batched_nms(all_boxes, all_scores, all_classes, self.config.nms_threshold)
         keep = keep[: self.config.max_detections]
 
-        result = DetectionResult(
+        return DetectionResult(
             boxes=(all_boxes[keep] / scale_factor).astype(np.float32),
             scores=all_scores[keep].astype(np.float32),
             class_ids=all_classes[keep],
@@ -339,10 +487,8 @@ class RFCNDetector(Module):
             features=features,
             scale_factor=scale_factor,
             target_scale=target_scale,
-            image_size=(original_height, original_width),
-            runtime_s=time.perf_counter() - start,
+            image_size=image_size,
         )
-        return result
 
     def _empty_result(
         self,

@@ -16,7 +16,7 @@ from repro.detection.anchors import generate_anchors
 from repro.detection.boxes import clip_boxes, decode_boxes, valid_boxes
 from repro.detection.nms import nms
 from repro.nn.functional import softmax
-from repro.nn.layers import Conv2d, Module, ReLU
+from repro.nn.layers import Conv2d, Module, ReLU, is_inference
 
 __all__ = ["RPNHead", "RPNOutput"]
 
@@ -57,12 +57,28 @@ class RPNHead(Module):
     # -- forward -----------------------------------------------------------
     def forward(self, features: np.ndarray) -> RPNOutput:
         """Compute per-anchor objectness and deltas for a (1, C, H, W) input."""
+        if features.shape[0] != 1:
+            raise ValueError(
+                f"forward expects a single image, got batch {features.shape[0]}; "
+                "use forward_batch for stacked inference inputs"
+            )
+        return self.forward_batch(features)[0]
+
+    def forward_batch(self, features: np.ndarray) -> list[RPNOutput]:
+        """Per-anchor predictions for an (N, C, H, W) stack, one output per image.
+
+        The three convolutions run once over the whole stack; the per-image
+        outputs are bit-identical to running each image alone (the conv layers
+        are batch-invariant in inference mode).  Anchors depend only on the
+        shared feature shape, so every output aliases one anchor array.
+        """
         hidden = self.relu(self.conv(features))
-        self._hidden = hidden
         cls_map = self.cls_conv(hidden)
         reg_map = self.reg_conv(hidden)
-        _, _, height, width = cls_map.shape
-        self._feature_shape = (height, width)
+        batch, _, height, width = cls_map.shape
+        if not is_inference():
+            self._hidden = hidden
+            self._feature_shape = (height, width)
 
         objectness = self._map_to_anchor_layout(cls_map, 2)
         deltas = self._map_to_anchor_layout(reg_map, 4)
@@ -73,9 +89,15 @@ class RPNHead(Module):
             self.config.anchor_sizes,
             self.config.anchor_ratios,
         )
-        return RPNOutput(
-            objectness=objectness, deltas=deltas, anchors=anchors, feature_shape=(height, width)
-        )
+        return [
+            RPNOutput(
+                objectness=objectness[index],
+                deltas=deltas[index],
+                anchors=anchors,
+                feature_shape=(height, width),
+            )
+            for index in range(batch)
+        ]
 
     def backward(self, grad_objectness: np.ndarray, grad_deltas: np.ndarray) -> np.ndarray:
         """Backpropagate per-anchor gradients to the backbone features."""
@@ -90,12 +112,12 @@ class RPNHead(Module):
 
     # -- layout helpers ------------------------------------------------------
     def _map_to_anchor_layout(self, feature_map: np.ndarray, channels_per_anchor: int) -> np.ndarray:
-        """(1, A*c, H, W) → (H*W*A, c), anchors fastest within a position."""
-        _, total_channels, height, width = feature_map.shape
+        """(N, A*c, H, W) → (N, H*W*A, c), anchors fastest within a position."""
+        batch, _, height, width = feature_map.shape
         anchors = self.num_anchors
-        reshaped = feature_map.reshape(anchors, channels_per_anchor, height, width)
-        reshaped = reshaped.transpose(2, 3, 0, 1)
-        return np.ascontiguousarray(reshaped.reshape(-1, channels_per_anchor))
+        reshaped = feature_map.reshape(batch, anchors, channels_per_anchor, height, width)
+        reshaped = reshaped.transpose(0, 3, 4, 1, 2)
+        return np.ascontiguousarray(reshaped.reshape(batch, -1, channels_per_anchor))
 
     def _anchor_layout_to_map(
         self, per_anchor: np.ndarray, channels_per_anchor: int, height: int, width: int
@@ -123,19 +145,59 @@ class RPNHead(Module):
         coordinates.  This is pure inference; no gradients flow through it
         (standard approximate joint training).
         """
+        return self.generate_proposals_batch(
+            [output], [(image_height, image_width)], pre_nms_top_n, post_nms_top_n
+        )[0]
+
+    def generate_proposals_batch(
+        self,
+        outputs: list[RPNOutput],
+        image_shapes: list[tuple[int, int]],
+        pre_nms_top_n: int | None = None,
+        post_nms_top_n: int | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Proposals for every image of a batch, one ``(boxes, scores)`` each.
+
+        The anchor-wise arithmetic (objectness softmax, delta decoding) is
+        elementwise per anchor, so it runs once over the stacked batch; only
+        the score sort and greedy NMS remain per image.  Per-image results are
+        bit-identical to :meth:`generate_proposals`.
+        """
         config = self.config
         pre_nms = pre_nms_top_n if pre_nms_top_n is not None else config.rpn_pre_nms_top_n
         post_nms = post_nms_top_n if post_nms_top_n is not None else config.rpn_post_nms_top_n
+        num_anchors = outputs[0].anchors.shape[0] if outputs else 0
+        # The concatenated arrays are sliced in equal anchor-count spans, so a
+        # mixed-shape batch would silently read the wrong image's rows.
+        for output in outputs:
+            if output.anchors.shape[0] != num_anchors:
+                raise ValueError(
+                    "generate_proposals_batch requires outputs from one feature "
+                    f"shape; got {output.anchors.shape[0]} anchors vs {num_anchors}"
+                )
 
-        scores = softmax(output.objectness, axis=1)[:, 1]
-        boxes = decode_boxes(output.anchors, output.deltas)
-        boxes = clip_boxes(boxes, image_height, image_width)
-        keep = valid_boxes(boxes, min_size=config.rpn_min_size)
-        boxes, scores = boxes[keep], scores[keep]
-        if boxes.shape[0] == 0:
-            return np.zeros((0, 4), dtype=np.float32), np.zeros((0,), dtype=np.float32)
+        all_scores = softmax(
+            np.concatenate([output.objectness for output in outputs], axis=0), axis=1
+        )[:, 1]
+        all_boxes = decode_boxes(
+            np.concatenate([output.anchors for output in outputs], axis=0),
+            np.concatenate([output.deltas for output in outputs], axis=0),
+        )
 
-        order = np.argsort(-scores, kind="stable")[:pre_nms]
-        boxes, scores = boxes[order], scores[order]
-        keep_nms = nms(boxes, scores, config.rpn_nms_threshold)[:post_nms]
-        return boxes[keep_nms], scores[keep_nms]
+        results: list[tuple[np.ndarray, np.ndarray]] = []
+        for index, (height, width) in enumerate(image_shapes):
+            span = slice(index * num_anchors, (index + 1) * num_anchors)
+            boxes = clip_boxes(all_boxes[span], height, width)
+            scores = all_scores[span]
+            keep = valid_boxes(boxes, min_size=config.rpn_min_size)
+            boxes, scores = boxes[keep], scores[keep]
+            if boxes.shape[0] == 0:
+                results.append(
+                    (np.zeros((0, 4), dtype=np.float32), np.zeros((0,), dtype=np.float32))
+                )
+                continue
+            order = np.argsort(-scores, kind="stable")[:pre_nms]
+            boxes, scores = boxes[order], scores[order]
+            keep_nms = nms(boxes, scores, config.rpn_nms_threshold)[:post_nms]
+            results.append((boxes[keep_nms], scores[keep_nms]))
+        return results

@@ -25,6 +25,8 @@ from repro.nn.layers import (
     Module,
     ReLU,
     Sequential,
+    inference_mode,
+    is_inference,
 )
 from repro.nn.losses import (
     mse_loss,
@@ -52,6 +54,8 @@ __all__ = [
     "SGD",
     "Sequential",
     "bilinear_resize",
+    "inference_mode",
+    "is_inference",
     "log_softmax",
     "mse_loss",
     "sigmoid",

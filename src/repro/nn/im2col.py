@@ -54,7 +54,13 @@ def im2col(
     padding: int,
     stride: int,
 ) -> np.ndarray:
-    """Unfold ``x`` (N, C, H, W) into columns of shape (C*fh*fw, N*OH*OW)."""
+    """Unfold ``x`` (N, C, H, W) into columns of shape (C*fh*fw, N*OH*OW).
+
+    Columns are batch-major: image ``n``'s positions occupy the contiguous
+    block ``[n*OH*OW, (n+1)*OH*OW)``, matching the
+    ``(out_channels, N, OH, OW)`` reshape the convolution layers apply to the
+    GEMM output.
+    """
     pad = padding
     if pad > 0:
         x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
@@ -63,7 +69,7 @@ def im2col(
     k, i, j = im2col_indices(x.shape, field_height, field_width, padding, stride)
     cols = x_padded[:, k, i, j]
     channels = x.shape[1]
-    cols = cols.transpose(1, 2, 0).reshape(field_height * field_width * channels, -1)
+    cols = cols.transpose(1, 0, 2).reshape(field_height * field_width * channels, -1)
     return np.ascontiguousarray(cols)
 
 
@@ -80,8 +86,8 @@ def col2im(
     height_padded, width_padded = height + 2 * padding, width + 2 * padding
     x_padded = np.zeros((batch, channels, height_padded, width_padded), dtype=cols.dtype)
     k, i, j = im2col_indices(x_shape, field_height, field_width, padding, stride)
-    cols_reshaped = cols.reshape(channels * field_height * field_width, -1, batch)
-    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    cols_reshaped = cols.reshape(channels * field_height * field_width, batch, -1)
+    cols_reshaped = cols_reshaped.transpose(1, 0, 2)
     np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
     if padding == 0:
         return x_padded

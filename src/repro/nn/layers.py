@@ -4,10 +4,30 @@ Every layer is a :class:`Module`: calling it runs ``forward`` and caches what
 the backward pass needs; ``backward(grad_out)`` accumulates parameter
 gradients and returns the gradient with respect to the layer input.  Layers
 operate on ``float32`` NCHW tensors (or (N, F) matrices for :class:`Linear`).
+
+Inference mode
+--------------
+Inside an :func:`inference_mode` block, forward passes become **pure
+functions of the parameters**: no activations are cached on layer objects,
+:class:`Dropout` is the identity and :class:`BatchNorm2d` reads (and never
+updates) its running statistics.  Because nothing is written to shared state,
+one module instance can then run forwards from many threads concurrently —
+this is what lets the serving worker pool share a single detector instead of
+cloning per-worker replicas.
+
+Inference-mode forwards are also **batch-invariant**: row ``n`` of a size-N
+batch is bit-identical to running sample ``n`` alone.  Elementwise and
+per-sample reductions have this property for free; the matrix products in
+:class:`Conv2d` and :class:`Linear` do not (BLAS picks different kernels for
+different shapes), so in inference mode they run one GEMM per sample over the
+batched ``im2col`` buffer.  That keeps all the Python-dispatch, gather and
+layout amortisation of batching while making scale-bucketed micro-batches
+bit-identical to sequential single-frame execution.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -29,7 +49,48 @@ __all__ = [
     "BatchNorm2d",
     "Dropout",
     "Flatten",
+    "inference_mode",
+    "is_inference",
 ]
+
+
+_INFERENCE_STATE = threading.local()
+
+
+def is_inference() -> bool:
+    """Whether the calling thread is inside an :func:`inference_mode` block."""
+    return getattr(_INFERENCE_STATE, "depth", 0) > 0
+
+
+class inference_mode:
+    """Context manager enabling side-effect-free, batch-invariant forwards.
+
+    Re-entrant and per-thread: each worker thread enters its own block, so
+    concurrent inference on a shared module is safe while another thread
+    trains a different module normally.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        _INFERENCE_STATE.depth = getattr(_INFERENCE_STATE, "depth", 0) + 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _INFERENCE_STATE.depth = getattr(_INFERENCE_STATE, "depth", 1) - 1
+
+
+def _per_sample_matmul(matrix: np.ndarray, cols: np.ndarray, batch: int) -> np.ndarray:
+    """``matrix @ cols`` computed per batch-major column block.
+
+    BLAS kernel selection depends on the operand shapes, so a single GEMM over
+    an N-image column buffer is *not* bit-identical per column to the N=1
+    call.  One GEMM per sample (same m/k/n as the single-image path) is.
+    """
+    out = np.empty((matrix.shape[0], cols.shape[1]), dtype=np.float32)
+    per_sample = cols.shape[1] // batch
+    for index in range(batch):
+        block = slice(index * per_sample, (index + 1) * per_sample)
+        np.matmul(matrix, cols[:, block], out=out[:, block])
+    return out
 
 
 class Module:
@@ -207,11 +268,15 @@ class Conv2d(Module):
         out_w = conv_output_size(width, self.kernel_size, self.padding, self.stride)
         cols = im2col(x, self.kernel_size, self.kernel_size, self.padding, self.stride)
         weight_matrix = self.weight.data.reshape(self.out_channels, -1)
-        out = weight_matrix @ cols
+        if is_inference() and batch > 1:
+            out = _per_sample_matmul(weight_matrix, cols, batch)
+        else:
+            out = weight_matrix @ cols
         if self.bias is not None:
             out += self.bias.data[:, None]
         out = out.reshape(self.out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
-        self._cache = (cols, x.shape)
+        if not is_inference():
+            self._cache = (cols, x.shape)
         return np.ascontiguousarray(out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -271,8 +336,17 @@ class Linear(Module):
         x = np.asarray(x, dtype=np.float32)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"expected (N, {self.in_features}) input, got {x.shape}")
-        self._input = x
-        out = x @ self.weight.data.T
+        if is_inference():
+            if x.shape[0] > 1:
+                # One row-GEMM per sample keeps the output batch-invariant.
+                out = np.empty((x.shape[0], self.out_features), dtype=np.float32)
+                for index in range(x.shape[0]):
+                    np.matmul(x[index : index + 1], self.weight.data.T, out=out[index : index + 1])
+            else:
+                out = x @ self.weight.data.T
+        else:
+            self._input = x
+            out = x @ self.weight.data.T
         if self.bias is not None:
             out += self.bias.data
         return out
@@ -295,8 +369,10 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0).astype(np.float32)
+        mask = x > 0
+        if not is_inference():
+            self._mask = mask
+        return np.where(mask, x, 0.0).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -313,8 +389,10 @@ class LeakyReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x).astype(np.float32)
+        mask = x > 0
+        if not is_inference():
+            self._mask = mask
+        return np.where(mask, x, self.negative_slope * x).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -351,8 +429,9 @@ class MaxPool2d(Module):
         padded_h, padded_w = x.shape[2], x.shape[3]
         view = x.reshape(batch, channels, padded_h // k, k, padded_w // k, k)
         out = view.max(axis=(3, 5))
-        mask = view == out[:, :, :, None, :, None]
-        self._cache = (mask, (height, width), (padded_h, padded_w))
+        if not is_inference():
+            mask = view == out[:, :, :, None, :, None]
+            self._cache = (mask, (height, width), (padded_h, padded_w))
         return out.astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -387,7 +466,8 @@ class AvgPool2d(Module):
             x = np.pad(x, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)), mode="edge")
         padded_h, padded_w = x.shape[2], x.shape[3]
         view = x.reshape(batch, channels, padded_h // k, k, padded_w // k, k)
-        self._cache = ((height, width), (padded_h, padded_w))
+        if not is_inference():
+            self._cache = ((height, width), (padded_h, padded_w))
         return view.mean(axis=(3, 5)).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -411,7 +491,8 @@ class GlobalAvgPool2d(Module):
         self._shape: tuple[int, int, int, int] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+        if not is_inference():
+            self._shape = x.shape
         return x.mean(axis=(2, 3)).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -445,7 +526,7 @@ class BatchNorm2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.shape[1] != self.num_features:
             raise ValueError(f"expected {self.num_features} channels, got {x.shape[1]}")
-        if self.training:
+        if self.training and not is_inference():
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
             self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
@@ -455,7 +536,8 @@ class BatchNorm2d(Module):
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-        self._cache = (x_hat, inv_std, x)
+        if not is_inference():
+            self._cache = (x_hat, inv_std, x)
         return (self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]).astype(
             np.float32
         )
@@ -490,6 +572,8 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if is_inference():
+            return np.asarray(x, dtype=np.float32)
         if not self.training or self.rate == 0.0:
             self._mask = None
             return np.asarray(x, dtype=np.float32)
@@ -511,7 +595,8 @@ class Flatten(Module):
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+        if not is_inference():
+            self._shape = x.shape
         return x.reshape(x.shape[0], -1).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -33,12 +33,13 @@ from repro.serving.metrics import ServerMetrics, StreamSnapshot, TelemetrySnapsh
 from repro.serving.request import FrameRequest, FrameResult, RequestStatus
 from repro.serving.scheduler import FrameScheduler, SchedulerClosedError
 from repro.serving.server import InferenceServer
-from repro.serving.session import FrameExecution, StreamResult, StreamSession
+from repro.serving.session import FrameExecution, FramePlan, StreamResult, StreamSession
 from repro.serving.worker import WorkerContext, WorkerPool
 
 __all__ = [
     "ArrivalEvent",
     "FrameExecution",
+    "FramePlan",
     "FrameRequest",
     "FrameResult",
     "FrameScheduler",

@@ -7,10 +7,12 @@ into a concurrent video-inference service:
 * the :class:`~repro.serving.scheduler.FrameScheduler` applies admission
   control and groups same-predicted-scale frames of different streams into
   micro-batches;
-* the :class:`~repro.serving.worker.WorkerPool` runs the batches on per-worker
-  detector replicas, each frame through its stream's
-  :class:`~repro.serving.session.StreamSession` (AdaScale feedback loop,
-  optional DFF key-frame caching, optional Seq-NMS history);
+* the :class:`~repro.serving.worker.WorkerPool` executes each micro-batch as
+  one stacked tensor on a shared detector (inference mode makes forwards
+  thread-safe and batch-invariant), with per-stream sequential bookkeeping
+  handled by each frame's :class:`~repro.serving.session.StreamSession`
+  (AdaScale feedback loop, optional DFF key-frame caching, optional Seq-NMS
+  history);
 * :class:`~repro.serving.metrics.ServerMetrics` records tail latency, queue
   depth, batch occupancy and per-stream throughput.
 
@@ -84,11 +86,17 @@ class InferenceServer:
             on_depth=self.metrics.observe_queue_depth,
             on_batch=self.metrics.observe_batch,
         )
+        # One shared context for every worker: inference-mode forwards never
+        # touch module state, so no per-worker replicas are needed.
+        self._worker_context = WorkerContext.shared(
+            self.bundle.ms_detector, self.bundle.regressor, self.bundle.config.adascale
+        )
         self.pool = WorkerPool(
             scheduler=self.scheduler,
             build_context=self._build_worker_context,
             complete=self._on_worker_done,
             num_workers=self.serving.num_workers,
+            batched=self.serving.batched_execution,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -213,9 +221,7 @@ class InferenceServer:
 
     # -- internal callbacks -------------------------------------------------
     def _build_worker_context(self) -> WorkerContext:
-        return WorkerContext.replicate(
-            self.bundle.ms_detector, self.bundle.regressor, self.bundle.config.adascale
-        )
+        return self._worker_context
 
     def _on_shed(self, request: FrameRequest, status: RequestStatus) -> None:
         """Scheduler shed a queued frame (drop/expire/reject/cancel)."""

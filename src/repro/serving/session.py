@@ -7,16 +7,30 @@ When many independent streams are served through one worker pool, that state
 must be owned per stream or streams would contaminate each other — the wrong
 scale, warped features from another video, cross-video detection links.
 
-:class:`StreamSession` owns exactly that state.  The scheduler guarantees at
-most one frame of a session is in flight at a time, so session methods need no
-internal locking: the scheduler's condition variable orders the previous
-frame's ``advance`` before the next frame's dispatch.
+:class:`StreamSession` owns exactly that state, split into two halves so a
+worker can batch the detector work of many streams:
+
+* :meth:`StreamSession.plan_frame` — the *batchable* detector phase's input:
+  resize/normalise the frame (and, for DFF non-key frames, estimate flow and
+  warp the cached key features) into a :class:`FramePlan` without touching
+  stream state.  The worker stacks the plans of a whole scheduler micro-batch
+  into one NCHW tensor and runs the detector once.
+* :meth:`StreamSession.complete_frame` — the *sequential* bookkeeping phase:
+  commit the DFF cache and fold the batched detection back into the stream.
+
+The scheduler guarantees at most one frame of a session is in flight at a
+time, so session methods need no internal locking: the scheduler's condition
+variable orders the previous frame's ``advance`` before the next frame's
+dispatch.
 
 Determinism: a session processed through the server — any worker count, any
-batching — produces bit-identical detections and scale traces to running
+batch size, batched or per-frame execution — produces bit-identical
+detections and scale traces to running
 :meth:`repro.core.adascale.AdaScaleDetector.process_video` sequentially on the
-same frames, because the exact same code path runs on replicas with identical
-weights (see the multi-stream equivalence test).
+same frames.  Workers share one detector (inference mode makes forwards
+side-effect free) and inference kernels are batch-invariant, so frames
+executed inside a stacked micro-batch match frames executed alone, bit for
+bit (see the multi-stream equivalence tests).
 """
 
 from __future__ import annotations
@@ -25,14 +39,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.acceleration.dff import DFFStream
+from repro.acceleration.dff import DFFFramePlan, DFFStream
 from repro.acceleration.seqnms import SeqNMSConfig, SeqNMSStream
 from repro.config import AdaScaleConfig, ServingConfig
+from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult
 from repro.evaluation.voc_ap import DetectionRecord
 from repro.serving.request import FrameRequest, FrameResult
 
-__all__ = ["FrameExecution", "StreamResult", "StreamSession"]
+__all__ = ["FrameExecution", "FramePlan", "StreamResult", "StreamSession"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,37 @@ class FrameExecution:
     next_scale: int | None  # None: keep the current scale (non-key DFF frame)
     is_key_frame: bool
     service_s: float
+
+
+@dataclass
+class FramePlan:
+    """One frame's prepared detector work inside a micro-batch.
+
+    Produced by :meth:`StreamSession.plan_frame` (pure preparation — no
+    stream-state mutation), filled in by the worker's batched detector/
+    regressor phases, and consumed by :meth:`StreamSession.complete_frame`.
+
+    Exactly one of ``tensor`` (frames that need the backbone: plain AdaScale
+    frames and DFF key frames) and ``warped_features`` (DFF non-key frames
+    that only need the detection head) is set.
+    """
+
+    request: FrameRequest
+    session: "StreamSession"
+    kind: str  # "adascale" | "dff_key" | "dff_warp"
+    scale: int
+    image_size: tuple[int, int]
+    working_shape: tuple[int, int]
+    scale_factor: float
+    needs_next_scale: bool
+    tensor: np.ndarray | None = None
+    warped_features: np.ndarray | None = None
+    dff_plan: DFFFramePlan | None = None
+    # -- filled by the worker's batched phases --------------------------------
+    detection: DetectionResult | None = None
+    features: np.ndarray | None = None
+    next_scale: int | None = None
+    service_s: float = 0.0
 
 
 @dataclass
@@ -100,12 +146,93 @@ class StreamSession:
         #: per stream — frames must arrive in temporal order anyway)
         self.submitted = 0
 
-    # -- worker-side execution ---------------------------------------------
+    # -- worker-side execution (batched path) --------------------------------
+    def plan_frame(self, request: FrameRequest, worker) -> FramePlan:
+        """Prepare this stream's next frame for batched execution.
+
+        Pure preparation: resizes/normalises the frame into a backbone-ready
+        tensor (plain AdaScale frames, DFF key frames) or warps the cached DFF
+        key features into head-ready features (DFF non-key frames).  Stream
+        state is only read, never written — mutation happens in
+        :meth:`complete_frame` after the batched detector ran.
+        """
+        image = request.image
+        if self.dff_stream is not None:
+            is_key = self.dff_stream.next_is_key_frame
+            dff_plan = self.dff_stream.plan_frame(
+                image,
+                scale=request.resolve_scale() if is_key else None,
+                detector=worker.detector,
+            )
+            return FramePlan(
+                request=request,
+                session=self,
+                kind="dff_key" if is_key else "dff_warp",
+                scale=dff_plan.scale,
+                image_size=dff_plan.image_size,
+                working_shape=dff_plan.working_shape,
+                scale_factor=dff_plan.scale_factor,
+                # AdaScale+DFF: only key frames feed the regressor (Fig. 7).
+                needs_next_scale=is_key,
+                tensor=dff_plan.tensor,
+                warped_features=dff_plan.warped_features,
+                dff_plan=dff_plan,
+            )
+        scale = int(request.resolve_scale())
+        resized = resize_image(image, scale, self.adascale_config.max_long_side)
+        return FramePlan(
+            request=request,
+            session=self,
+            kind="adascale",
+            scale=scale,
+            image_size=image.shape[:2],
+            working_shape=resized.image.shape[:2],
+            scale_factor=resized.scale_factor,
+            needs_next_scale=True,
+            tensor=image_to_chw(normalize_image(resized.image)),
+        )
+
+    def complete_frame(self, plan: FramePlan) -> FrameExecution:
+        """Fold an executed plan into the stream and build its execution record.
+
+        Runs after the worker's batched detector (and, for key/AdaScale
+        frames, regressor) phases populated ``plan.detection`` /
+        ``plan.next_scale``.  This is the sequential half: it commits the DFF
+        key-frame cache so the stream's next frame plans against fresh state.
+        """
+        if plan.detection is None:
+            raise RuntimeError("complete_frame called before the detector phase")
+        if self.dff_stream is not None:
+            assert plan.dff_plan is not None
+            out = self.dff_stream.commit_frame(
+                plan.dff_plan,
+                plan.detection,
+                features=plan.features,
+                runtime_s=plan.service_s,
+            )
+            return FrameExecution(
+                detection=out.detection,
+                scale_used=out.scale_used,
+                next_scale=plan.next_scale if plan.kind == "dff_key" else None,
+                is_key_frame=out.is_key_frame,
+                service_s=plan.service_s,
+            )
+        return FrameExecution(
+            detection=plan.detection,
+            scale_used=plan.scale,
+            next_scale=plan.next_scale,
+            is_key_frame=True,
+            service_s=plan.service_s,
+        )
+
+    # -- worker-side execution (per-frame path) ------------------------------
     def execute(self, request: FrameRequest, worker) -> FrameExecution:
-        """Run one frame on ``worker``'s detector replica.
+        """Run one frame end-to-end on ``worker``'s shared models.
 
         ``worker`` is a :class:`~repro.serving.worker.WorkerContext`.  Called
-        from exactly one worker thread at a time (scheduler guarantee).
+        from exactly one worker thread at a time (scheduler guarantee).  This
+        is the per-frame fallback used when batched execution is disabled; it
+        produces bit-identical results to the plan/complete batched path.
         """
         image = request.image
         if self.dff_stream is not None:

@@ -1,73 +1,101 @@
 """Thread-based worker pool driving the scheduler against the detector.
 
-Each worker owns an independent **replica** of the detector and regressor
-(``Module`` layers cache forward activations on the layer objects, so a shared
-instance is not thread-safe).  Replicas are built once at startup from the
-bundle's weights; since inference is pure NumPy arithmetic, every replica
-produces bit-identical outputs, which is what makes multi-worker serving
-exactly equivalent to sequential single-stream inference.
+Workers share **one** detector and regressor: inference runs inside
+:func:`repro.nn.inference_mode`, whose forwards are side-effect free (no
+activation caching on layer objects), so a single set of weights serves any
+number of threads.  No per-worker replicas are built, which removes the
+replica startup cost and multiplies the model-memory footprint by 1 instead
+of ``num_workers``.
 
-Workers loop: pull a scale-bucketed micro-batch from the scheduler, run each
-frame through its stream's session (AdaScale or DFF path), and hand the result
-to the server's completion callback, which updates the session and releases
-the stream's next frame.
+Execution is batch-first: a worker takes a whole scale-bucketed micro-batch
+from the scheduler and executes it as stacked tensors —
+
+1. **plan** — each frame's session resizes/normalises its frame (or, for DFF
+   non-key frames, warps cached key features) into a
+   :class:`~repro.serving.session.FramePlan`; stream state is only read;
+2. **backbone + head** — plans needing the backbone are stacked per tensor
+   shape into one NCHW batch; the RPN and position-sensitive head run once
+   per stack and per-image NMS fans the detections back out.  DFF non-key
+   plans stack their warped features straight through the head;
+3. **regressor** — frames that feed AdaScale's feedback loop are regressed as
+   one feature batch;
+4. **complete** — each session commits its sequential bookkeeping (DFF cache,
+   scale feedback) and the result goes to the server's completion callback.
+
+Inference kernels are batch-invariant, so this batched execution is
+bit-identical to running every frame alone — batching is purely a throughput
+optimisation (GEMM/gather/dispatch amortisation across the micro-batch).
+
+Workers block on the scheduler's condition variable and are woken on enqueue;
+the dequeue timeout is only a backstop so shutdown can never be missed.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.config import AdaScaleConfig
 from repro.core.adascale import AdaScaleDetector
 from repro.core.regressor import ScaleRegressor
 from repro.detection.rfcn import RFCNDetector
+from repro.nn.layers import inference_mode
 from repro.serving.request import FrameRequest
 from repro.serving.scheduler import FrameScheduler
-from repro.serving.session import FrameExecution
+from repro.serving.session import FrameExecution, FramePlan
+from repro.utils.grouping import group_indices, stack_group
 from repro.utils.logging import get_logger
 
 __all__ = ["WorkerContext", "WorkerPool"]
 
 _LOGGER = get_logger("serving.worker")
 
+#: Signature of the server's completion callback.
+CompleteFn = Callable[[FrameRequest, FrameExecution | None, BaseException | None], None]
+
 
 @dataclass
 class WorkerContext:
-    """One worker's private model replicas."""
+    """The models a worker executes with — shared by every worker thread."""
 
     detector: RFCNDetector
     regressor: ScaleRegressor
     adascale: AdaScaleDetector
 
     @classmethod
-    def replicate(
+    def shared(
         cls,
         detector: RFCNDetector,
         regressor: ScaleRegressor,
         config: AdaScaleConfig,
     ) -> "WorkerContext":
-        """Clone the shared models into an independent per-worker context."""
-        detector_replica = detector.clone()
-        regressor_replica = regressor.clone()
+        """Wrap the bundle's models directly — no cloning.
+
+        Inference-mode forwards never write to module state, so the same
+        detector/regressor instances are safe under any worker count.
+        """
         return cls(
-            detector=detector_replica,
-            regressor=regressor_replica,
-            adascale=AdaScaleDetector(detector_replica, regressor_replica, config),
+            detector=detector,
+            regressor=regressor,
+            adascale=AdaScaleDetector(detector, regressor, config),
         )
 
 
 class WorkerPool:
-    """Fixed pool of threads executing scheduler batches."""
+    """Fixed pool of threads executing scheduler micro-batches."""
 
     def __init__(
         self,
         scheduler: FrameScheduler,
         build_context: Callable[[], WorkerContext],
-        complete: Callable[[FrameRequest, FrameExecution | None, BaseException | None], None],
+        complete: CompleteFn,
         num_workers: int = 2,
-        poll_timeout_s: float = 0.05,
+        poll_timeout_s: float = 1.0,
+        batched: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -75,7 +103,12 @@ class WorkerPool:
         self._build_context = build_context
         self._complete = complete
         self.num_workers = num_workers
+        #: Shutdown backstop only: workers are woken by the scheduler's
+        #: condition variable on enqueue, so an idle worker sleeps on the
+        #: condition instead of busy-polling.  The timeout merely bounds how
+        #: long a missed close() notification could go unnoticed.
         self._poll_timeout_s = poll_timeout_s
+        self._batched = batched
         self._threads: list[threading.Thread] = []
 
     def start(self) -> None:
@@ -101,24 +134,193 @@ class WorkerPool:
             batch = self._scheduler.next_batch(timeout=self._poll_timeout_s)
             if batch is None:  # closed and drained
                 return
-            for request in batch:
-                session = request.session
-                execution = None
-                error: BaseException | None = None
-                if session is None:
-                    error = RuntimeError("request has no stream session")
-                else:
-                    try:
-                        execution = session.execute(request, context)
-                    except Exception as exc:  # pragma: no cover - defensive
-                        _LOGGER.exception("worker failed on stream %s", request.stream_id)
-                        error = exc
-                # The completion callback must never kill the worker thread:
-                # a dead worker would strand the rest of the batch and hang
-                # every pending drain()/result() call.
+            if not batch:  # backstop timeout fired with no work
+                continue
+            if self._batched:
+                self._execute_batched(batch, context)
+            else:
+                self._execute_sequential(batch, context)
+
+    # ------------------------------------------------------------------
+    # per-frame fallback path
+    # ------------------------------------------------------------------
+    def _execute_sequential(
+        self, batch: Sequence[FrameRequest], context: WorkerContext
+    ) -> None:
+        """Run each frame of the batch through its session, one at a time."""
+        for request in batch:
+            session = request.session
+            execution = None
+            error: BaseException | None = None
+            if session is None:
+                error = RuntimeError("request has no stream session")
+            else:
                 try:
-                    self._complete(request, execution, error)
-                except Exception:  # pragma: no cover - defensive
-                    _LOGGER.exception(
-                        "completion callback failed for stream %s", request.stream_id
-                    )
+                    execution = session.execute(request, context)
+                except Exception as exc:  # pragma: no cover - defensive
+                    _LOGGER.exception("worker failed on stream %s", request.stream_id)
+                    error = exc
+            self._finish(request, execution, error)
+
+    # ------------------------------------------------------------------
+    # batched path
+    # ------------------------------------------------------------------
+    def _execute_batched(
+        self, batch: Sequence[FrameRequest], context: WorkerContext
+    ) -> None:
+        """Execute a whole scheduler micro-batch as stacked tensors."""
+        plans: list[FramePlan] = []
+        errors: dict[int, BaseException] = {}
+        for request in batch:
+            session = request.session
+            if session is None:
+                errors[request.request_id] = RuntimeError("request has no stream session")
+                continue
+            try:
+                start = time.perf_counter()
+                plan = session.plan_frame(request, context)
+                plan.service_s += time.perf_counter() - start
+                plans.append(plan)
+            except Exception as exc:  # pragma: no cover - defensive
+                _LOGGER.exception("plan failed on stream %s", request.stream_id)
+                errors[request.request_id] = exc
+
+        self._detect_stacked(
+            [plan for plan in plans if plan.tensor is not None],
+            context,
+            errors,
+            key=lambda plan: tuple(plan.tensor.shape),
+            run=self._run_backbone_group,
+        )
+        self._detect_stacked(
+            [plan for plan in plans if plan.warped_features is not None],
+            context,
+            errors,
+            key=lambda plan: tuple(plan.warped_features.shape),
+            run=self._run_head_group,
+        )
+        self._regress_next_scales(plans, context, errors)
+
+        executions: dict[int, FrameExecution] = {}
+        for plan in plans:
+            if plan.request.request_id in errors:
+                continue
+            try:
+                start = time.perf_counter()
+                execution = plan.session.complete_frame(plan)
+                plan.service_s += time.perf_counter() - start
+                executions[plan.request.request_id] = execution
+            except Exception as exc:  # pragma: no cover - defensive
+                _LOGGER.exception("commit failed on stream %s", plan.request.stream_id)
+                errors[plan.request.request_id] = exc
+
+        for request in batch:
+            self._finish(
+                request,
+                executions.get(request.request_id),
+                errors.get(request.request_id),
+            )
+
+    def _detect_stacked(
+        self,
+        plans: list[FramePlan],
+        context: WorkerContext,
+        errors: dict[int, BaseException],
+        key: Callable[[FramePlan], tuple[int, ...]],
+        run: Callable[[list[FramePlan], WorkerContext], None],
+    ) -> None:
+        """Group plans by stackable shape and run the detector once per group."""
+        for indices in group_indices(plans, key=key):
+            group = [plans[i] for i in indices]
+            try:
+                start = time.perf_counter()
+                run(group, context)
+                share = (time.perf_counter() - start) / len(group)
+                for plan in group:
+                    plan.service_s += share
+            except Exception as exc:  # pragma: no cover - defensive
+                _LOGGER.exception(
+                    "batched detection failed for streams %s",
+                    [plan.request.stream_id for plan in group],
+                )
+                for plan in group:
+                    errors[plan.request.request_id] = exc
+
+    @staticmethod
+    def _run_backbone_group(group: list[FramePlan], context: WorkerContext) -> None:
+        """Backbone + RPN + head over one stack of same-shape frame tensors."""
+        with inference_mode():
+            features = context.detector.extract_features(
+                stack_group([plan.tensor for plan in group])
+            )
+            detections = context.detector.detect_from_features_batch(
+                features,
+                working_shapes=[plan.working_shape for plan in group],
+                scale_factors=[plan.scale_factor for plan in group],
+                image_sizes=[plan.image_size for plan in group],
+                target_scales=[plan.scale for plan in group],
+            )
+        for plan, detection in zip(group, detections):
+            plan.detection = detection
+            # Per-frame feature slice of the stack — what DFF key frames cache.
+            plan.features = detection.features
+
+    @staticmethod
+    def _run_head_group(group: list[FramePlan], context: WorkerContext) -> None:
+        """Detection head over one stack of same-shape warped DFF features."""
+        detections = context.detector.detect_from_features_batch(
+            stack_group([plan.warped_features for plan in group]),
+            working_shapes=[plan.working_shape for plan in group],
+            scale_factors=[plan.scale_factor for plan in group],
+            image_sizes=[plan.image_size for plan in group],
+            target_scales=[plan.scale for plan in group],
+        )
+        for plan, detection in zip(group, detections):
+            plan.detection = detection
+
+    @staticmethod
+    def _regress_next_scales(
+        plans: list[FramePlan], context: WorkerContext, errors: dict[int, BaseException]
+    ) -> None:
+        """Batched AdaScale feedback for every frame that needs a next scale."""
+        pending = [
+            plan
+            for plan in plans
+            if plan.needs_next_scale
+            and plan.detection is not None
+            and plan.request.request_id not in errors
+        ]
+        if not pending:
+            return
+        try:
+            feedback = context.adascale.predict_next_scales(
+                [plan.detection for plan in pending],
+                [plan.image_size for plan in pending],
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            _LOGGER.exception("batched scale regression failed")
+            for plan in pending:
+                errors[plan.request.request_id] = exc
+            return
+        for plan, (next_scale, _, regress_s) in zip(pending, feedback):
+            plan.next_scale = next_scale
+            plan.service_s += regress_s
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        request: FrameRequest,
+        execution: FrameExecution | None,
+        error: BaseException | None,
+    ) -> None:
+        if execution is None and error is None:  # pragma: no cover - defensive
+            error = RuntimeError("request fell through batched execution")
+        # The completion callback must never kill the worker thread: a dead
+        # worker would strand queued frames and hang every pending
+        # drain()/result() call.
+        try:
+            self._complete(request, execution, error)
+        except Exception:  # pragma: no cover - defensive
+            _LOGGER.exception(
+                "completion callback failed for stream %s", request.stream_id
+            )

@@ -1,0 +1,36 @@
+"""Index grouping and stacking for batch formation.
+
+Stacking tensors requires identical shapes, so batch-first execution
+repeatedly needs "group these items by a stacking key, preserving first-seen
+order" followed by "stack the group into one array".  Shared helpers keep the
+detector's shape grouping and the serving worker's plan grouping in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["group_indices", "stack_group"]
+
+T = TypeVar("T")
+
+
+def group_indices(items: Sequence[T], key: Callable[[T], Hashable]) -> list[list[int]]:
+    """Indices of ``items`` grouped by ``key(item)``, groups in first-seen order."""
+    groups: dict[Hashable, list[int]] = {}
+    for index, item in enumerate(items):
+        groups.setdefault(key(item), []).append(index)
+    return list(groups.values())
+
+
+def stack_group(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate same-shape leading-batch arrays; single items pass through.
+
+    The pass-through keeps a batch of one free of an extra copy (and therefore
+    exactly as fast as the pre-batching code path).
+    """
+    if len(arrays) == 1:
+        return arrays[0]
+    return np.concatenate(list(arrays), axis=0)

@@ -142,7 +142,16 @@ class TestRPNHead:
         per_anchor = rng.normal(size=(6 * 7 * head.num_anchors, 2)).astype(np.float32)
         as_map = head._anchor_layout_to_map(per_anchor, 2, 6, 7)
         back = head._map_to_anchor_layout(as_map, 2)
-        np.testing.assert_allclose(back, per_anchor)
+        assert back.shape == (1, per_anchor.shape[0], 2)
+        np.testing.assert_allclose(back[0], per_anchor)
+
+    def test_layout_batched_matches_per_image(self, detector_config, rng):
+        head = RPNHead(16, detector_config, rng)
+        maps = rng.normal(size=(3, 2 * head.num_anchors, 6, 7)).astype(np.float32)
+        batched = head._map_to_anchor_layout(maps, 2)
+        for index in range(3):
+            single = head._map_to_anchor_layout(maps[index : index + 1], 2)
+            np.testing.assert_array_equal(batched[index], single[0])
 
     def test_backward_returns_feature_gradient(self, detector_config, rng):
         head = RPNHead(16, detector_config, rng)
