@@ -18,9 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import write_result
-from repro.core import RegressorTrainer, ScaleRegressor, label_dataset, optimal_scale_for_image
+from repro.core import ScaleRegressor, optimal_scale_for_image
 from repro.core.pipeline import ExperimentBundle
-from repro.core.scale_coding import encode_scale_target
 from repro.data.loader import FrameLoader
 from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.evaluation import format_table
@@ -65,7 +64,17 @@ def test_ablation_optimal_scale_truncation(benchmark, vid_bundle):
         "concern is that the naive rule is biased toward scales with fewer foreground predictions "
         "(usually smaller scales)."
     )
-    write_result("ablation_metric_truncation", table + "\n\n" + summary)
+    write_result(
+        "ablation_metric_truncation",
+        table + "\n\n" + summary,
+        data={
+            "frames": len(frames),
+            "agreements": agreements,
+            "agreement_fraction": agreements / len(frames),
+            "naive_mean_scale": float(np.mean(naive_values)),
+            "truncated_mean_scale": float(truncated_labels.mean_scale()),
+        },
+    )
 
     assert agreements > 0  # the two rules are related, not arbitrary
 
@@ -134,7 +143,14 @@ def test_ablation_relative_vs_absolute_target(benchmark, vid_bundle):
         rows,
         title="Ablation — relative (Eq. 3) vs absolute scale-regression target",
     )
-    write_result("ablation_target_coding", table)
+    write_result(
+        "ablation_target_coding",
+        table,
+        data={
+            "relative_mean_abs_error_px": float(np.mean(relative_errors)),
+            "absolute_mean_abs_error_px": float(np.mean(absolute_errors)),
+        },
+    )
 
     # Both regressors should produce finite, in-range predictions; the relative
     # coding should not be dramatically worse than the absolute one.

@@ -9,8 +9,6 @@ the optimal-scale label distribution.
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import write_result
 from repro.evaluation import format_table
 
@@ -41,7 +39,16 @@ def test_fig10_scale_distribution(benchmark, vid_bundle, vid_method_results):
         f"Mean test-time scale {result.mean_scale:.0f}px vs maximum scale {config.max_scale}px; "
         f"mean optimal-scale label {vid_bundle.labels.mean_scale():.0f}px."
     )
-    write_result("fig10_scale_distribution", table + "\n\n" + summary)
+    write_result(
+        "fig10_scale_distribution",
+        table + "\n\n" + summary,
+        data={
+            "mean_test_scale": float(result.mean_scale),
+            "mean_label_scale": float(vid_bundle.labels.mean_scale()),
+            "usage_by_scale": {str(s): float(distribution.get(s, 0.0)) for s in bins},
+            "labels_by_scale": {str(s): float(label_distribution.get(s, 0.0)) for s in bins},
+        },
+    )
 
     # The regressor must actually use more than one scale, and its average must
     # not exceed the fixed maximum (otherwise there is no speed-up to report).

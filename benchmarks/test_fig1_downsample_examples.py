@@ -58,7 +58,16 @@ def test_fig1_downsampling_examples(benchmark, vid_bundle):
         f"{len(improved)}/{total} annotated validation frames ({100 * fraction:.0f}%) have an optimal "
         f"scale below the maximum ({max_scale}px)."
     )
-    write_result("fig1_downsample_examples", table + "\n\n" + summary)
+    write_result(
+        "fig1_downsample_examples",
+        table + "\n\n" + summary,
+        data={
+            "annotated_frames": total,
+            "improved_frames": len(improved),
+            "improved_fraction": fraction,
+            "max_scale": int(max_scale),
+        },
+    )
 
     # The phenomenon the whole paper rests on must be present.
     assert fraction > 0.2

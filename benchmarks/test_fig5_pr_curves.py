@@ -8,8 +8,6 @@ fixed recall levels for every class, plus the per-class AP, in text form.
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import write_result
 from repro.core.pipeline import METHODS
 from repro.evaluation import format_table, precision_recall_curve
@@ -49,7 +47,17 @@ def test_fig5_pr_curves(benchmark, vid_bundle, vid_method_results):
         f"MS/AdaScale matches or beats MS/Random in {adascale_better_than_random}/{comparisons} classes "
         "(the paper observes AdaScale consistently above random scaling)."
     )
-    write_result("fig5_pr_curves", "\n\n".join(sections) + "\n\n" + summary)
+    write_result(
+        "fig5_pr_curves",
+        "\n\n".join(sections) + "\n\n" + summary,
+        data={
+            "classes_compared": comparisons,
+            "adascale_matches_or_beats_random": adascale_better_than_random,
+            "mean_ap_by_method": {
+                method: float(vid_method_results[method].mean_ap) for method in METHODS
+            },
+        },
+    )
 
     # Paper-shape check: adaptive scaling beats random scale selection overall.
     assert vid_method_results["MS/AdaScale"].mean_ap >= vid_method_results["MS/Random"].mean_ap - 0.02

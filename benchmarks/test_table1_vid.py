@@ -14,7 +14,6 @@ runs at a smaller average scale (lower cost per frame).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from conftest import write_result
 from repro.evaluation import per_class_table, profile_flops
@@ -75,7 +74,14 @@ def test_table1_vid(benchmark, vid_bundle, vid_method_results):
         "Paper reference (real ImageNet VID): SS/SS 74.2 mAP / 75 ms, "
         "MS/SS 73.3 / 75 ms, MS/AdaScale 75.5 / 47 ms"
     )
-    write_result("table1_vid", table + "\n\n" + paper)
+    write_result(
+        "table1_vid",
+        table + "\n\n" + paper,
+        data={
+            "mean_ap_pct_by_method": {m: float(v) for m, v in mean_ap.items()},
+            "relative_cost_by_method": {m: float(v) for m, v in rel_cost.items()},
+        },
+    )
 
     # Qualitative agreement checks (the shape of the result, not the numbers).
     assert mean_ap["MS/AdaScale"] >= mean_ap["SS/SS"] - 3.0

@@ -9,8 +9,6 @@ Paper numbers (real mini YouTube-BB):
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import write_result
 from repro.evaluation import per_class_table
 
@@ -35,7 +33,14 @@ def test_table1_ytbb(benchmark, ytbb_bundle):
         "Paper reference (real mini YouTube-BB): SS/SS 68.0 mAP / 75 ms, "
         "MS/SS 68.5 / 75 ms, MS/AdaScale 70.7 / 41 ms"
     )
-    write_result("table1_ytbb", table + "\n\n" + paper)
+    write_result(
+        "table1_ytbb",
+        table + "\n\n" + paper,
+        data={
+            "mean_ap_pct_by_method": {m: float(v) for m, v in mean_ap.items()},
+            "mean_scale_by_method": {m: float(v) for m, v in mean_scale.items()},
+        },
+    )
 
     # Shape checks: AdaScale processes frames at a smaller average scale and does
     # not lose accuracy relative to the single-scale baseline.

@@ -90,7 +90,20 @@ def test_table2_train_scales(benchmark, variant_bundles, vid_config):
         "Paper reference: larger S_train sets give AdaScale both higher mAP and lower runtime; "
         "SS testing stays at the full-scale cost regardless."
     )
-    write_result("table2_train_scales", table + "\n\n" + paper)
+    write_result(
+        "table2_train_scales",
+        table + "\n\n" + paper,
+        data={
+            "adascale_mean_scale_by_strain": {
+                "_".join(str(s) for s in variant): float(scale)
+                for variant, scale in adascale_scales.items()
+            },
+            "adascale_mean_ap_by_strain": {
+                "_".join(str(s) for s in variant): float(ap)
+                for variant, ap in adascale_maps.items()
+            },
+        },
+    )
 
     variants = list(variant_bundles)
     # Trend check: the richest S_train lets AdaScale run at a smaller (or equal)

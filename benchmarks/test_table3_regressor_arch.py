@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import write_result
-from repro.config import RegressorConfig
 from repro.core import RegressorTrainer, ScaleRegressor
 from repro.core.pipeline import ExperimentBundle
 from repro.evaluation import format_table
@@ -73,7 +72,20 @@ def test_table3_regressor_architectures(benchmark, vid_bundle: ExperimentBundle)
         title="Table 3 — regressor architecture ablation",
     )
     paper = "Paper reference: 75.3 / 75.5 / 75.5 mAP and 51 / 47 / 50 ms for kernels 1, 1&3, 1&3&5."
-    write_result("table3_regressor_arch", table + "\n\n" + paper)
+    write_result(
+        "table3_regressor_arch",
+        table + "\n\n" + paper,
+        data={
+            "mean_ap_pct_by_kernels": {
+                "_".join(str(k) for k in kernels): float(100 * result.mean_ap)
+                for kernels, result in variant_results.items()
+            },
+            "mean_scale_by_kernels": {
+                "_".join(str(k) for k in kernels): float(result.mean_scale)
+                for kernels, result in variant_results.items()
+            },
+        },
+    )
 
     # The variants should be close in accuracy (within a few mAP points).
     maps = [100 * r.mean_ap for r in variant_results.values()]

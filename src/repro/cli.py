@@ -11,7 +11,12 @@ Four commands cover the common workflows:
   training split (the Eq. 2 statistics behind Fig. 10);
 * ``serve`` — start the multi-stream inference server, replay a synthetic
   load-generated session against it, and print the latency/throughput
-  telemetry (see :mod:`repro.serving`).
+  telemetry (see :mod:`repro.serving`);
+* ``bench`` — run the benchmark harness under ``benchmarks/`` and write, for
+  every benchmark, both the human-readable ``.txt`` table and the
+  schema-versioned machine-readable ``BENCH_<name>.json`` artefact; with
+  ``--compare`` it instead gates fresh results against committed baselines
+  (see :mod:`repro.profiling`).
 
 Presets and datasets are resolved by name through the registries in
 :mod:`repro.presets` (``EXPERIMENT_PRESETS`` / ``DATASETS``), so new presets
@@ -21,6 +26,7 @@ registered by downstream code are automatically selectable here.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -150,6 +156,57 @@ def build_parser() -> argparse.ArgumentParser:
             "streams share scheduler batch buckets"
         ),
     )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark harness and write machine-readable BENCH_*.json results",
+    )
+    bench.add_argument(
+        "--all",
+        action="store_true",
+        help="run every benchmark (the default when --only is not given)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="run only the named benchmarks (names as printed by --list)",
+    )
+    bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke mode: shrink training schedules (sets REPRO_BENCH_FAST=1)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list the available benchmarks and exit"
+    )
+    bench.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=Path("benchmarks"),
+        help="directory holding the benchmark suite (default: ./benchmarks)",
+    )
+    bench.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="where results are written/read (default: <bench-dir>/results)",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help=(
+            "compare existing BENCH_*.json results against committed baselines "
+            "instead of running benchmarks; exits non-zero on gate violations"
+        ),
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="baseline artefacts for --compare (default: <bench-dir>/baselines)",
+    )
     return parser
 
 
@@ -238,6 +295,120 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _discover_benchmarks(bench_dir: Path) -> dict[str, Path]:
+    """Benchmark name -> module path for every ``benchmarks/test_*.py``."""
+    return {
+        path.stem.removeprefix("test_"): path
+        for path in sorted(bench_dir.glob("test_*.py"))
+    }
+
+
+def _invoke_pytest(paths: list[str], extra_args: list[str]) -> int:
+    """Run pytest in-process over the benchmark modules (separable for tests)."""
+    import pytest
+
+    return int(pytest.main([*paths, "-q", "-s", *extra_args]))
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_table as _format_table
+    from repro.profiling import compare_dirs, load_bench_json
+
+    bench_dir: Path = args.bench_dir
+    results_dir: Path = args.results_dir or bench_dir / "results"
+    baseline_dir: Path = args.baseline_dir or bench_dir / "baselines"
+
+    if args.all and args.only:
+        raise SystemExit("repro bench: error: --all and --only are mutually exclusive")
+    if args.compare:
+        if args.only or args.fast or args.list:
+            raise SystemExit(
+                "repro bench: error: --compare takes no run options (--only/--fast/--list)"
+            )
+        report = compare_dirs(results_dir, baseline_dir)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    if not bench_dir.is_dir():
+        raise SystemExit(f"repro bench: error: benchmark directory {bench_dir} not found")
+    benchmarks = _discover_benchmarks(bench_dir)
+    if args.list:
+        print(
+            _format_table(
+                ["Benchmark", "Module"],
+                [[name, str(path)] for name, path in benchmarks.items()],
+                title=f"Available benchmarks under {bench_dir}",
+            )
+        )
+        return 0
+
+    if args.only:
+        unknown = sorted(set(args.only) - set(benchmarks))
+        if unknown:
+            raise SystemExit(
+                f"repro bench: error: unknown benchmark(s) {', '.join(unknown)}; "
+                f"available: {', '.join(benchmarks)}"
+            )
+        selection = [name for name in benchmarks if name in set(args.only)]
+    else:
+        selection = list(benchmarks)
+
+    extra_args: list[str] = []
+    overrides: dict[str, str] = {}
+    if args.fast:
+        overrides["REPRO_BENCH_FAST"] = "1"
+        # Smoke runs want one sample per pytest-benchmark site, not a
+        # calibrated timing loop; the JSON artefacts carry the real numbers.
+        extra_args.append("--benchmark-disable")
+    if args.results_dir is not None:
+        overrides["REPRO_BENCH_RESULTS"] = str(results_dir)
+
+    # The env vars are how benchmarks/conftest.py picks the settings up; keep
+    # the mutation scoped to this invocation so nothing leaks into the rest of
+    # the process.  (Caveat: conftest freezes them at import, so within one
+    # process the first bench run's settings win — run-per-process as CI does.)
+    previous = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        exit_code = _invoke_pytest([str(benchmarks[name]) for name in selection], extra_args)
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    # Summarise the machine-readable artefacts regardless of test outcome.
+    rows = []
+    invalid = 0
+    artefacts = sorted(results_dir.glob("BENCH_*.json")) if results_dir.is_dir() else []
+    for path in artefacts:
+        try:
+            payload = load_bench_json(path)
+            status = "ok"
+            keys = ", ".join(sorted(payload["data"])) or "-"
+        except ValueError as exc:
+            status = f"INVALID ({exc})"
+            keys = "-"
+            invalid += 1
+        rows.append([path.name, status, keys])
+    if rows:
+        print()
+        print(
+            _format_table(
+                ["Artefact", "Schema", "Data keys"],
+                rows,
+                title=f"Machine-readable results under {results_dir}",
+            )
+        )
+    else:
+        invalid = 1
+        print(f"warning: no BENCH_*.json artefacts found under {results_dir}")
+    # A passing pytest run with unusable machine-readable output is a failure:
+    # the artefacts are the product here.
+    return exit_code if exit_code != 0 else (1 if invalid else 0)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -289,6 +460,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     parser.error(f"unknown command {args.command!r}")
     return 2

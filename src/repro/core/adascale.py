@@ -21,6 +21,7 @@ from repro.config import AdaScaleConfig
 from repro.core.regressor import ScaleRegressor
 from repro.core.scale_coding import decode_scale
 from repro.core.scale_set import ScaleSet
+from repro.profiling import stage
 from repro.utils.grouping import group_indices, stack_group
 from repro.data.synthetic_vid import VideoFrame
 from repro.detection.rfcn import DetectionResult, RFCNDetector
@@ -139,17 +140,18 @@ class AdaScaleDetector:
             )
         targets = np.empty(len(detections), dtype=np.float32)
         shares = np.empty(len(detections), dtype=np.float64)
-        for indices in group_indices(
-            detections, key=lambda detection: detection.features.shape[1:]
-        ):
-            start = time.perf_counter()
-            values = self.regressor.predict_batch(
-                stack_group([detections[i].features for i in indices])
-            )
-            share = (time.perf_counter() - start) / len(indices)
-            for position, value in zip(indices, values):
-                targets[position] = value
-                shares[position] = share
+        with stage("adascale/regress"):
+            for indices in group_indices(
+                detections, key=lambda detection: detection.features.shape[1:]
+            ):
+                start = time.perf_counter()
+                values = self.regressor.predict_batch(
+                    stack_group([detections[i].features for i in indices])
+                )
+                share = (time.perf_counter() - start) / len(indices)
+                for position, value in zip(indices, values):
+                    targets[position] = value
+                    shares[position] = share
 
         # Snap to the discrete regressor scale set so concurrent streams land
         # in shared scheduler buckets (see AdaScaleConfig).

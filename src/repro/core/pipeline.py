@@ -23,13 +23,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.config import AdaScaleConfig, ExperimentConfig, TrainingConfig
+from repro.config import ExperimentConfig
 from repro.core.adascale import AdaScaleDetector
 from repro.core.optimal_scale import ScaleLabels, label_dataset, optimal_scale_for_image
 from repro.core.regressor import ScaleRegressor
 from repro.core.regressor_trainer import RegressorTrainer
 from repro.core.scale_set import ScaleSet
-from repro.data.synthetic_vid import Snippet, SyntheticVID, VideoFrame
+from repro.data.synthetic_vid import SyntheticVID, VideoFrame
 from repro.detection.nms import batched_nms
 from repro.detection.rfcn import DetectionResult, RFCNDetector
 from repro.detection.trainer import DetectorTrainer

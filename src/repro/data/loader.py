@@ -7,7 +7,7 @@ and :func:`iterate_frames` provides deterministic full passes for evaluation.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

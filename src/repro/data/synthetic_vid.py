@@ -9,8 +9,7 @@ construct and any frame can be re-rendered identically at any time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,7 +10,21 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["generate_base_anchors", "generate_anchors"]
+from repro.nn import runtime
+
+__all__ = ["generate_base_anchors", "generate_anchors", "clear_anchor_cache"]
+
+#: Tiled anchor grids keyed by (H, W, stride, sizes, ratios).  A detector
+#: revisits the same handful of feature shapes (one per image scale) for every
+#: frame it serves, and tiling the grid costs more than the RPN's per-anchor
+#: arithmetic that consumes it — a textbook profile-guided cache.  Entries are
+#: returned read-only so a cached grid can be shared by all callers.
+_ANCHOR_CACHE = runtime.LruCache(maxsize=128)
+
+
+def clear_anchor_cache() -> None:
+    """Empty the anchor-grid cache (mainly for tests)."""
+    _ANCHOR_CACHE.clear()
 
 
 def generate_base_anchors(
@@ -56,6 +70,12 @@ def generate_anchors(
         raise ValueError("feature map dimensions must be positive")
     if feature_stride <= 0:
         raise ValueError("feature_stride must be positive")
+    use_cache = runtime.options().anchor_cache
+    key = (feature_height, feature_width, feature_stride, tuple(sizes), tuple(ratios))
+    if use_cache:
+        cached = _ANCHOR_CACHE.get(key)
+        if cached is not None:
+            return cached
     base = generate_base_anchors(sizes, ratios)
     shift_x = (np.arange(feature_width, dtype=np.float32) + 0.5) * feature_stride
     shift_y = (np.arange(feature_height, dtype=np.float32) + 0.5) * feature_stride
@@ -64,4 +84,8 @@ def generate_anchors(
         [grid_x.ravel(), grid_y.ravel(), grid_x.ravel(), grid_y.ravel()], axis=1
     )
     anchors = shifts[:, None, :] + base[None, :, :]
-    return anchors.reshape(-1, 4).astype(np.float32)
+    anchors = anchors.reshape(-1, 4).astype(np.float32)
+    if use_cache:
+        anchors.setflags(write=False)
+        _ANCHOR_CACHE.put(key, anchors)
+    return anchors

@@ -15,6 +15,7 @@ __all__ = [
     "encode_boxes",
     "decode_boxes",
     "clip_boxes",
+    "clip_boxes_",
     "valid_boxes",
     "scale_boxes",
     "box_centers",
@@ -108,7 +109,15 @@ def encode_boxes(anchors: np.ndarray, targets: np.ndarray) -> np.ndarray:
 
 
 def decode_boxes(anchors: np.ndarray, deltas: np.ndarray) -> np.ndarray:
-    """Apply predicted (dx, dy, dw, dh) deltas to anchors (inverse of encode)."""
+    """Apply predicted (dx, dy, dw, dh) deltas to anchors (inverse of encode).
+
+    Fully vectorised over the box dimension and assembled directly into one
+    preallocated output array: the proposal path decodes every anchor of every
+    image in a micro-batch in a single call, so per-call temporaries (the old
+    ``np.stack`` of four 1-D arrays plus its float32 re-cast) were a measurable
+    slice of the RPN profile.  The arithmetic is unchanged, element for
+    element, so decoded boxes are bit-identical to the previous implementation.
+    """
     anchors = _as_boxes(anchors)
     deltas = np.asarray(deltas, dtype=np.float32)
     if deltas.size == 0:
@@ -125,18 +134,35 @@ def decode_boxes(anchors: np.ndarray, deltas: np.ndarray) -> np.ndarray:
     cy = deltas[:, 1] * anchor_h + anchor_cy
     w = np.exp(np.clip(deltas[:, 2], -MAX_DELTA_WH, MAX_DELTA_WH)) * anchor_w
     h = np.exp(np.clip(deltas[:, 3], -MAX_DELTA_WH, MAX_DELTA_WH)) * anchor_h
-    return np.stack([cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h], axis=1).astype(
-        np.float32
-    )
+
+    out = np.empty((anchors.shape[0], 4), dtype=np.float32)
+    half_w = 0.5 * w
+    half_h = 0.5 * h
+    np.subtract(cx, half_w, out=out[:, 0])
+    np.subtract(cy, half_h, out=out[:, 1])
+    np.add(cx, half_w, out=out[:, 2])
+    np.add(cy, half_h, out=out[:, 3])
+    return out
 
 
 def clip_boxes(boxes: np.ndarray, image_height: int, image_width: int) -> np.ndarray:
     """Clip boxes to lie inside an ``image_height`` × ``image_width`` frame."""
     boxes = _as_boxes(boxes).copy()
+    return clip_boxes_(boxes, image_height, image_width)
+
+
+def clip_boxes_(boxes: np.ndarray, image_height: int, image_width: int) -> np.ndarray:
+    """In-place :func:`clip_boxes` for freshly decoded, caller-owned arrays.
+
+    The proposal path clips every decoded box it just produced; clipping in
+    place saves one full (N, 4) copy per micro-batch.  Only call this on
+    arrays nobody else holds a reference to.
+    """
+    boxes = _as_boxes(boxes)
     if boxes.size == 0:
         return boxes
-    boxes[:, 0::2] = np.clip(boxes[:, 0::2], 0.0, float(image_width))
-    boxes[:, 1::2] = np.clip(boxes[:, 1::2], 0.0, float(image_height))
+    np.clip(boxes[:, 0::2], 0.0, float(image_width), out=boxes[:, 0::2])
+    np.clip(boxes[:, 1::2], 0.0, float(image_height), out=boxes[:, 1::2])
     return boxes
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import is_inference
+from repro.profiling import stage
 
 __all__ = ["PSRoIPool"]
 
@@ -41,18 +42,38 @@ class PSRoIPool:
     spatial_scale:
         Ratio between feature-map coordinates and image coordinates
         (``1 / feature_stride``).
+    integral_dtype:
+        Accumulation dtype of the forward pass's summed-area table.  The
+        default ``float64`` keeps bin sums exact enough that batched pooling
+        is bit-identical to per-image pooling (the equivalence guarantee the
+        serving stack relies on).  ``float32`` halves the integral image's
+        memory traffic and skips the up-cast copy of the score maps — the
+        profile-guided fast path for deployments that accept detections
+        matching the float64 path within a small tolerance instead of bit for
+        bit.  The backward pass always accumulates in float64; the dtype knob
+        is inference-only.
     """
 
-    def __init__(self, group_size: int, output_dim: int, spatial_scale: float) -> None:
+    def __init__(
+        self,
+        group_size: int,
+        output_dim: int,
+        spatial_scale: float,
+        integral_dtype: np.dtype | type = np.float64,
+    ) -> None:
         if group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         if output_dim < 1:
             raise ValueError(f"output_dim must be >= 1, got {output_dim}")
         if spatial_scale <= 0:
             raise ValueError(f"spatial_scale must be positive, got {spatial_scale}")
+        integral_dtype = np.dtype(integral_dtype)
+        if integral_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"integral_dtype must be float32 or float64, got {integral_dtype}")
         self.group_size = group_size
         self.output_dim = output_dim
         self.spatial_scale = spatial_scale
+        self.integral_dtype = integral_dtype
         self._cache: dict[str, np.ndarray] | None = None
 
     @property
@@ -152,6 +173,19 @@ class PSRoIPool:
                 }
             return output
 
+        with stage("detect/psroi"):
+            return self._pool(score_maps, rois, batch_indices, output)
+
+    def _pool(
+        self,
+        score_maps: np.ndarray,
+        rois: np.ndarray,
+        batch_indices: np.ndarray,
+        output: np.ndarray,
+    ) -> np.ndarray:
+        k = self.group_size
+        dim = self.output_dim
+        batch, _, height, width = score_maps.shape
         ys, ye, xs, xe = self._bin_edges(rois, height, width)
         counts = np.maximum((ye - ys) * (xe - xs), 0).astype(np.float32)
 
@@ -159,8 +193,11 @@ class PSRoIPool:
         # I[b, c, y, x] = sum(maps[b, c, :y, :x]).  Cumulative sums run along
         # the spatial axes only, so each image's table is independent of its
         # batch neighbours (batched pooling == per-image pooling, bit for bit).
-        maps = score_maps.astype(np.float64)
-        integral = np.zeros((batch, maps.shape[1], height + 1, width + 1), dtype=np.float64)
+        # ``integral_dtype`` trades that float64 exactness for bandwidth.
+        maps = score_maps.astype(self.integral_dtype, copy=False)
+        integral = np.zeros(
+            (batch, maps.shape[1], height + 1, width + 1), dtype=self.integral_dtype
+        )
         integral[:, :, 1:, 1:] = maps.cumsum(axis=2).cumsum(axis=3)
 
         grouped = integral.reshape(batch, k * k, dim, height + 1, width + 1)

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.config import DetectorConfig, TrainingConfig
 from repro.data.transforms import image_to_chw, normalize_image, resize_image
-from repro.detection.boxes import clip_boxes, decode_boxes, encode_boxes
+from repro.detection.boxes import clip_boxes_, decode_boxes, encode_boxes
 from repro.detection.losses import DetectionLossResult, detection_loss
 from repro.detection.matcher import match_boxes
 from repro.detection.nms import batched_nms
@@ -37,6 +37,7 @@ from repro.detection.psroi import PSRoIPool
 from repro.detection.rpn import RPNHead, RPNOutput
 from repro.nn.functional import softmax
 from repro.nn.layers import Conv2d, Module, ReLU, Sequential, inference_mode, is_inference
+from repro.profiling import stage
 from repro.utils.grouping import group_indices, stack_group
 
 __all__ = ["Detection", "DetectionResult", "RFCNDetector", "build_backbone"]
@@ -174,8 +175,9 @@ class RFCNDetector(Module):
             self.feature_channels, k * k * 4, 1, rng=rng, name="head.bbox_ps"
         )
         spatial_scale = 1.0 / self.config.feature_stride
-        self.cls_pool = PSRoIPool(k, num_cls_out, spatial_scale)
-        self.bbox_pool = PSRoIPool(k, 4, spatial_scale)
+        integral_dtype = np.dtype(self.config.inference_dtype)
+        self.cls_pool = PSRoIPool(k, num_cls_out, spatial_scale, integral_dtype=integral_dtype)
+        self.bbox_pool = PSRoIPool(k, 4, spatial_scale, integral_dtype=integral_dtype)
         self._head_cache: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
@@ -183,7 +185,8 @@ class RFCNDetector(Module):
     # ------------------------------------------------------------------
     def extract_features(self, image_chw: np.ndarray) -> np.ndarray:
         """Backbone forward pass on an (N, 3, H, W) stack of normalised images."""
-        return self.backbone(image_chw)
+        with stage("detect/backbone"):
+            return self.backbone(image_chw)
 
     def head_forward(
         self,
@@ -196,15 +199,16 @@ class RFCNDetector(Module):
         ``features`` may stack several images; ``batch_indices`` then selects,
         per RoI, the image it pools from (defaults to zeros for B == 1).
         """
-        rois = np.asarray(rois, dtype=np.float32).reshape(-1, 4)
-        neck = self.neck_relu(self.neck_conv(features))
-        cls_maps = self.cls_ps_conv(neck)
-        bbox_maps = self.bbox_ps_conv(neck)
-        pooled_cls = self.cls_pool.forward(cls_maps, rois, batch_indices)
-        pooled_bbox = self.bbox_pool.forward(bbox_maps, rois, batch_indices)
-        # Voting: average over the k x k position-sensitive bins.
-        roi_logits = pooled_cls.mean(axis=(2, 3))
-        roi_deltas = pooled_bbox.mean(axis=(2, 3))
+        with stage("detect/head"):
+            rois = np.asarray(rois, dtype=np.float32).reshape(-1, 4)
+            neck = self.neck_relu(self.neck_conv(features))
+            cls_maps = self.cls_ps_conv(neck)
+            bbox_maps = self.bbox_ps_conv(neck)
+            pooled_cls = self.cls_pool.forward(cls_maps, rois, batch_indices)
+            pooled_bbox = self.bbox_pool.forward(bbox_maps, rois, batch_indices)
+            # Voting: average over the k x k position-sensitive bins.
+            roi_logits = pooled_cls.mean(axis=(2, 3))
+            roi_deltas = pooled_bbox.mean(axis=(2, 3))
         if not is_inference():
             self._head_cache = {
                 "num_rois": np.asarray(rois.shape[0]),
@@ -241,7 +245,17 @@ class RFCNDetector(Module):
         *train* (or otherwise cache activations) concurrently.  A replica
         built from the same weights produces bit-identical outputs.
         """
-        replica = RFCNDetector(self.config, seed=0)
+        return self.with_config(self.config)
+
+    def with_config(self, config: DetectorConfig) -> "RFCNDetector":
+        """A replica with identical weights but a different runtime config.
+
+        Used to re-home trained weights under inference-time settings the
+        architecture does not depend on (e.g. ``inference_dtype``, score or
+        NMS thresholds).  Architecture-defining fields must match or the
+        weight shapes will not load.
+        """
+        replica = RFCNDetector(config, seed=0)
         replica.load_state_dict(self.state_dict())
         replica.train(self.training)
         return replica
@@ -303,17 +317,18 @@ class RFCNDetector(Module):
         with inference_mode():
             tensors: list[np.ndarray] = []
             metas: list[tuple[tuple[int, int], float, tuple[int, int], int | None]] = []
-            for image, scale in zip(images, scales):
-                original_size = (int(image.shape[0]), int(image.shape[1]))
-                if scale is not None:
-                    resized = resize_image(image, scale, max_long_side)
-                    working = resized.image
-                    scale_factor = resized.scale_factor
-                else:
-                    working = np.asarray(image, dtype=np.float32)
-                    scale_factor = 1.0
-                tensors.append(image_to_chw(normalize_image(working)))
-                metas.append((working.shape[:2], scale_factor, original_size, scale))
+            with stage("detect/preprocess"):
+                for image, scale in zip(images, scales):
+                    original_size = (int(image.shape[0]), int(image.shape[1]))
+                    if scale is not None:
+                        resized = resize_image(image, scale, max_long_side)
+                        working = resized.image
+                        scale_factor = resized.scale_factor
+                    else:
+                        working = np.asarray(image, dtype=np.float32)
+                        scale_factor = 1.0
+                    tensors.append(image_to_chw(normalize_image(working)))
+                    metas.append((working.shape[:2], scale_factor, original_size, scale))
 
             # Stacking requires identical spatial dims; frames of one scale
             # bucket can still differ (different source aspect ratios), so
@@ -418,7 +433,9 @@ class RFCNDetector(Module):
                     height, width = working_shapes[index]
                     results[index] = self._finalize_image(
                         probs=probs[span],
-                        refined=clip_boxes(refined[span], height, width),
+                        # refined is freshly decoded and locally owned, so the
+                        # disjoint per-image spans may be clipped in place.
+                        refined=clip_boxes_(refined[span], height, width),
                         proposals=proposals_per_image[index],
                         features=features[index : index + 1],
                         scale_factor=float(scale_factors[index]),
@@ -454,6 +471,22 @@ class RFCNDetector(Module):
         threshold: float,
     ) -> DetectionResult:
         """Score-threshold + per-class NMS fan-out for one image of a batch."""
+        with stage("detect/nms"):
+            return self._finalize_image_inner(
+                probs, refined, proposals, features, scale_factor, target_scale, image_size, threshold
+            )
+
+    def _finalize_image_inner(
+        self,
+        probs: np.ndarray,
+        refined: np.ndarray,
+        proposals: np.ndarray,
+        features: np.ndarray,
+        scale_factor: float,
+        target_scale: int | None,
+        image_size: tuple[int, int],
+        threshold: float,
+    ) -> DetectionResult:
         boxes_list: list[np.ndarray] = []
         scores_list: list[np.ndarray] = []
         classes_list: list[np.ndarray] = []

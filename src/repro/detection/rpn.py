@@ -13,10 +13,11 @@ import numpy as np
 
 from repro.config import DetectorConfig
 from repro.detection.anchors import generate_anchors
-from repro.detection.boxes import clip_boxes, decode_boxes, valid_boxes
+from repro.detection.boxes import clip_boxes_, decode_boxes, valid_boxes
 from repro.detection.nms import nms
 from repro.nn.functional import softmax
 from repro.nn.layers import Conv2d, Module, ReLU, is_inference
+from repro.profiling import stage
 
 __all__ = ["RPNHead", "RPNOutput"]
 
@@ -72,23 +73,24 @@ class RPNHead(Module):
         are batch-invariant in inference mode).  Anchors depend only on the
         shared feature shape, so every output aliases one anchor array.
         """
-        hidden = self.relu(self.conv(features))
-        cls_map = self.cls_conv(hidden)
-        reg_map = self.reg_conv(hidden)
-        batch, _, height, width = cls_map.shape
-        if not is_inference():
-            self._hidden = hidden
-            self._feature_shape = (height, width)
+        with stage("detect/rpn"):
+            hidden = self.relu(self.conv(features))
+            cls_map = self.cls_conv(hidden)
+            reg_map = self.reg_conv(hidden)
+            batch, _, height, width = cls_map.shape
+            if not is_inference():
+                self._hidden = hidden
+                self._feature_shape = (height, width)
 
-        objectness = self._map_to_anchor_layout(cls_map, 2)
-        deltas = self._map_to_anchor_layout(reg_map, 4)
-        anchors = generate_anchors(
-            height,
-            width,
-            self.config.feature_stride,
-            self.config.anchor_sizes,
-            self.config.anchor_ratios,
-        )
+            objectness = self._map_to_anchor_layout(cls_map, 2)
+            deltas = self._map_to_anchor_layout(reg_map, 4)
+            anchors = generate_anchors(
+                height,
+                width,
+                self.config.feature_stride,
+                self.config.anchor_sizes,
+                self.config.anchor_ratios,
+            )
         return [
             RPNOutput(
                 objectness=objectness[index],
@@ -176,28 +178,31 @@ class RPNHead(Module):
                     f"shape; got {output.anchors.shape[0]} anchors vs {num_anchors}"
                 )
 
-        all_scores = softmax(
-            np.concatenate([output.objectness for output in outputs], axis=0), axis=1
-        )[:, 1]
-        all_boxes = decode_boxes(
-            np.concatenate([output.anchors for output in outputs], axis=0),
-            np.concatenate([output.deltas for output in outputs], axis=0),
-        )
+        with stage("detect/proposals"):
+            all_scores = softmax(
+                np.concatenate([output.objectness for output in outputs], axis=0), axis=1
+            )[:, 1]
+            all_boxes = decode_boxes(
+                np.concatenate([output.anchors for output in outputs], axis=0),
+                np.concatenate([output.deltas for output in outputs], axis=0),
+            )
 
-        results: list[tuple[np.ndarray, np.ndarray]] = []
-        for index, (height, width) in enumerate(image_shapes):
-            span = slice(index * num_anchors, (index + 1) * num_anchors)
-            boxes = clip_boxes(all_boxes[span], height, width)
-            scores = all_scores[span]
-            keep = valid_boxes(boxes, min_size=config.rpn_min_size)
-            boxes, scores = boxes[keep], scores[keep]
-            if boxes.shape[0] == 0:
-                results.append(
-                    (np.zeros((0, 4), dtype=np.float32), np.zeros((0,), dtype=np.float32))
-                )
-                continue
-            order = np.argsort(-scores, kind="stable")[:pre_nms]
-            boxes, scores = boxes[order], scores[order]
-            keep_nms = nms(boxes, scores, config.rpn_nms_threshold)[:post_nms]
-            results.append((boxes[keep_nms], scores[keep_nms]))
-        return results
+            results: list[tuple[np.ndarray, np.ndarray]] = []
+            for index, (height, width) in enumerate(image_shapes):
+                span = slice(index * num_anchors, (index + 1) * num_anchors)
+                # all_boxes is freshly decoded and locally owned; clipping the
+                # disjoint per-image spans in place avoids one (A, 4) copy each.
+                boxes = clip_boxes_(all_boxes[span], height, width)
+                scores = all_scores[span]
+                keep = valid_boxes(boxes, min_size=config.rpn_min_size)
+                boxes, scores = boxes[keep], scores[keep]
+                if boxes.shape[0] == 0:
+                    results.append(
+                        (np.zeros((0, 4), dtype=np.float32), np.zeros((0,), dtype=np.float32))
+                    )
+                    continue
+                order = np.argsort(-scores, kind="stable")[:pre_nms]
+                boxes, scores = boxes[order], scores[order]
+                keep_nms = nms(boxes, scores, config.rpn_nms_threshold)[:post_nms]
+                results.append((boxes[keep_nms], scores[keep_nms]))
+            return results

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.evaluation.matching import match_detections
 from repro.evaluation.voc_ap import DetectionRecord
 

@@ -4,13 +4,37 @@
 column so a convolution becomes a single matrix multiplication — the standard
 trick for fast CPU convolutions without hand-written C loops.  ``col2im`` is
 its adjoint and is used by the convolution backward pass.
+
+Two profile-guided optimizations live here, both bit-exact and both
+toggleable through :mod:`repro.nn.runtime` (so benchmarks can measure the
+unoptimized baseline):
+
+* **plan cache** — the (channel, row, col) gather plans of
+  :func:`im2col_indices` depend only on the input *shape*, not its values;
+  detectors run the same handful of shapes over and over (one per backbone
+  stage per image scale), so plans are cached in a small LRU keyed by shape.
+* **strided unfold** — the forward unfold is computed from a
+  ``sliding_window_view`` (pure stride arithmetic) plus one contiguous copy,
+  instead of materialising index arrays and running a fancy-index gather.
+  The element values, layout and dtype are identical; only the gather
+  mechanism changes.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["conv_output_size", "im2col_indices", "im2col", "col2im"]
+from repro.nn import runtime
+
+__all__ = [
+    "conv_output_size",
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
 
 
 def conv_output_size(size: int, field: int, padding: int, stride: int) -> int:
@@ -24,18 +48,28 @@ def conv_output_size(size: int, field: int, padding: int, stride: int) -> int:
     return out
 
 
-def im2col_indices(
-    x_shape: tuple[int, int, int, int],
+#: Gather plans keyed by (channels, H, W, fh, fw, padding, stride).
+_PLANS = runtime.LruCache(maxsize=64)
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the im2col plan cache (for bench telemetry)."""
+    return _PLANS.stats()
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan cache and reset its counters (mainly for tests)."""
+    _PLANS.clear()
+
+
+def _build_indices(
+    channels: int,
+    out_height: int,
+    out_width: int,
     field_height: int,
     field_width: int,
-    padding: int,
     stride: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Compute the (channel, row, col) gather indices for :func:`im2col`."""
-    _, channels, height, width = x_shape
-    out_height = conv_output_size(height, field_height, padding, stride)
-    out_width = conv_output_size(width, field_width, padding, stride)
-
     i0 = np.repeat(np.arange(field_height), field_width)
     i0 = np.tile(i0, channels)
     i1 = stride * np.repeat(np.arange(out_height), out_width)
@@ -47,12 +81,67 @@ def im2col_indices(
     return k, i, j
 
 
+def im2col_indices(
+    x_shape: tuple[int, int, int, int],
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the (channel, row, col) gather indices for :func:`im2col`.
+
+    Plans depend only on the shape key, so repeated calls hit a process-wide
+    LRU cache (unless disabled via :mod:`repro.nn.runtime`).  Cached arrays
+    are returned read-only; callers gather with them but never write them.
+    """
+    _, channels, height, width = x_shape
+    out_height = conv_output_size(height, field_height, padding, stride)
+    out_width = conv_output_size(width, field_width, padding, stride)
+
+    if not runtime.options().im2col_plan_cache:
+        return _build_indices(
+            channels, out_height, out_width, field_height, field_width, stride
+        )
+
+    key = (channels, height, width, field_height, field_width, padding, stride)
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = _build_indices(
+            channels, out_height, out_width, field_height, field_width, stride
+        )
+        for array in plan:
+            array.setflags(write=False)
+        _PLANS.put(key, plan)
+    return plan
+
+
+def _pad_input(x: np.ndarray, padding: int, reuse_buffer: bool) -> np.ndarray:
+    """Zero-pad the spatial dims, into a scratch buffer when allowed."""
+    if padding <= 0:
+        return x
+    pad = padding
+    if not (reuse_buffer and runtime.options().scratch_buffers):
+        return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    batch, channels, height, width = x.shape
+    padded = runtime.scratch(
+        "im2col.pad", (batch, channels, height + 2 * pad, width + 2 * pad), x.dtype
+    )
+    # Zero only the border frame; the interior is fully overwritten by x.
+    padded[:, :, :pad, :] = 0.0
+    padded[:, :, height + pad :, :] = 0.0
+    padded[:, :, pad : height + pad, :pad] = 0.0
+    padded[:, :, pad : height + pad, width + pad :] = 0.0
+    padded[:, :, pad : height + pad, pad : width + pad] = x
+    return padded
+
+
 def im2col(
     x: np.ndarray,
     field_height: int,
     field_width: int,
     padding: int,
     stride: int,
+    reuse_buffer: bool = False,
 ) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) into columns of shape (C*fh*fw, N*OH*OW).
 
@@ -60,15 +149,35 @@ def im2col(
     block ``[n*OH*OW, (n+1)*OH*OW)``, matching the
     ``(out_channels, N, OH, OW)`` reshape the convolution layers apply to the
     GEMM output.
+
+    ``reuse_buffer=True`` lets the unfold write into a thread-local scratch
+    buffer (see :func:`repro.nn.runtime.scratch`); callers must consume the
+    result before their next ``reuse_buffer`` unfold and must not retain it —
+    inference-mode convolutions qualify, training (which caches the columns
+    for backward) must not pass it.
     """
-    pad = padding
-    if pad > 0:
-        x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-    else:
-        x_padded = x
+    batch, channels, _, _ = x.shape
+    x_padded = _pad_input(x, padding, reuse_buffer)
+
+    if runtime.options().fast_im2col:
+        out_height = conv_output_size(x.shape[2], field_height, padding, stride)
+        out_width = conv_output_size(x.shape[3], field_width, padding, stride)
+        # (N, C, OH, OW, fh, fw) strided view — no data movement yet.
+        windows = sliding_window_view(x_padded, (field_height, field_width), axis=(2, 3))
+        if stride > 1:
+            windows = windows[:, :, ::stride, ::stride]
+        # Arrange to (C, fh, fw, N, OH, OW); the reshape performs the single
+        # contiguous copy.  Values and layout are identical to the gather path.
+        arranged = windows.transpose(1, 4, 5, 0, 2, 3)
+        shape = (channels * field_height * field_width, batch * out_height * out_width)
+        if reuse_buffer and runtime.options().scratch_buffers:
+            cols = runtime.scratch("im2col.cols", shape, x.dtype)
+            np.copyto(cols.reshape(arranged.shape), arranged)
+            return cols
+        return np.ascontiguousarray(arranged.reshape(shape))
+
     k, i, j = im2col_indices(x.shape, field_height, field_width, padding, stride)
     cols = x_padded[:, k, i, j]
-    channels = x.shape[1]
     cols = cols.transpose(1, 0, 2).reshape(field_height * field_width * channels, -1)
     return np.ascontiguousarray(cols)
 

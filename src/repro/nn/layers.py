@@ -28,13 +28,14 @@ bit-identical to sequential single-frame execution.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Iterator, Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import init, runtime
 from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.tensor import Parameter
+from repro.profiling import stage
 
 __all__ = [
     "Module",
@@ -84,8 +85,17 @@ def _per_sample_matmul(matrix: np.ndarray, cols: np.ndarray, batch: int) -> np.n
     BLAS kernel selection depends on the operand shapes, so a single GEMM over
     an N-image column buffer is *not* bit-identical per column to the N=1
     call.  One GEMM per sample (same m/k/n as the single-image path) is.
+
+    The output lives in a reusable thread-local scratch buffer (inference
+    callers copy it into their result before the next convolution runs).  A
+    single-output-channel GEMM keeps a fresh allocation: the convolution's
+    final reshape+transpose stays contiguous there and would otherwise return
+    a view that aliases the scratch buffer.
     """
-    out = np.empty((matrix.shape[0], cols.shape[1]), dtype=np.float32)
+    if matrix.shape[0] > 1:
+        out = runtime.scratch("conv.gemm", (matrix.shape[0], cols.shape[1]), np.float32)
+    else:
+        out = np.empty((matrix.shape[0], cols.shape[1]), dtype=np.float32)
     per_sample = cols.shape[1] // batch
     for index in range(batch):
         block = slice(index * per_sample, (index + 1) * per_sample)
@@ -260,22 +270,43 @@ class Conv2d(Module):
         )
         self.bias = Parameter(init.zeros((out_channels,)), name=f"{name}.bias") if bias else None
         self._cache: tuple[np.ndarray, tuple[int, int, int, int]] | None = None
+        self._stage_name = f"nn/{name}"
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        with stage(self._stage_name):
+            return self._forward(x)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
         batch, _, height, width = x.shape
         out_h = conv_output_size(height, self.kernel_size, self.padding, self.stride)
         out_w = conv_output_size(width, self.kernel_size, self.padding, self.stride)
-        cols = im2col(x, self.kernel_size, self.kernel_size, self.padding, self.stride)
+        inference = is_inference()
+        # Inference never retains the column buffer, so it may live in (and
+        # repeatedly reuse) a thread-local scratch allocation; training caches
+        # it for backward and therefore gets a fresh array.
+        cols = im2col(
+            x,
+            self.kernel_size,
+            self.kernel_size,
+            self.padding,
+            self.stride,
+            reuse_buffer=inference,
+        )
         weight_matrix = self.weight.data.reshape(self.out_channels, -1)
-        if is_inference() and batch > 1:
+        # The GEMM output may live in a reusable scratch buffer ONLY when the
+        # final np.ascontiguousarray is guaranteed to copy (the transposed
+        # view is non-contiguous exactly when both moved axes have size > 1).
+        # Otherwise the returned tensor would alias the scratch buffer and be
+        # silently overwritten by the next same-shape convolution.
+        if inference and batch > 1:
             out = _per_sample_matmul(weight_matrix, cols, batch)
         else:
             out = weight_matrix @ cols
         if self.bias is not None:
             out += self.bias.data[:, None]
         out = out.reshape(self.out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
-        if not is_inference():
+        if not inference:
             self._cache = (cols, x.shape)
         return np.ascontiguousarray(out)
 
@@ -331,8 +362,13 @@ class Linear(Module):
         )
         self.bias = Parameter(init.zeros((out_features,)), name=f"{name}.bias") if bias else None
         self._input: np.ndarray | None = None
+        self._stage_name = f"nn/{name}"
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        with stage(self._stage_name):
+            return self._forward(x)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"expected (N, {self.in_features}) input, got {x.shape}")

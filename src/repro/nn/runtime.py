@@ -1,0 +1,166 @@
+"""Inference-runtime options and reusable scratch buffers.
+
+The profile-guided optimization pass (im2col plan cache, strided im2col
+gather, precomputed anchor grids, reused GEMM output buffers) is **bit-exact**:
+every optimization produces byte-identical numerics to the unoptimized code
+path.  They are nevertheless individually toggleable so the benchmark harness
+can measure the pre-optimization baseline in the same process — an honest
+apples-to-apples A/B on the same machine, same build, same load.
+
+Scratch buffers
+---------------
+``scratch(tag, shape, dtype)`` hands out a reusable, *thread-local* ndarray.
+NumPy otherwise allocates a fresh output buffer for every im2col unfold and
+every GEMM; at serving rates that means thousands of large allocations per
+second whose page faults show up prominently in the profile.  Buffers are
+keyed by ``(tag, shape, dtype)`` and owned by the calling thread, so serving
+workers never share (or lock) them.  Callers must follow one rule: a scratch
+buffer is only valid until the same ``tag`` is requested again on the same
+thread — never store one in a result object (inference code copies into fresh
+arrays before returning, e.g. the convolution output transpose).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "LruCache",
+    "RuntimeOptions",
+    "clear_scratch",
+    "options",
+    "runtime_options",
+    "scratch",
+]
+
+
+class LruCache:
+    """Small thread-safe LRU with hit/miss counters.
+
+    Shared by the hot-path shape caches (im2col gather plans, anchor grids):
+    both cache immutable values keyed by input shape, both need eviction so a
+    long-running server with many tensor shapes stays bounded, and both want
+    effectiveness counters for the benchmark telemetry.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: object) -> object | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: object, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Toggles for the bit-exact hot-path optimizations (all on by default)."""
+
+    #: cache (channel, row, col) im2col gather plans keyed by input shape
+    im2col_plan_cache: bool = True
+    #: unfold via a strided sliding-window view instead of a fancy-index gather
+    fast_im2col: bool = True
+    #: cache tiled anchor grids keyed by feature shape
+    anchor_cache: bool = True
+    #: reuse thread-local GEMM / im2col output buffers in inference mode
+    scratch_buffers: bool = True
+
+
+_OPTIONS = RuntimeOptions()
+_OPTIONS_LOCK = threading.Lock()
+
+
+def options() -> RuntimeOptions:
+    """The process-wide runtime options (read on the hot path, no lock)."""
+    return _OPTIONS
+
+
+@contextmanager
+def runtime_options(**overrides: bool) -> Iterator[RuntimeOptions]:
+    """Temporarily override runtime options (process-wide).
+
+    Intended for benchmarks and tests measuring the unoptimized baseline::
+
+        with runtime_options(fast_im2col=False, im2col_plan_cache=False):
+            measure_pre_optimization_path()
+
+    The override is global (worker threads observe it too), so don't wrap
+    concurrent workloads that need different settings at once.
+    """
+    global _OPTIONS
+    with _OPTIONS_LOCK:
+        previous = _OPTIONS
+        _OPTIONS = replace(previous, **overrides)
+    try:
+        yield _OPTIONS
+    finally:
+        with _OPTIONS_LOCK:
+            _OPTIONS = previous
+
+
+#: Per-thread scratch buffers: OrderedDict[(tag, shape, dtype) -> ndarray],
+#: LRU-bounded so long-running servers with many tensor shapes stay bounded.
+_SCRATCH = threading.local()
+_MAX_SCRATCH_BUFFERS = 32
+
+
+def scratch(tag: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+    """A reusable uninitialised thread-local buffer of the given shape.
+
+    Falls back to a fresh ``np.empty`` when scratch reuse is disabled.  The
+    buffer's contents are undefined; callers must fully overwrite it.
+    """
+    if not _OPTIONS.scratch_buffers:
+        return np.empty(shape, dtype=dtype)
+    buffers: OrderedDict[tuple, np.ndarray] | None = getattr(_SCRATCH, "buffers", None)
+    if buffers is None:
+        buffers = _SCRATCH.buffers = OrderedDict()
+    key = (tag, tuple(shape), np.dtype(dtype).str)
+    buffer = buffers.get(key)
+    if buffer is None:
+        buffer = np.empty(shape, dtype=dtype)
+        buffers[key] = buffer
+        while len(buffers) > _MAX_SCRATCH_BUFFERS:
+            buffers.popitem(last=False)
+    else:
+        buffers.move_to_end(key)
+    return buffer
+
+
+def clear_scratch() -> None:
+    """Drop the calling thread's scratch buffers (mainly for tests)."""
+    if getattr(_SCRATCH, "buffers", None) is not None:
+        _SCRATCH.buffers = OrderedDict()

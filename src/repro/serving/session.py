@@ -45,7 +45,7 @@ from repro.config import AdaScaleConfig, ServingConfig
 from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult
 from repro.evaluation.voc_ap import DetectionRecord
-from repro.serving.request import FrameRequest, FrameResult
+from repro.serving.request import FrameRequest
 
 __all__ = ["FrameExecution", "FramePlan", "StreamResult", "StreamSession"]
 

@@ -37,13 +37,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.config import AdaScaleConfig
 from repro.core.adascale import AdaScaleDetector
 from repro.core.regressor import ScaleRegressor
 from repro.detection.rfcn import RFCNDetector
 from repro.nn.layers import inference_mode
+from repro.profiling import stage
 from repro.serving.request import FrameRequest
 from repro.serving.scheduler import FrameScheduler
 from repro.serving.session import FrameExecution, FramePlan
@@ -171,48 +170,53 @@ class WorkerPool:
         """Execute a whole scheduler micro-batch as stacked tensors."""
         plans: list[FramePlan] = []
         errors: dict[int, BaseException] = {}
-        for request in batch:
-            session = request.session
-            if session is None:
-                errors[request.request_id] = RuntimeError("request has no stream session")
-                continue
-            try:
-                start = time.perf_counter()
-                plan = session.plan_frame(request, context)
-                plan.service_s += time.perf_counter() - start
-                plans.append(plan)
-            except Exception as exc:  # pragma: no cover - defensive
-                _LOGGER.exception("plan failed on stream %s", request.stream_id)
-                errors[request.request_id] = exc
+        with stage("serving/plan"):
+            for request in batch:
+                session = request.session
+                if session is None:
+                    errors[request.request_id] = RuntimeError("request has no stream session")
+                    continue
+                try:
+                    start = time.perf_counter()
+                    plan = session.plan_frame(request, context)
+                    plan.service_s += time.perf_counter() - start
+                    plans.append(plan)
+                except Exception as exc:  # pragma: no cover - defensive
+                    _LOGGER.exception("plan failed on stream %s", request.stream_id)
+                    errors[request.request_id] = exc
 
-        self._detect_stacked(
-            [plan for plan in plans if plan.tensor is not None],
-            context,
-            errors,
-            key=lambda plan: tuple(plan.tensor.shape),
-            run=self._run_backbone_group,
-        )
-        self._detect_stacked(
-            [plan for plan in plans if plan.warped_features is not None],
-            context,
-            errors,
-            key=lambda plan: tuple(plan.warped_features.shape),
-            run=self._run_head_group,
-        )
-        self._regress_next_scales(plans, context, errors)
+        with stage("serving/backbone_batch"):
+            self._detect_stacked(
+                [plan for plan in plans if plan.tensor is not None],
+                context,
+                errors,
+                key=lambda plan: tuple(plan.tensor.shape),
+                run=self._run_backbone_group,
+            )
+        with stage("serving/head_batch"):
+            self._detect_stacked(
+                [plan for plan in plans if plan.warped_features is not None],
+                context,
+                errors,
+                key=lambda plan: tuple(plan.warped_features.shape),
+                run=self._run_head_group,
+            )
+        with stage("serving/regress"):
+            self._regress_next_scales(plans, context, errors)
 
         executions: dict[int, FrameExecution] = {}
-        for plan in plans:
-            if plan.request.request_id in errors:
-                continue
-            try:
-                start = time.perf_counter()
-                execution = plan.session.complete_frame(plan)
-                plan.service_s += time.perf_counter() - start
-                executions[plan.request.request_id] = execution
-            except Exception as exc:  # pragma: no cover - defensive
-                _LOGGER.exception("commit failed on stream %s", plan.request.stream_id)
-                errors[plan.request.request_id] = exc
+        with stage("serving/complete"):
+            for plan in plans:
+                if plan.request.request_id in errors:
+                    continue
+                try:
+                    start = time.perf_counter()
+                    execution = plan.session.complete_frame(plan)
+                    plan.service_s += time.perf_counter() - start
+                    executions[plan.request.request_id] = execution
+                except Exception as exc:  # pragma: no cover - defensive
+                    _LOGGER.exception("commit failed on stream %s", plan.request.stream_id)
+                    errors[plan.request.request_id] = exc
 
         for request in batch:
             self._finish(

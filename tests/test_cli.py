@@ -126,3 +126,114 @@ class TestCommands:
         assert "p95" in captured.out
         assert "throughput" in captured.out
         assert "Adaptive-scale traces" in captured.out
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.only is None and not args.fast and not args.compare
+
+    def test_list_prints_benchmarks(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "serving_throughput" in out
+        assert "table1_vid" in out
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "test_demo.py").write_text("def test_noop():\n    pass\n")
+        with pytest.raises(SystemExit):
+            main(["bench", "--bench-dir", str(bench_dir), "--only", "nonexistent"])
+
+    def test_run_invokes_pytest_and_summarises(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.profiling import write_bench_json
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "test_demo.py").write_text("def test_noop():\n    pass\n")
+        results_dir = tmp_path / "results"
+        invoked = {}
+
+        def fake_pytest(paths, extra):
+            invoked["paths"] = paths
+            invoked["extra"] = extra
+            write_bench_json(results_dir, "demo", data={"fps": 1.0}, fast=True)
+            return 0
+
+        monkeypatch.setattr(cli, "_invoke_pytest", fake_pytest)
+        code = main(
+            [
+                "bench",
+                "--fast",
+                "--bench-dir",
+                str(bench_dir),
+                "--results-dir",
+                str(results_dir),
+            ]
+        )
+        assert code == 0
+        assert invoked["paths"] == [str(bench_dir / "test_demo.py")]
+        assert "--benchmark-disable" in invoked["extra"]
+        out = capsys.readouterr().out
+        assert "BENCH_demo.json" in out
+        assert "ok" in out
+
+    def test_run_flags_missing_artefacts(self, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "test_demo.py").write_text("def test_noop():\n    pass\n")
+        monkeypatch.setattr(cli, "_invoke_pytest", lambda paths, extra: 0)
+        code = main(
+            [
+                "bench",
+                "--bench-dir",
+                str(bench_dir),
+                "--results-dir",
+                str(tmp_path / "empty"),
+            ]
+        )
+        assert code == 1
+
+    def test_compare_gates_against_baselines(self, tmp_path, capsys):
+        from repro.profiling import write_bench_json
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        write_bench_json(baselines, "demo", data={"fps": 100.0})
+        write_bench_json(results, "demo", data={"fps": 90.0})
+        code = main(
+            [
+                "bench",
+                "--compare",
+                "--bench-dir",
+                str(bench_dir),
+                "--results-dir",
+                str(results),
+                "--baseline-dir",
+                str(baselines),
+            ]
+        )
+        assert code == 0
+        assert "all regression gates passed" in capsys.readouterr().out
+
+        write_bench_json(results, "demo", data={"fps": 2.0})
+        code = main(
+            [
+                "bench",
+                "--compare",
+                "--bench-dir",
+                str(bench_dir),
+                "--results-dir",
+                str(results),
+                "--baseline-dir",
+                str(baselines),
+            ]
+        )
+        assert code == 1

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import AdaScaleDetector, AdaScalePipeline, RegressorTrainer, ScaleRegressor
 from repro.core.pipeline import METHODS, merge_detections
-from repro.detection.rfcn import RFCNDetector
 
 
 class TestRegressorTraining:

@@ -9,7 +9,6 @@ enough for CI.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.acceleration import DFFDetector
 from repro.core.pipeline import METHODS

@@ -7,7 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn.im2col import col2im, conv_output_size, im2col, im2col_indices
+from repro.nn.im2col import (
+    clear_plan_cache,
+    col2im,
+    conv_output_size,
+    im2col,
+    im2col_indices,
+    plan_cache_stats,
+)
+from repro.nn.runtime import clear_scratch, options, runtime_options, scratch
 
 
 class TestConvOutputSize:
@@ -99,3 +107,93 @@ class TestCol2Im:
         lhs = float(np.sum(cols * y))
         rhs = float(np.sum(x * col2im(y, x.shape, kernel, kernel, padding, stride)))
         assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-2)
+
+
+class TestPlanCache:
+    """Shape-keyed im2col gather-plan cache (profile-guided optimization)."""
+
+    def setup_method(self):
+        clear_plan_cache()
+
+    def teardown_method(self):
+        clear_plan_cache()
+
+    def test_hit_miss_accounting_across_shapes(self):
+        stats0 = plan_cache_stats()
+        assert stats0 == {"hits": 0, "misses": 0, "size": 0}
+        im2col_indices((1, 3, 8, 8), 3, 3, 1, 1)
+        im2col_indices((1, 3, 8, 8), 3, 3, 1, 1)  # same shape: hit
+        im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)  # batch ignored: still a hit
+        im2col_indices((1, 3, 9, 8), 3, 3, 1, 1)  # new spatial shape: miss
+        im2col_indices((1, 3, 8, 8), 3, 3, 1, 2)  # new stride: miss
+        stats = plan_cache_stats()
+        assert stats["misses"] == 3
+        assert stats["hits"] == 2
+        assert stats["size"] == 3
+
+    def test_cached_plans_match_uncached(self):
+        cached = im2col_indices((1, 2, 6, 7), 3, 3, 1, 2)
+        with runtime_options(im2col_plan_cache=False):
+            fresh = im2col_indices((1, 2, 6, 7), 3, 3, 1, 2)
+        for a, b in zip(cached, fresh):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cached_plans_are_read_only(self):
+        k, i, j = im2col_indices((1, 2, 6, 6), 3, 3, 1, 1)
+        with pytest.raises(ValueError):
+            k[0] = 99
+
+    def test_disabled_cache_records_nothing(self):
+        with runtime_options(im2col_plan_cache=False):
+            im2col_indices((1, 3, 8, 8), 3, 3, 1, 1)
+        assert plan_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestRuntimeEquivalence:
+    """Every runtime optimization must be bit-exact against the plain path."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 3),
+        height=st.integers(4, 9),
+        width=st.integers(4, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_im2col_paths_bit_identical(self, batch, channels, height, width, kernel, stride, seed):
+        padding = kernel // 2
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, channels, height, width)).astype(np.float32)
+        with runtime_options(
+            im2col_plan_cache=False, fast_im2col=False, scratch_buffers=False
+        ):
+            reference = im2col(x, kernel, kernel, padding, stride)
+        with runtime_options(fast_im2col=True, scratch_buffers=False):
+            strided = im2col(x, kernel, kernel, padding, stride)
+        with runtime_options(fast_im2col=True, scratch_buffers=True):
+            scratched = im2col(x, kernel, kernel, padding, stride, reuse_buffer=True)
+        np.testing.assert_array_equal(reference, strided)
+        np.testing.assert_array_equal(reference, scratched)
+
+    def test_scratch_buffer_is_reused_per_shape(self):
+        clear_scratch()
+        a = scratch("t", (4, 4), np.float32)
+        b = scratch("t", (4, 4), np.float32)
+        c = scratch("t", (5, 4), np.float32)
+        assert a is b
+        assert c is not a
+        clear_scratch()
+
+    def test_scratch_disabled_allocates_fresh(self):
+        with runtime_options(scratch_buffers=False):
+            a = scratch("t", (4, 4), np.float32)
+            b = scratch("t", (4, 4), np.float32)
+        assert a is not b
+
+    def test_runtime_options_context_restores(self):
+        assert options().fast_im2col
+        with runtime_options(fast_im2col=False):
+            assert not options().fast_im2col
+        assert options().fast_im2col
