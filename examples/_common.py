@@ -1,0 +1,48 @@
+"""Shared example plumbing: declarative config resolution with a smoke mode.
+
+Every example resolves its experiment configuration through
+:func:`repro.api.load_experiment_config`, so the same preset/override
+machinery the CLI uses (``--preset``, ``--config``, ``--set``) drives the
+examples too.
+
+Setting ``REPRO_EXAMPLE_SMOKE=1`` (as the CI examples-smoke job does) applies
+a stack of dotted-path overrides that shrink datasets and training schedules
+so each example finishes in seconds instead of minutes — the output is
+qualitatively meaningless in smoke mode; the point is exercising the code
+paths end to end.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro import api
+
+SMOKE_ENV = "REPRO_EXAMPLE_SMOKE"
+
+#: Dotted-path overrides that turn any preset into a seconds-scale smoke run.
+SMOKE_OVERRIDES: tuple[str, ...] = (
+    "dataset.num_train_snippets=2",
+    "dataset.num_val_snippets=2",
+    "dataset.frames_per_snippet=3",
+    "training.iterations=10",
+    "training.lr_decay_at=8",
+    "regressor.iterations=8",
+    "regressor.lr_decay_at=6",
+)
+
+
+def smoke_mode() -> bool:
+    """Whether the examples should run on the shrunk smoke configuration."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0", "false")
+
+
+def example_config(
+    preset: str = "tiny", seed: int = 0, overrides: Iterable[str] = ()
+):
+    """Resolve an example's config: preset + example overrides (+ smoke shrink)."""
+    merged = list(overrides)
+    if smoke_mode():
+        merged.extend(SMOKE_OVERRIDES)
+    return api.load_experiment_config(preset, overrides=merged, seed=seed)

@@ -17,10 +17,11 @@ import argparse
 
 import numpy as np
 
-from repro.acceleration import AdaScaleDFFDetector, DFFDetector, adascale_with_seqnms, seq_nms
-from repro.core import AdaScalePipeline
+from _common import example_config
+
+from repro import api
+from repro.acceleration import seq_nms, adascale_with_seqnms
 from repro.evaluation import DetectionRecord, evaluate_detections, format_table
-from repro.presets import tiny_experiment_config
 
 
 def main() -> None:
@@ -29,8 +30,8 @@ def main() -> None:
     parser.add_argument("--key-interval", type=int, default=3, help="DFF key-frame interval")
     args = parser.parse_args()
 
-    config = tiny_experiment_config(args.seed)
-    bundle = AdaScalePipeline(config).run()
+    config = example_config(preset="tiny", seed=args.seed)
+    bundle = api.Pipeline.from_config(config).run()
     dataset = bundle.val_dataset
     detector = bundle.ms_detector
     adascale = bundle.adascale
@@ -64,8 +65,12 @@ def main() -> None:
     add_row("AdaScale", records, runtimes)
     adascale_records = records
 
-    # 3. Deep Feature Flow at the fixed maximum scale.
-    dff = DFFDetector(detector, key_frame_interval=args.key_interval, config=config.adascale)
+    # 3. Deep Feature Flow at the fixed maximum scale (built from a registry spec).
+    dff = api.ACCELERATORS.build(
+        {"type": "dff", "key_frame_interval": args.key_interval},
+        detector=detector,
+        config=config.adascale,
+    )
     records, runtimes = [], []
     for snippet in dataset:
         frames = snippet.frames()
@@ -75,7 +80,12 @@ def main() -> None:
     add_row(f"DFF (interval {args.key_interval})", records, runtimes)
 
     # 4. AdaScale + DFF: the regressor picks each key frame's scale.
-    combined = AdaScaleDFFDetector(detector, bundle.regressor, key_frame_interval=args.key_interval, config=config.adascale)
+    combined = api.ACCELERATORS.build(
+        {"type": "adascale+dff", "key_frame_interval": args.key_interval},
+        detector=detector,
+        regressor=bundle.regressor,
+        config=config.adascale,
+    )
     records, runtimes = [], []
     for snippet in dataset:
         frames = snippet.frames()

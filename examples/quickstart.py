@@ -1,8 +1,9 @@
 """Quickstart: train AdaScale end to end on a small synthetic video dataset.
 
-This script walks through the whole methodology of the paper (Fig. 2):
+This script walks through the whole methodology of the paper (Fig. 2) through
+the stable :mod:`repro.api` facade:
 
-1. build a synthetic video dataset (the ImageNet VID stand-in);
+1. resolve a declarative experiment config (preset + optional overrides);
 2. train the compact R-FCN detector at a single scale (the SS baseline);
 3. fine-tune it with multi-scale training (S_train);
 4. label every training frame with its optimal scale (Eq. 2);
@@ -10,13 +11,15 @@ This script walks through the whole methodology of the paper (Fig. 2):
 6. run adaptive-scale video inference (Algorithm 1) and compare it against
    fixed-scale testing.
 
-Runtime: a couple of minutes on a laptop CPU.
+Runtime: a couple of minutes on a laptop CPU (seconds with
+``REPRO_EXAMPLE_SMOKE=1``).
 
 Usage::
 
-    python examples/quickstart.py [--seed 0] [--full]
+    python examples/quickstart.py [--seed 0] [--full] [--set a.b=c ...]
 
-``--full`` uses the larger benchmark configuration instead of the tiny one.
+``--full`` uses the larger ``vid`` benchmark preset instead of ``tiny``, and
+``--set`` accepts the same dotted-path overrides as the ``repro`` CLI.
 """
 
 from __future__ import annotations
@@ -24,9 +27,9 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.core import AdaScalePipeline
-from repro.evaluation import format_table
-from repro.presets import small_experiment_config, tiny_experiment_config
+from _common import example_config
+
+from repro import api
 
 
 def main() -> None:
@@ -35,11 +38,21 @@ def main() -> None:
     parser.add_argument(
         "--full",
         action="store_true",
-        help="use the larger benchmark configuration (slower, better detector)",
+        help="use the larger benchmark preset (slower, better detector)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="SECTION.FIELD=VALUE",
+        help="dotted-path config override (repeatable)",
     )
     args = parser.parse_args()
 
-    config = small_experiment_config(args.seed) if args.full else tiny_experiment_config(args.seed)
+    config = example_config(
+        preset="vid" if args.full else "tiny", seed=args.seed, overrides=args.overrides
+    )
     print(f"Scale set S        : {config.adascale.scales}")
     print(f"Regressor scales   : {config.adascale.regressor_scales}")
     print(f"Training scales    : {config.training.train_scales}")
@@ -48,31 +61,15 @@ def main() -> None:
           f"{config.dataset.num_classes} classes")
 
     start = time.time()
-    pipeline = AdaScalePipeline(config)
+    pipeline = api.Pipeline.from_config(config)
     bundle = pipeline.run()
     print(f"\nPipeline finished in {time.time() - start:.0f}s")
     print(f"Optimal-scale label distribution (train split): {bundle.labels.distribution()}")
 
     # Compare the three headline methods of Table 1.
-    rows = []
-    for method in ("SS/SS", "MS/SS", "MS/AdaScale"):
-        result = bundle.evaluate_method(method)
-        rows.append(
-            [
-                method,
-                f"{100.0 * result.mean_ap:.1f}",
-                f"{result.runtime.median_ms:.1f}",
-                f"{result.mean_scale:.0f}",
-            ]
-        )
+    report = pipeline.evaluate(["SS/SS", "MS/SS", "MS/AdaScale"])
     print()
-    print(
-        format_table(
-            ["Method", "mAP (%)", "Runtime (ms)", "Mean scale"],
-            rows,
-            title="AdaScale vs fixed-scale testing (validation split)",
-        )
-    )
+    print(report.format(title="AdaScale vs fixed-scale testing (validation split)"))
     print(
         "\nExpected qualitative outcome (paper, Table 1): MS/AdaScale matches or beats the\n"
         "fixed-scale baselines in mAP while running at a smaller average scale (faster)."

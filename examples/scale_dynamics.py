@@ -20,9 +20,11 @@ import argparse
 
 import numpy as np
 
-from repro.core import AdaScalePipeline, optimal_scale_for_image
+from _common import example_config
+
+from repro import api
+from repro.core import optimal_scale_for_image
 from repro.evaluation import format_table
-from repro.presets import tiny_experiment_config
 
 
 def largest_object_fraction(frame) -> float:
@@ -41,8 +43,8 @@ def main() -> None:
     parser.add_argument("--snippets", type=int, default=3, help="number of snippets to trace")
     args = parser.parse_args()
 
-    config = tiny_experiment_config(args.seed)
-    bundle = AdaScalePipeline(config).run()
+    config = example_config(preset="tiny", seed=args.seed)
+    bundle = api.Pipeline.from_config(config).run()
     adascale = bundle.adascale
 
     for snippet in list(bundle.val_dataset)[: args.snippets]:

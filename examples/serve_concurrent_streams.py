@@ -1,15 +1,16 @@
 """Serve many concurrent video streams with the adaptive-scale inference server.
 
-This example is the deployment counterpart of ``quickstart.py``: it trains the
-tiny AdaScale bundle, then stands up :class:`repro.serving.InferenceServer` —
-per-stream AdaScale feedback loops, scale-bucketed micro-batching across
-streams, a bounded queue with backpressure — and replays a synthetic Poisson
-load against it.  It finishes by printing the serving telemetry (p50/p95/p99
-latency, throughput, batch occupancy) and each stream's adaptive scale trace,
-and demonstrates that concurrent serving is *bit-identical* to sequential
-Algorithm-1 inference.
+This example is the deployment counterpart of ``quickstart.py``, written
+against the stable :mod:`repro.api` facade: it trains the tiny AdaScale
+bundle, stands up :class:`repro.api.Server` — per-stream AdaScale feedback
+loops, scale-bucketed micro-batching across streams, a bounded queue with
+backpressure — and replays a synthetic Poisson load against it.  It finishes
+by printing the serving telemetry (p50/p95/p99 latency, throughput, batch
+occupancy) and each stream's adaptive scale trace, and demonstrates that
+concurrent serving is *bit-identical* to sequential Algorithm-1 inference.
 
-Runtime: a couple of minutes on a laptop CPU.
+Runtime: a couple of minutes on a laptop CPU (seconds with
+``REPRO_EXAMPLE_SMOKE=1``).
 
 Usage::
 
@@ -24,10 +25,9 @@ import time
 
 import numpy as np
 
-from repro.config import BACKPRESSURE_POLICIES
-from repro.core import AdaScalePipeline
-from repro.presets import tiny_experiment_config
-from repro.serving import InferenceServer, LoadGenerator, round_robin_streams
+from _common import example_config
+
+from repro import api
 
 
 def main() -> None:
@@ -36,42 +36,43 @@ def main() -> None:
     parser.add_argument("--streams", type=int, default=4, help="concurrent video streams")
     parser.add_argument("--workers", type=int, default=2, help="worker threads")
     parser.add_argument(
-        "--pattern", choices=("poisson", "bursty", "uniform"), default="poisson"
+        "--pattern", choices=api.ARRIVAL_PATTERNS.names(), default="poisson"
     )
-    parser.add_argument("--policy", choices=BACKPRESSURE_POLICIES, default="block")
+    parser.add_argument("--policy", choices=api.SCHEDULER_POLICIES.names(), default="block")
     args = parser.parse_args()
 
-    config = tiny_experiment_config(args.seed)
+    config = example_config(
+        preset="tiny",
+        seed=args.seed,
+        overrides=[
+            f"serving.num_workers={args.workers}",
+            f"serving.backpressure={args.policy}",
+        ],
+    )
     print("Training the tiny AdaScale bundle (one-off cost)...")
     start = time.time()
-    bundle = AdaScalePipeline(config).run()
+    pipeline = api.Pipeline.from_config(config)
+    bundle = pipeline.run()
     print(f"Pipeline finished in {time.time() - start:.0f}s\n")
 
-    serving = config.serving.with_(num_workers=args.workers, backpressure=args.policy)
-    streams = round_robin_streams(bundle.val_dataset, args.streams)
-    generator = LoadGenerator(
-        num_streams=args.streams,
-        frames_per_stream=min(len(s) for s in streams),
-        pattern=args.pattern,
-        rate_fps=60.0,
-        seed=args.seed,
-    )
+    with pipeline.serve() as server:
+        report = server.serve_load(
+            streams=args.streams,
+            pattern=args.pattern,
+            rate_fps=60.0,
+            time_scale=0.0,
+            seed=args.seed,
+        )
 
-    with InferenceServer(bundle, serving=serving) as server:
-        generator.run(server, streams, time_scale=0.0)
-        server.drain()
-    results = server.finalize()
-
-    print(server.telemetry().format(title=f"Serving telemetry — {args.streams} streams"))
-    print()
-    for stream_id, result in results.items():
-        print(f"stream {stream_id}: scales {result.scales_used}")
+    print(report.format(title=f"Serving telemetry — {args.streams} streams"))
 
     # Serving is exact: stream 0 equals sequential Algorithm-1 inference.
+    streams = api.round_robin_streams(bundle.val_dataset, args.streams)
     reference = bundle.adascale.process_video(streams[0])
-    identical = results[0].scales_used == reference.scales_used and all(
+    stream0 = report.results[0]
+    identical = list(stream0.scales_used) == reference.scales_used and all(
         np.array_equal(record.boxes, output.detection.boxes)
-        for record, output in zip(results[0].records, reference.outputs)
+        for record, output in zip(stream0.records, reference.outputs)
     )
     print(f"\nConcurrent serving identical to sequential inference: {identical}")
 

@@ -19,9 +19,11 @@ import argparse
 
 import numpy as np
 
-from repro.core import AdaScalePipeline, optimal_scale_for_image
+from _common import example_config
+
+from repro import api
+from repro.core import optimal_scale_for_image
 from repro.evaluation import format_table
-from repro.presets import tiny_experiment_config
 
 
 def main() -> None:
@@ -29,8 +31,8 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    config = tiny_experiment_config(args.seed)
-    bundle = AdaScalePipeline(config).run()
+    config = example_config(preset="tiny", seed=args.seed)
+    bundle = api.Pipeline.from_config(config).run()
     detector = bundle.ms_detector
     scales = config.adascale.scales
     max_scale = config.adascale.max_scale

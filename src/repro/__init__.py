@@ -24,12 +24,16 @@ It contains every substrate the paper depends on:
   AdaScale sessions, scale-bucketed micro-batching with backpressure, a
   thread worker pool over detector replicas, latency telemetry and a
   deterministic load generator.
+* :mod:`repro.api` — the stable declarative facade: component registries,
+  ``{"type": name, **kwargs}`` builders, serializable layered configs
+  (preset < file < override) and the :class:`~repro.api.Pipeline` /
+  :class:`~repro.api.Server` entry points everything above is wired through.
 
 Quickstart
 ----------
->>> from repro import presets
->>> bundle = presets.tiny_experiment(seed=0)          # doctest: +SKIP
->>> result = bundle.evaluate_method("MS/AdaScale")    # doctest: +SKIP
+>>> from repro import api
+>>> pipeline = api.Pipeline.from_config("tiny", seed=0)   # doctest: +SKIP
+>>> report = pipeline.evaluate(["MS/AdaScale"])           # doctest: +SKIP
 """
 
 from repro.config import (

@@ -26,10 +26,12 @@ from repro.core.scale_set import ScaleSet
 from repro.data.synthetic_vid import VideoFrame
 from repro.detection.rfcn import RFCNDetector
 from repro.evaluation.voc_ap import DetectionRecord
+from repro.registries import ACCELERATORS
 
 __all__ = ["AdaScaleDFFDetector", "adascale_with_seqnms"]
 
 
+@ACCELERATORS.register("adascale+dff")
 class AdaScaleDFFDetector:
     """Deep Feature Flow whose key-frame scale is chosen by the scale regressor."""
 
@@ -84,6 +86,7 @@ class AdaScaleDFFDetector:
         return output
 
 
+@ACCELERATORS.register("adascale+seqnms")
 def adascale_with_seqnms(
     adascale: AdaScaleDetector,
     frames: Sequence[VideoFrame],

@@ -22,6 +22,7 @@ from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult, RFCNDetector
 from repro.nn.layers import inference_mode
 from repro.evaluation.voc_ap import DetectionRecord
+from repro.registries import ACCELERATORS
 
 __all__ = ["DFFFrameOutput", "DFFFramePlan", "DFFOutput", "DFFStream", "DFFDetector"]
 
@@ -274,6 +275,7 @@ class DFFStream:
         return self.commit_frame(plan, detection, features=features, runtime_s=runtime)
 
 
+@ACCELERATORS.register("dff")
 class DFFDetector:
     """Key-frame detection with flow-warped features on intermediate frames."""
 

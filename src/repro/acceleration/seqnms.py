@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.detection.boxes import iou_matrix
 from repro.evaluation.voc_ap import DetectionRecord
+from repro.registries import ACCELERATORS
 
 __all__ = ["SeqNMSConfig", "SeqNMSStream", "seq_nms"]
 
@@ -106,6 +107,7 @@ def seq_nms(
     ]
 
 
+@ACCELERATORS.register("seqnms")
 class SeqNMSStream:
     """Explicit per-stream Seq-NMS history.
 

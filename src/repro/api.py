@@ -1,0 +1,460 @@
+"""The stable public facade of the reproduction.
+
+Everything a user script, the CLI, the examples and the benchmarks need is
+reachable from here, in declarative form:
+
+* :func:`load_experiment_config` — merge a named preset, an optional
+  ``.json``/``.toml`` config file and dotted ``--set``-style overrides into a
+  validated :class:`~repro.config.ExperimentConfig` (precedence: preset <
+  file < overrides);
+* :class:`Pipeline` — train/evaluate an experiment
+  (``Pipeline.from_config("tiny").run()``), returning typed results;
+* :class:`Server` — stand up the multi-stream inference server over a trained
+  bundle and replay synthetic load (``Server.from_config(...)``), returning a
+  typed :class:`ServeReport`;
+* the component registries (:data:`DATASETS`, :data:`DETECTORS`,
+  :data:`ACCELERATORS`, …) and :func:`build_from_cfg` for
+  ``{"type": name, **kwargs}`` specs.
+
+Importing this module loads every built-in component module, so all registry
+names resolve without further imports.
+
+Typical use::
+
+    from repro import api
+
+    config = api.load_experiment_config("tiny", overrides=["serving.num_workers=4"])
+    pipeline = api.Pipeline.from_config(config)
+    bundle = pipeline.run()
+    print(pipeline.evaluate(["SS/SS", "MS/AdaScale"]).format())
+
+    with api.Server(bundle) as server:
+        report = server.serve_load(streams=4, pattern="poisson")
+    print(report.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.config import ExperimentConfig, ServingConfig
+from repro.configio import apply_overrides, deep_merge, load_config_file, split_override
+from repro.core.pipeline import (
+    METHODS,
+    AdaScalePipeline,
+    ExperimentBundle,
+    MethodResult,
+)
+from repro.registries import (
+    ACCELERATORS,
+    ARRIVAL_PATTERNS,
+    BACKBONES,
+    DATASETS,
+    DETECTORS,
+    EXPERIMENT_PRESETS,
+    SCALE_REGRESSORS,
+    SCHEDULER_POLICIES,
+    build_from_cfg,
+    load_components,
+)
+
+load_components()
+
+from repro.presets import ExperimentPreset  # noqa: E402  (after load_components)
+from repro.serving import (  # noqa: E402
+    InferenceServer,
+    LoadGenerator,
+    round_robin_streams,
+)
+from repro.serving.metrics import TelemetrySnapshot  # noqa: E402
+from repro.serving.session import StreamResult  # noqa: E402
+
+__all__ = [
+    "ACCELERATORS",
+    "ARRIVAL_PATTERNS",
+    "BACKBONES",
+    "DATASETS",
+    "DETECTORS",
+    "EXPERIMENT_PRESETS",
+    "METHODS",
+    "SCALE_REGRESSORS",
+    "SCHEDULER_POLICIES",
+    "EvaluationReport",
+    "MethodReport",
+    "Pipeline",
+    "ServeReport",
+    "Server",
+    "StreamReport",
+    "build_from_cfg",
+    "load_experiment_config",
+    "round_robin_streams",
+]
+
+
+# -- config resolution -------------------------------------------------------
+def load_experiment_config(
+    preset: str | None = "tiny",
+    config_file: str | Path | None = None,
+    overrides: Iterable[str] | Mapping[str, Any] = (),
+    seed: int | None = None,
+    validate: bool = True,
+) -> ExperimentConfig:
+    """Resolve an experiment config from preset, file and overrides.
+
+    Precedence is **preset < config file < overrides**: the named preset (or
+    bare defaults when ``preset`` is None) forms the base, a ``.json`` or
+    ``.toml`` file overlays it section by section, and dotted-path overrides
+    (either ``"a.b=c"`` strings or a ``{"a.b": value}`` mapping) win last.
+    ``seed`` overlays every per-stage seed when given; ``None`` keeps the
+    seeds the preset/file declare.
+    """
+    base = (
+        EXPERIMENT_PRESETS.get(preset)
+        if preset is not None
+        else ExperimentPreset(name="default")
+    )
+    config = base.build_config(seed)
+    if config_file is not None:
+        merged = deep_merge(config.to_dict(), load_config_file(config_file))
+        config = ExperimentConfig.from_dict(merged)
+    override_map = _as_override_map(overrides)
+    if override_map:
+        config = apply_overrides(config, override_map)
+    if validate:
+        config.validate()
+    return config
+
+
+def _with_seed(config: ExperimentConfig, seed: int | None) -> ExperimentConfig:
+    """Overlay ``seed`` onto every per-stage seed field (None = keep as is)."""
+    if seed is None:
+        return config
+    return apply_overrides(
+        config,
+        {"seed": seed, "dataset.seed": seed, "training.seed": seed, "regressor.seed": seed},
+    )
+
+
+def _as_override_map(overrides: Iterable[str] | Mapping[str, Any]) -> dict[str, Any]:
+    if isinstance(overrides, Mapping):
+        return dict(overrides)
+    parsed: dict[str, Any] = {}
+    for expression in overrides:
+        path, raw = split_override(expression)
+        parsed[path] = raw
+    return parsed
+
+
+def _resolve_dataset_cls(config: ExperimentConfig) -> type:
+    """Dataset class for a config, resolved by ``config.dataset.name``."""
+    if config.dataset.name in DATASETS:
+        return DATASETS.get(config.dataset.name)
+    from repro.data.synthetic_vid import SyntheticVID
+
+    return SyntheticVID
+
+
+# -- typed results -----------------------------------------------------------
+@dataclass(frozen=True)
+class MethodReport:
+    """One evaluated method — a row of the paper's Table 1."""
+
+    method: str
+    mean_ap: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_scale: float
+
+    @classmethod
+    def from_result(cls, result: MethodResult) -> "MethodReport":
+        return cls(
+            method=result.name,
+            mean_ap=float(result.mean_ap),
+            p50_ms=float(result.runtime.median_ms),
+            p95_ms=float(result.runtime.p95_ms),
+            p99_ms=float(result.runtime.p99_ms),
+            mean_scale=float(result.mean_scale),
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Typed result of :meth:`Pipeline.evaluate`."""
+
+    rows: tuple[MethodReport, ...]
+    #: full per-method results (records, traces) for callers that need them
+    results: Mapping[str, MethodResult]
+
+    def __getitem__(self, method: str) -> MethodReport:
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(f"method {method!r} not in report; have {[r.method for r in self.rows]}")
+
+    def format(self, title: str = "AdaScale evaluation") -> str:
+        """Render the Table-1-style comparison."""
+        from repro.evaluation import format_table
+
+        return format_table(
+            ["Method", "mAP (%)", "Runtime p50 (ms)", "p95 (ms)", "p99 (ms)", "Mean scale"],
+            [
+                [
+                    row.method,
+                    f"{100 * row.mean_ap:.1f}",
+                    f"{row.p50_ms:.1f}",
+                    f"{row.p95_ms:.1f}",
+                    f"{row.p99_ms:.1f}",
+                    f"{row.mean_scale:.0f}",
+                ]
+                for row in self.rows
+            ],
+            title=title,
+        )
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Per-stream outcome of a serving session."""
+
+    stream_id: int
+    completed: int
+    shed: int
+    scales_used: tuple[int, ...]
+
+    @classmethod
+    def from_result(cls, stream_id: int, result: StreamResult) -> "StreamReport":
+        return cls(
+            stream_id=stream_id,
+            completed=result.completed,
+            shed=result.shed,
+            scales_used=tuple(result.scales_used),
+        )
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Typed result of :meth:`Server.serve_load`."""
+
+    telemetry: TelemetrySnapshot
+    streams: tuple[StreamReport, ...]
+    #: full per-stream results (detection records) for callers that need them
+    results: Mapping[int, StreamResult]
+
+    def format(self, title: str = "Serving telemetry") -> str:
+        """Render the telemetry plus the per-stream adaptive-scale traces."""
+        from repro.evaluation import format_table
+
+        trace_rows = [
+            [
+                str(stream.stream_id),
+                str(stream.completed),
+                str(stream.shed),
+                " ".join(str(scale) for scale in stream.scales_used[:12])
+                + (" ..." if len(stream.scales_used) > 12 else ""),
+            ]
+            for stream in self.streams
+        ]
+        return (
+            self.telemetry.format(title=title)
+            + "\n\n"
+            + format_table(
+                ["Stream", "Served", "Shed", "Scale trace"],
+                trace_rows,
+                title="Adaptive-scale traces",
+            )
+        )
+
+
+# -- pipeline facade ---------------------------------------------------------
+class Pipeline:
+    """Declarative wrapper around the Fig. 2 training/evaluation pipeline."""
+
+    def __init__(self, config: ExperimentConfig, dataset_cls: type | None = None) -> None:
+        self.config = config
+        self.dataset_cls = dataset_cls if dataset_cls is not None else _resolve_dataset_cls(config)
+        self._bundle: ExperimentBundle | None = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig | Mapping[str, Any] | str | None = None,
+        *,
+        seed: int | None = None,
+        config_file: str | Path | None = None,
+        overrides: Iterable[str] | Mapping[str, Any] = (),
+        dataset: str | type | None = None,
+    ) -> "Pipeline":
+        """Build a pipeline from a preset name, config object or nested spec.
+
+        ``config`` may be an :class:`~repro.config.ExperimentConfig`, a nested
+        plain dict, a preset name, or None (preset defaults); ``config_file``
+        and ``overrides`` overlay it with the standard precedence.  ``dataset``
+        optionally forces a dataset by registry name or class.
+        """
+        if isinstance(config, ExperimentConfig):
+            resolved = _with_seed(config, seed)
+            if config_file is not None or overrides:
+                merged = resolved.to_dict()
+                if config_file is not None:
+                    merged = deep_merge(merged, load_config_file(config_file))
+                resolved = ExperimentConfig.from_dict(merged)
+                override_map = _as_override_map(overrides)
+                if override_map:
+                    resolved = apply_overrides(resolved, override_map)
+            resolved.validate()
+        elif isinstance(config, Mapping):
+            resolved = _with_seed(ExperimentConfig.from_dict(config), seed)
+            resolved.validate()
+        else:
+            resolved = load_experiment_config(
+                preset=config, config_file=config_file, overrides=overrides, seed=seed
+            )
+        dataset_cls: type | None
+        if dataset is None:
+            dataset_cls = (
+                EXPERIMENT_PRESETS.get(config).dataset_cls if isinstance(config, str) else None
+            )
+        elif isinstance(dataset, str):
+            dataset_cls = DATASETS.get(dataset)
+        else:
+            dataset_cls = dataset
+        return cls(resolved, dataset_cls=dataset_cls)
+
+    @classmethod
+    def from_bundle(
+        cls,
+        directory: str | Path,
+        config: ExperimentConfig,
+        dataset_cls: type | None = None,
+    ) -> "Pipeline":
+        """Wrap a bundle previously saved with :meth:`save_bundle` / ``repro train``."""
+        pipeline = cls(config, dataset_cls=dataset_cls)
+        pipeline._bundle = ExperimentBundle.load(directory, config, pipeline.dataset_cls)
+        return pipeline
+
+    # -- training / artefacts ------------------------------------------------
+    def run(self) -> ExperimentBundle:
+        """Train every stage (idempotent — the bundle is cached on the pipeline)."""
+        if self._bundle is None:
+            self._bundle = AdaScalePipeline(self.config, dataset_cls=self.dataset_cls).run()
+        return self._bundle
+
+    @property
+    def bundle(self) -> ExperimentBundle:
+        """The trained bundle, training it on first access."""
+        return self.run()
+
+    def save_bundle(self, directory: str | Path) -> Path:
+        """Persist the trained artefacts (see :meth:`ExperimentBundle.save`)."""
+        return self.bundle.save(directory)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, methods: Sequence[str] = ("SS/SS", "MS/SS", "MS/AdaScale")) -> EvaluationReport:
+        """Evaluate ``methods`` on the validation split as a typed report."""
+        results = self.bundle.evaluate_methods(methods)
+        return EvaluationReport(
+            rows=tuple(MethodReport.from_result(results[name]) for name in methods),
+            results=results,
+        )
+
+    def serve(self, serving: ServingConfig | None = None) -> "Server":
+        """A :class:`Server` over this pipeline's bundle."""
+        return Server(self.bundle, serving=serving)
+
+
+# -- serving facade ----------------------------------------------------------
+class Server:
+    """Declarative wrapper around :class:`~repro.serving.InferenceServer`."""
+
+    def __init__(self, bundle: ExperimentBundle, serving: ServingConfig | None = None) -> None:
+        self.bundle = bundle
+        self.serving = serving if serving is not None else bundle.config.serving
+        self._inference: InferenceServer | None = None
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig | Mapping[str, Any] | str | None = None,
+        *,
+        seed: int | None = None,
+        config_file: str | Path | None = None,
+        overrides: Iterable[str] | Mapping[str, Any] = (),
+        bundle_dir: str | Path | None = None,
+        dataset: str | type | None = None,
+    ) -> "Server":
+        """Resolve the config, then train (or load) the bundle it serves.
+
+        ``bundle_dir`` loads artefacts saved by ``repro train`` instead of
+        training from scratch.
+        """
+        pipeline = Pipeline.from_config(
+            config, seed=seed, config_file=config_file, overrides=overrides, dataset=dataset
+        )
+        if bundle_dir is not None:
+            pipeline = Pipeline.from_bundle(bundle_dir, pipeline.config, pipeline.dataset_cls)
+        return cls(pipeline.bundle, serving=pipeline.config.serving)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def inference(self) -> InferenceServer:
+        """The underlying :class:`InferenceServer` (started on first use)."""
+        if self._inference is None:
+            self._inference = InferenceServer(self.bundle, serving=self.serving)
+        return self._inference
+
+    def __enter__(self) -> "Server":
+        self.inference.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._inference is not None:
+            self._inference.stop()
+
+    # -- load replay ---------------------------------------------------------
+    def serve_load(
+        self,
+        streams: int = 4,
+        frames_per_stream: int | None = None,
+        pattern: str = "poisson",
+        rate_fps: float = 30.0,
+        time_scale: float = 0.0,
+        seed: int = 0,
+    ) -> ServeReport:
+        """Replay a deterministic synthetic load and return a typed report.
+
+        Stream sources are the bundle's validation snippets, assigned
+        round-robin.  This is the shared serve flow of the ``repro serve``
+        CLI, the concurrent-streams example and the serving benchmark.
+        """
+        sources = round_robin_streams(self.bundle.val_dataset, streams)
+        shortest = min(len(source) for source in sources)
+        frames = shortest if frames_per_stream is None else min(frames_per_stream, shortest)
+        generator = LoadGenerator(
+            num_streams=streams,
+            frames_per_stream=frames,
+            pattern=pattern,
+            rate_fps=rate_fps,
+            seed=seed,
+        )
+        server = self.inference
+        started = server._started
+        if not started:
+            server.start()
+        try:
+            generator.run(server, sources, time_scale=time_scale)
+            server.drain()
+        finally:
+            if not started:
+                server.stop(cancel_pending=False)
+        results = server.finalize()
+        return ServeReport(
+            telemetry=server.telemetry(),
+            streams=tuple(
+                StreamReport.from_result(stream_id, result)
+                for stream_id, result in sorted(results.items())
+            ),
+            results=results,
+        )

@@ -1,42 +1,53 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` / ``repro <command>``.
 
-Four commands cover the common workflows:
+Every command resolves its experiment configuration the same declarative way
+(see :func:`repro.api.load_experiment_config`):
 
-* ``train`` — run the full AdaScale pipeline (Fig. 2) on a preset configuration
-  and save the trained bundle to a directory;
+    preset  <  --config FILE (.json / .toml)  <  --set section.field=value
+
+so ``repro run --config exp.toml --set detector.num_classes=8`` and an
+equivalently-constructed in-code config produce identical runs.
+
+Commands:
+
+* ``run`` — resolve a config, train the full AdaScale pipeline (Fig. 2) and
+  print the Table-1-style method comparison (optionally saving the bundle);
+* ``train`` — run the pipeline and save the trained bundle to a directory;
 * ``evaluate`` — load a saved bundle (or train one on the fly) and print the
-  Table-1-style comparison of the requested methods, including tail-latency
-  percentiles;
-* ``labels`` — compute and print the optimal-scale label distribution for the
-  training split (the Eq. 2 statistics behind Fig. 10);
+  comparison of the requested methods, including tail-latency percentiles;
+* ``labels`` — print the optimal-scale label distribution (Eq. 2 / Fig. 10);
 * ``serve`` — start the multi-stream inference server, replay a synthetic
   load-generated session against it, and print the latency/throughput
   telemetry (see :mod:`repro.serving`);
-* ``bench`` — run the benchmark harness under ``benchmarks/`` and write, for
-  every benchmark, both the human-readable ``.txt`` table and the
-  schema-versioned machine-readable ``BENCH_<name>.json`` artefact; with
-  ``--compare`` it instead gates fresh results against committed baselines
-  (see :mod:`repro.profiling`).
+* ``config`` — show/save the resolved config, or ``--check`` that every
+  registered preset round-trips losslessly through dict/TOML/JSON forms;
+* ``bench`` — run the benchmark harness under ``benchmarks/`` and write the
+  machine-readable ``BENCH_<name>.json`` artefacts; with ``--compare`` gate
+  fresh results against committed baselines (see :mod:`repro.profiling`).
 
-Presets and datasets are resolved by name through the registries in
-:mod:`repro.presets` (``EXPERIMENT_PRESETS`` / ``DATASETS``), so new presets
+Presets, datasets, backpressure policies and arrival patterns are resolved by
+name through the registries in :mod:`repro.registries`, so components
 registered by downstream code are automatically selectable here.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 
-from repro.config import BACKPRESSURE_POLICIES
-from repro.core import AdaScalePipeline
-from repro.core.pipeline import METHODS, ExperimentBundle
+from repro import api
+from repro.config import ExperimentConfig
+from repro.configio import dumps_toml, loads_toml, toml_supported
+from repro.core.pipeline import METHODS
 from repro.evaluation import format_table
-from repro.presets import EXPERIMENT_PRESETS
+from repro.registries import ARRIVAL_PATTERNS, EXPERIMENT_PRESETS, SCHEDULER_POLICIES
 
 __all__ = ["main", "build_parser"]
+
+_DEFAULT_METHODS = ["SS/SS", "MS/SS", "MS/AdaScale"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="AdaScale (MLSys 2019) reproduction — training, evaluation and serving CLI",
     )
-    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--seed", type=int, default=None, help="experiment seed override")
     parser.add_argument(
         "--preset",
         choices=EXPERIMENT_PRESETS.names(),
@@ -56,14 +67,49 @@ def build_parser() -> argparse.ArgumentParser:
     # tiny`); SUPPRESS keeps the subparser from clobbering a value given
     # before the subcommand.
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--seed", type=int, default=argparse.SUPPRESS, help="experiment seed")
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="experiment seed override"
+    )
     common.add_argument(
         "--preset",
         choices=EXPERIMENT_PRESETS.names(),
         default=argparse.SUPPRESS,
         help="experiment preset",
     )
+    common.add_argument(
+        "--config",
+        type=Path,
+        default=argparse.SUPPRESS,
+        help="a .json/.toml config file overlaid on the preset",
+    )
+    common.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="SECTION.FIELD=VALUE",
+        default=argparse.SUPPRESS,
+        help="dotted-path config override (repeatable); wins over preset and --config",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run",
+        help="resolve a config, run the full pipeline, and print the method comparison",
+        parents=[common],
+    )
+    run.add_argument(
+        "--bundle", type=Path, default=None, help="load a saved bundle instead of training"
+    )
+    run.add_argument(
+        "--output", type=Path, default=None, help="also save the trained bundle here"
+    )
+    run.add_argument(
+        "--methods",
+        nargs="+",
+        default=_DEFAULT_METHODS,
+        choices=list(METHODS) + ["MS/Oracle"],
+        help="methods to evaluate",
+    )
 
     train = subparsers.add_parser(
         "train", help="run the full pipeline and save the bundle", parents=[common]
@@ -79,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--methods",
         nargs="+",
-        default=["SS/SS", "MS/SS", "MS/AdaScale"],
+        default=_DEFAULT_METHODS,
         choices=list(METHODS) + ["MS/Oracle"],
         help="methods to evaluate",
     )
@@ -109,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--policy",
-        choices=BACKPRESSURE_POLICIES,
+        choices=SCHEDULER_POLICIES.names(),
         default=None,
         help="backpressure policy when the queue is full (default: preset)",
     )
@@ -121,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--pattern",
-        choices=("poisson", "bursty", "uniform"),
+        choices=ARRIVAL_PATTERNS.names(),
         default="poisson",
         help="arrival process of the synthetic load",
     )
@@ -155,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
             "snap predicted scales to the regressor scale set so concurrent "
             "streams share scheduler batch buckets"
         ),
+    )
+
+    config_cmd = subparsers.add_parser(
+        "config",
+        help="show, save or check declarative configs",
+        parents=[common],
+    )
+    config_cmd.add_argument(
+        "--format", choices=("toml", "json"), default="toml", help="--show output format"
+    )
+    config_cmd.add_argument(
+        "--save", type=Path, default=None, help="write the resolved config to a .json/.toml file"
+    )
+    config_cmd.add_argument(
+        "--check",
+        action="store_true",
+        help="round-trip every registered preset through dict/JSON/TOML and fail on drift",
     )
 
     bench = subparsers.add_parser(
@@ -210,25 +273,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_or_load(args: argparse.Namespace) -> ExperimentBundle:
-    preset = EXPERIMENT_PRESETS.get(args.preset)
-    config = preset.build_config(args.seed)
+# -- config/pipeline resolution ----------------------------------------------
+def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
+    """preset < --config file < --set overrides, via the api facade."""
+    try:
+        return api.load_experiment_config(
+            preset=args.preset,
+            config_file=getattr(args, "config", None),
+            overrides=getattr(args, "overrides", None) or (),
+            seed=args.seed,
+        )
+    except (KeyError, TypeError, ValueError, OSError, RuntimeError) as exc:
+        raise SystemExit(f"repro: config error: {exc}") from exc
+
+
+def _config_source(args: argparse.Namespace) -> str:
+    parts = [f"preset '{args.preset}'"]
+    config_file = getattr(args, "config", None)
+    if config_file is not None:
+        parts.append(f"config {config_file}")
+    for expression in getattr(args, "overrides", None) or ():
+        parts.append(f"--set {expression}")
+    return ", ".join(parts)
+
+
+def _pipeline(args: argparse.Namespace) -> api.Pipeline:
+    config = _resolve_config(args)
+    # A --config/--set override of dataset.name wins over the preset's
+    # dataset; unregistered names keep the preset's dataset class.
+    if config.dataset.name in api.DATASETS:
+        dataset_cls = api.DATASETS.get(config.dataset.name)
+    else:
+        dataset_cls = EXPERIMENT_PRESETS.get(args.preset).dataset_cls
     bundle_dir = getattr(args, "bundle", None)
     if bundle_dir is not None:
-        return ExperimentBundle.load(bundle_dir, config, preset.dataset_cls)
-    return AdaScalePipeline(config, dataset_cls=preset.dataset_cls).run()
+        return api.Pipeline.from_bundle(bundle_dir, config, dataset_cls)
+    return api.Pipeline.from_config(config, dataset=dataset_cls)
+
+
+# -- commands ----------------------------------------------------------------
+def _run_run(args: argparse.Namespace) -> int:
+    pipeline = _pipeline(args)
+    if args.output is not None:
+        path = pipeline.save_bundle(args.output)
+        print(f"Saved trained bundle to {path}")
+    report = pipeline.evaluate(args.methods)
+    print(report.format(title=f"AdaScale evaluation — {_config_source(args)}"))
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.serving import InferenceServer, LoadGenerator, round_robin_streams
-
     if args.streams < 1:
         raise SystemExit(f"repro serve: error: --streams must be >= 1, got {args.streams}")
     if args.frames is not None and args.frames < 1:
         raise SystemExit(f"repro serve: error: --frames must be >= 1, got {args.frames}")
-    bundle = _build_or_load(args)
-    serving = bundle.config.serving
-    overrides = {
+    if args.quantize_scales:
+        overrides = list(getattr(args, "overrides", None) or ())
+        overrides.append("adascale.quantize_predicted_scale=true")
+        args.overrides = overrides
+    pipeline = _pipeline(args)
+    serving = pipeline.config.serving
+    flag_overrides = {
         "num_workers": args.workers,
         "max_batch_size": args.batch_size,
         "queue_capacity": args.queue,
@@ -236,65 +341,89 @@ def _run_serve(args: argparse.Namespace) -> int:
         "deadline_ms": args.deadline_ms,
         "key_frame_interval": args.key_frame_interval,
     }
-    serving = serving.with_(**{k: v for k, v in overrides.items() if v is not None})
+    serving = serving.with_(**{k: v for k, v in flag_overrides.items() if v is not None})
     if args.seqnms:
         serving = serving.with_(use_seqnms=True)
     if args.unbatched:
         serving = serving.with_(batched_execution=False)
-    if args.quantize_scales:
-        from dataclasses import replace as _replace
 
-        bundle = _replace(
-            bundle,
-            config=bundle.config.with_(
-                adascale=bundle.config.adascale.with_(quantize_predicted_scale=True)
-            ),
+    with api.Server(pipeline.bundle, serving=serving) as server:
+        report = server.serve_load(
+            streams=args.streams,
+            frames_per_stream=args.frames,
+            pattern=args.pattern,
+            rate_fps=args.rate,
+            time_scale=args.time_scale,
+            seed=args.seed if args.seed is not None else 0,
         )
-
-    # Stream sources: validation snippets, reused round-robin across streams.
-    streams = round_robin_streams(bundle.val_dataset, args.streams)
-    shortest = min(len(s) for s in streams)
-    frames_per_stream = min(args.frames, shortest) if args.frames is not None else shortest
-    generator = LoadGenerator(
-        num_streams=args.streams,
-        frames_per_stream=frames_per_stream,
-        pattern=args.pattern,
-        rate_fps=args.rate,
-        seed=args.seed,
-    )
-    with InferenceServer(bundle, serving=serving) as server:
-        generator.run(server, streams, time_scale=args.time_scale)
-        server.drain()
-    results = server.finalize()
     print(
-        server.telemetry().format(
+        report.format(
             title=(
-                f"Serving telemetry — preset '{args.preset}', {args.streams} streams, "
+                f"Serving telemetry — {_config_source(args)}, {args.streams} streams, "
                 f"{args.pattern} arrivals, policy {serving.backpressure}"
             )
-        )
-    )
-    scale_rows = [
-        [
-            str(stream_id),
-            str(result.completed),
-            str(result.shed),
-            " ".join(str(scale) for scale in result.scales_used[:12])
-            + (" ..." if len(result.scales_used) > 12 else ""),
-        ]
-        for stream_id, result in results.items()
-    ]
-    print()
-    print(
-        format_table(
-            ["Stream", "Served", "Shed", "Scale trace"],
-            scale_rows,
-            title="Adaptive-scale traces",
         )
     )
     return 0
 
 
+def _run_config(args: argparse.Namespace) -> int:
+    if args.check:
+        return _check_presets()
+    config = _resolve_config(args)
+    if args.save is not None:
+        try:
+            path = config.save(args.save)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"repro config: error: {exc}") from exc
+        print(f"Saved resolved config to {path}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(dumps_toml(config.to_dict()), end="")
+    return 0
+
+
+def _check_presets() -> int:
+    """Round-trip every registered preset; non-zero exit on any drift."""
+    rows = []
+    failures = 0
+    for name in EXPERIMENT_PRESETS.names():
+        preset = EXPERIMENT_PRESETS.get(name)
+        problems = []
+        try:
+            config = preset.build_config()
+            config.validate()
+            if ExperimentConfig.from_dict(config.to_dict()) != config:
+                problems.append("dict round-trip drift")
+            if ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict()))) != config:
+                problems.append("json round-trip drift")
+            if toml_supported():
+                if ExperimentConfig.from_dict(loads_toml(dumps_toml(config.to_dict()))) != config:
+                    problems.append("toml round-trip drift")
+            if preset.dataset not in api.DATASETS:
+                problems.append(f"unknown dataset {preset.dataset!r}")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the check
+            problems.append(f"{type(exc).__name__}: {exc}")
+        status = "ok" if not problems else "; ".join(problems)
+        failures += bool(problems)
+        rows.append([name, preset.dataset, status])
+    print(
+        format_table(
+            ["Preset", "Dataset", "Round-trip"],
+            rows,
+            title="Config schema check (dict / JSON / TOML round-trips)",
+        )
+    )
+    if failures:
+        print(f"\n{failures} preset(s) failed the schema check")
+        return 1
+    print("\nall presets round-trip losslessly")
+    return 0
+
+
+# -- bench -------------------------------------------------------------------
 def _discover_benchmarks(bench_dir: Path) -> dict[str, Path]:
     """Benchmark name -> module path for every ``benchmarks/test_*.py``."""
     return {
@@ -311,7 +440,6 @@ def _invoke_pytest(paths: list[str], extra_args: list[str]) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.evaluation import format_table as _format_table
     from repro.profiling import compare_dirs, load_bench_json
 
     bench_dir: Path = args.bench_dir
@@ -334,7 +462,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     benchmarks = _discover_benchmarks(bench_dir)
     if args.list:
         print(
-            _format_table(
+            format_table(
                 ["Benchmark", "Module"],
                 [[name, str(path)] for name, path in benchmarks.items()],
                 title=f"Available benchmarks under {bench_dir}",
@@ -395,7 +523,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     if rows:
         print()
         print(
-            _format_table(
+            format_table(
                 ["Artefact", "Schema", "Data keys"],
                 rows,
                 title=f"Machine-readable results under {results_dir}",
@@ -414,41 +542,29 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "run":
+        return _run_run(args)
+
     if args.command == "train":
-        bundle = _build_or_load(args)
-        path = bundle.save(args.output)
+        pipeline = _pipeline(args)
+        path = pipeline.save_bundle(args.output)
         print(f"Saved trained bundle to {path}")
-        print(f"Optimal-scale label distribution: {bundle.labels.distribution()}")
+        print(f"Optimal-scale label distribution: {pipeline.bundle.labels.distribution()}")
         return 0
 
     if args.command == "evaluate":
-        bundle = _build_or_load(args)
-        rows = []
-        for method in args.methods:
-            result = bundle.evaluate_method(method)
-            rows.append(
-                [
-                    method,
-                    f"{100 * result.mean_ap:.1f}",
-                    f"{result.runtime.median_ms:.1f}",
-                    f"{result.runtime.p95_ms:.1f}",
-                    f"{result.runtime.p99_ms:.1f}",
-                    f"{result.mean_scale:.0f}",
-                ]
-            )
-        print(
-            format_table(
-                ["Method", "mAP (%)", "Runtime p50 (ms)", "p95 (ms)", "p99 (ms)", "Mean scale"],
-                rows,
-                title=f"AdaScale evaluation — preset '{args.preset}', seed {args.seed}",
-            )
-        )
+        pipeline = _pipeline(args)
+        report = pipeline.evaluate(args.methods)
+        print(report.format(title=f"AdaScale evaluation — {_config_source(args)}"))
         return 0
 
     if args.command == "labels":
-        bundle = _build_or_load(args)
-        distribution = bundle.labels.distribution()
-        rows = [[scale, f"{100 * fraction:.1f}"] for scale, fraction in sorted(distribution.items(), reverse=True)]
+        pipeline = _pipeline(args)
+        distribution = pipeline.bundle.labels.distribution()
+        rows = [
+            [scale, f"{100 * fraction:.1f}"]
+            for scale, fraction in sorted(distribution.items(), reverse=True)
+        ]
         print(
             format_table(
                 ["optimal scale", "fraction of frames (%)"],
@@ -460,6 +576,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "config":
+        return _run_config(args)
 
     if args.command == "bench":
         return _run_bench(args)

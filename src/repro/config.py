@@ -14,9 +14,13 @@ between tests, examples and the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro import configio
 
 __all__ = [
+    "SerializableConfig",
     "DatasetConfig",
     "DetectorConfig",
     "TrainingConfig",
@@ -43,8 +47,41 @@ REDUCED_SCALES: tuple[int, ...] = (128, 96, 72, 48)
 REDUCED_REGRESSOR_SCALES: tuple[int, ...] = (128, 96, 72, 48, 32)
 
 
+class SerializableConfig:
+    """Lossless dict/file serialization shared by every config dataclass.
+
+    ``to_dict``/``from_dict`` round-trip exactly (strict on unknown keys,
+    typed coercion of lists → tuples and ints → floats), ``save``/``load``
+    speak ``.json`` and ``.toml`` files, and ``with_overrides`` applies
+    dotted-path field overrides — the primitives the declarative API
+    (:mod:`repro.api`, ``--config`` / ``--set`` on the CLI) is built from.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form with only JSON/TOML-serializable values."""
+        return configio.config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any] | "SerializableConfig") -> "SerializableConfig":
+        """Rebuild from :meth:`to_dict` output; missing keys keep defaults."""
+        return configio.config_from_dict(cls, data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write this config to a ``.json`` or ``.toml`` file (by suffix)."""
+        return configio.save_config_file(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SerializableConfig":
+        """Read a config saved by :meth:`save` (or written by hand)."""
+        return configio.config_from_dict(cls, configio.load_config_file(path))
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "SerializableConfig":
+        """Apply dotted-path overrides, e.g. ``{"serving.batch_wait_ms": "5"}``."""
+        return configio.apply_overrides(self, overrides)
+
+
 @dataclass(frozen=True)
-class DatasetConfig:
+class DatasetConfig(SerializableConfig):
     """Synthetic video dataset parameters (stands in for ImageNet VID / YT-BB)."""
 
     name: str = "synthetic-vid"
@@ -72,7 +109,7 @@ class DatasetConfig:
 
 
 @dataclass(frozen=True)
-class DetectorConfig:
+class DetectorConfig(SerializableConfig):
     """R-FCN-style detector architecture and inference parameters."""
 
     num_classes: int = 8
@@ -110,7 +147,7 @@ class DetectorConfig:
 
 
 @dataclass(frozen=True)
-class TrainingConfig:
+class TrainingConfig(SerializableConfig):
     """Detector fine-tuning hyper-parameters (Sec. 4.2 of the paper)."""
 
     #: multi-scale training set S_train; single-element tuple means SS training
@@ -145,7 +182,7 @@ class TrainingConfig:
 
 
 @dataclass(frozen=True)
-class RegressorConfig:
+class RegressorConfig(SerializableConfig):
     """Scale-regressor architecture / training parameters (Sec. 3.2, Fig. 4)."""
 
     #: parallel conv kernel sizes; Table 3 ablates (1,), (1, 3), (1, 3, 5)
@@ -167,7 +204,7 @@ class RegressorConfig:
 
 
 @dataclass(frozen=True)
-class AdaScaleConfig:
+class AdaScaleConfig(SerializableConfig):
     """Scale sets used for optimal-scale labelling and deployment (Sec. 3)."""
 
     #: S — scales compared when computing the optimal-scale label (Eq. 2)
@@ -204,7 +241,7 @@ class AdaScaleConfig:
 
 
 @dataclass(frozen=True)
-class ServingConfig:
+class ServingConfig(SerializableConfig):
     """Concurrent inference-server parameters (``repro.serving``).
 
     The server turns a trained bundle into a multi-stream video service:
@@ -251,9 +288,15 @@ class ServingConfig:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
-        if self.backpressure not in BACKPRESSURE_POLICIES:
+        # Built-in policies plus anything downstream code registered, so
+        # declarative configs can select custom policies too.
+        from repro.registries import SCHEDULER_POLICIES
+
+        valid_policies = set(BACKPRESSURE_POLICIES) | set(SCHEDULER_POLICIES.names())
+        if self.backpressure not in valid_policies:
             raise ValueError(
-                f"backpressure must be one of {BACKPRESSURE_POLICIES}, got {self.backpressure!r}"
+                f"backpressure must be one of {tuple(sorted(valid_policies))}, "
+                f"got {self.backpressure!r}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
@@ -266,7 +309,7 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
-class ExperimentConfig:
+class ExperimentConfig(SerializableConfig):
     """Top-level experiment composition used by the pipeline and benchmarks."""
 
     dataset: DatasetConfig = field(default_factory=DatasetConfig)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.config import DatasetConfig
 from repro.data.shapes import YTBB_CLASS_SPECS
 from repro.data.synthetic_vid import SyntheticVID
+from repro.registries import DATASETS
 
 __all__ = ["MiniYTBB", "default_ytbb_config"]
 
@@ -41,6 +42,7 @@ def default_ytbb_config(seed: int = 0) -> DatasetConfig:
     )
 
 
+@DATASETS.register("mini-ytbb")
 class MiniYTBB(SyntheticVID):
     """Mini YouTube-BB-like dataset: same API as :class:`SyntheticVID`."""
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.config import DatasetConfig
 from repro.data.scene import ObjectState, SceneRenderer
 from repro.data.shapes import CLASS_SPECS, ShapeSpec
+from repro.registries import DATASETS
 
 __all__ = ["VideoFrame", "Snippet", "SyntheticVID"]
 
@@ -126,6 +127,7 @@ class Snippet:
             objects = [obj.advance(height, width) for obj in objects]
 
 
+@DATASETS.register("synthetic-vid")
 class SyntheticVID:
     """Synthetic ImageNet-VID-like dataset.
 

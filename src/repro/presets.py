@@ -1,41 +1,51 @@
-"""Experiment presets shared by tests, examples and benchmarks.
+"""Experiment presets as *declarative config specs*, shared by tests, examples
+and benchmarks.
 
-Three sizes are provided:
+A preset is data, not code: an :class:`ExperimentPreset` carries a nested
+dict ``spec`` (the diff against :class:`~repro.config.ExperimentConfig`
+defaults) plus the name of the dataset it runs on.  ``build_config(seed)``
+materialises the spec through the strict, typed
+:meth:`~repro.config.SerializableConfig.from_dict` path — the exact same path
+``--config`` files and ``--set`` overrides take — so a preset, a TOML file
+and an in-code config can never drift apart.
 
-* ``tiny_*`` — a minutes-free configuration used by the integration tests and
+Three presets are registered in
+:data:`repro.registries.EXPERIMENT_PRESETS`:
+
+* ``tiny`` — a minutes-free configuration used by the integration tests and
   the quickstart example (seconds of training, a handful of frames);
-* ``small_*`` — the default benchmark configuration: large enough for the
+* ``vid`` — the default benchmark configuration: large enough for the
   paper's qualitative trends (AdaScale faster *and* at least as accurate as
   fixed-scale testing) to emerge, small enough to run on a laptop CPU;
-* ``paper_scales()`` — the paper's original scale sets, for users who want to
-  run the pipeline on real 600-pixel imagery with their own detector weights.
+* ``ytbb`` — the MiniYTBB benchmark preset (Table 1b).
+
+The historical imperative entry points (``tiny_experiment_config`` & co.)
+remain as thin deprecation shims over the registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.config import (
     AdaScaleConfig,
-    DatasetConfig,
-    DetectorConfig,
     ExperimentConfig,
     PAPER_REGRESSOR_SCALES,
     PAPER_SCALES,
-    RegressorConfig,
-    ServingConfig,
-    TrainingConfig,
 )
+from repro.configio import deep_merge
 from repro.core.pipeline import AdaScalePipeline, ExperimentBundle
-from repro.data.mini_ytbb import MiniYTBB, default_ytbb_config
-from repro.data.synthetic_vid import SyntheticVID
-from repro.utils.registry import Registry
+from repro.data.mini_ytbb import MiniYTBB, default_ytbb_config  # noqa: F401  (registers dataset)
+from repro.data.synthetic_vid import SyntheticVID  # noqa: F401  (registers dataset)
+from repro.registries import DATASETS, EXPERIMENT_PRESETS
 
 __all__ = [
     "DATASETS",
     "EXPERIMENT_PRESETS",
     "ExperimentPreset",
+    "PAPER_ADASCALE",
     "tiny_experiment_config",
     "tiny_experiment",
     "small_experiment_config",
@@ -43,166 +53,143 @@ __all__ = [
     "paper_scales",
 ]
 
-#: Dataset builders selectable by name (the `repro` CLI and future commands
-#: resolve components through these registries instead of hard-coded dicts).
-DATASETS: Registry[type[SyntheticVID]] = Registry("dataset")
-DATASETS.register("synthetic-vid", SyntheticVID)
-DATASETS.register("mini-ytbb", MiniYTBB)
+#: The paper's original scale sets (600-pixel imagery), as a config value.
+PAPER_ADASCALE: AdaScaleConfig = AdaScaleConfig(
+    scales=PAPER_SCALES,
+    regressor_scales=PAPER_REGRESSOR_SCALES,
+    max_long_side=2000,
+)
 
 
 @dataclass(frozen=True)
 class ExperimentPreset:
-    """A named experiment: a config factory plus the dataset it runs on."""
+    """A named experiment: a declarative config spec plus its dataset.
+
+    ``spec`` is a nested plain dict holding only the fields that differ from
+    the :class:`~repro.config.ExperimentConfig` defaults; ``dataset`` names a
+    :data:`~repro.registries.DATASETS` entry.
+    """
 
     name: str
-    config_factory: Callable[[int], ExperimentConfig]
-    dataset_cls: type[SyntheticVID]
+    dataset: str = "synthetic-vid"
+    spec: Mapping[str, Any] = field(default_factory=dict)
     description: str = ""
 
-    def build_config(self, seed: int = 0) -> ExperimentConfig:
-        """Instantiate the preset's configuration for ``seed``."""
-        return self.config_factory(seed)
+    def build_config(self, seed: int | None = 0) -> ExperimentConfig:
+        """Materialise the spec via the strict ``from_dict`` path.
+
+        ``seed`` overlays every per-stage seed field; ``None`` keeps the seeds
+        the spec itself declares (used by ``--config`` files that pin seeds).
+        """
+        overlay: Mapping[str, Any] = self.spec
+        if seed is not None:
+            overlay = deep_merge(
+                self.spec,
+                {
+                    "seed": seed,
+                    "dataset": {"seed": seed},
+                    "training": {"seed": seed},
+                    "regressor": {"seed": seed},
+                },
+            )
+        return ExperimentConfig.from_dict(overlay)
+
+    def __call__(self, seed: int | None = 0) -> ExperimentConfig:
+        """Alias of :meth:`build_config`, so ``build_from_cfg`` specs like
+        ``{"type": "tiny", "seed": 3}`` build presets straight from the
+        :data:`~repro.registries.EXPERIMENT_PRESETS` registry."""
+        return self.build_config(seed)
+
+    @property
+    def dataset_cls(self) -> type:
+        """The dataset class, resolved by name through the registry."""
+        return DATASETS.get(self.dataset)
 
 
-#: Experiment presets selectable by name (``--preset`` on every CLI command).
-EXPERIMENT_PRESETS: Registry[ExperimentPreset] = Registry("experiment preset")
+_TINY_SPEC: dict[str, Any] = {
+    "dataset": {
+        "num_classes": 4,
+        "base_scale": 96,
+        "aspect_ratio": 1.25,
+        "num_train_snippets": 6,
+        "num_val_snippets": 3,
+        "frames_per_snippet": 4,
+        "max_objects_per_frame": 2,
+        "clutter": 0.5,
+    },
+    "detector": {
+        "num_classes": 4,
+        "backbone_channels": [8, 16, 24],
+        "anchor_sizes": [12, 24, 48],
+        "rpn_post_nms_top_n": 24,
+        "max_detections": 25,
+    },
+    "training": {
+        "train_scales": [96, 72, 48, 36],
+        "max_long_side": 320,
+        "iterations": 150,
+        "lr_decay_at": [110],
+    },
+    "regressor": {"iterations": 120, "lr_decay_at": [80]},
+    "adascale": {
+        "scales": [96, 72, 48, 36],
+        "regressor_scales": [96, 72, 48, 36, 24],
+        "max_long_side": 320,
+    },
+    "serving": {"num_workers": 2, "max_batch_size": 2, "queue_capacity": 16},
+}
 
+_VID_SPEC: dict[str, Any] = {
+    "dataset": {
+        "num_classes": 8,
+        "base_scale": 128,
+        "aspect_ratio": 1.33,
+        "num_train_snippets": 20,
+        "num_val_snippets": 8,
+        "frames_per_snippet": 6,
+        "max_objects_per_frame": 3,
+        "clutter": 0.55,
+    },
+    "detector": {"num_classes": 8},
+    "training": {
+        "train_scales": [128, 96, 72, 48],
+        "max_long_side": 426,
+        "iterations": 700,
+        "lr_decay_at": [500],
+    },
+    "regressor": {"iterations": 600, "lr_decay_at": [420], "stream_channels": 16},
+    "adascale": {
+        "scales": [128, 96, 72, 48],
+        "regressor_scales": [128, 96, 72, 48, 32],
+        "max_long_side": 426,
+    },
+    "serving": {"num_workers": 4, "max_batch_size": 4, "queue_capacity": 64},
+}
 
-def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """A deliberately small configuration for tests and the quickstart example."""
-    dataset = DatasetConfig(
-        num_classes=4,
-        base_scale=96,
-        aspect_ratio=1.25,
-        num_train_snippets=6,
-        num_val_snippets=3,
-        frames_per_snippet=4,
-        max_objects_per_frame=2,
-        clutter=0.5,
-        seed=seed,
-    )
-    detector = DetectorConfig(
-        num_classes=4,
-        backbone_channels=(8, 16, 24),
-        anchor_sizes=(12, 24, 48),
-        rpn_post_nms_top_n=24,
-        max_detections=25,
-    )
-    training = TrainingConfig(
-        train_scales=(96, 72, 48, 36),
-        max_long_side=320,
-        iterations=150,
-        lr_decay_at=(110,),
-        seed=seed,
-    )
-    regressor = RegressorConfig(iterations=120, lr_decay_at=(80,), seed=seed)
-    adascale = AdaScaleConfig(
-        scales=(96, 72, 48, 36),
-        regressor_scales=(96, 72, 48, 36, 24),
-        max_long_side=320,
-    )
-    serving = ServingConfig(num_workers=2, max_batch_size=2, queue_capacity=16)
-    return ExperimentConfig(
-        dataset=dataset,
-        detector=detector,
-        training=training,
-        regressor=regressor,
-        adascale=adascale,
-        serving=serving,
-        seed=seed,
-    )
-
-
-def tiny_experiment(seed: int = 0) -> ExperimentBundle:
-    """Train the tiny configuration end to end and return the bundle."""
-    return AdaScalePipeline(tiny_experiment_config(seed)).run()
-
-
-def small_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """The default benchmark configuration (SyntheticVID stand-in for ImageNet VID)."""
-    dataset = DatasetConfig(
-        num_classes=8,
-        base_scale=128,
-        aspect_ratio=1.33,
-        num_train_snippets=20,
-        num_val_snippets=8,
-        frames_per_snippet=6,
-        max_objects_per_frame=3,
-        clutter=0.55,
-        seed=seed,
-    )
-    detector = DetectorConfig(num_classes=8)
-    training = TrainingConfig(
-        train_scales=(128, 96, 72, 48),
-        max_long_side=426,
-        iterations=700,
-        lr_decay_at=(500,),
-        seed=seed,
-    )
-    regressor = RegressorConfig(
-        iterations=600, lr_decay_at=(420,), stream_channels=16, seed=seed
-    )
-    adascale = AdaScaleConfig(
-        scales=(128, 96, 72, 48),
-        regressor_scales=(128, 96, 72, 48, 32),
-        max_long_side=426,
-    )
-    serving = ServingConfig(num_workers=4, max_batch_size=4, queue_capacity=64)
-    return ExperimentConfig(
-        dataset=dataset,
-        detector=detector,
-        training=training,
-        regressor=regressor,
-        adascale=adascale,
-        serving=serving,
-        seed=seed,
-    )
-
-
-def small_ytbb_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """Benchmark configuration for the MiniYTBB stand-in (Table 1b)."""
-    dataset = default_ytbb_config(seed)
-    detector = DetectorConfig(num_classes=dataset.num_classes)
-    training = TrainingConfig(
-        train_scales=(128, 96, 72, 48),
-        max_long_side=426,
-        iterations=600,
-        lr_decay_at=(430,),
-        seed=seed,
-    )
-    regressor = RegressorConfig(
-        iterations=500, lr_decay_at=(350,), stream_channels=16, seed=seed
-    )
-    adascale = AdaScaleConfig(
-        scales=(128, 96, 72, 48),
-        regressor_scales=(128, 96, 72, 48, 32),
-        max_long_side=426,
-    )
-    return ExperimentConfig(
-        dataset=dataset,
-        detector=detector,
-        training=training,
-        regressor=regressor,
-        adascale=adascale,
-        seed=seed,
-    )
-
-
-def paper_scales() -> AdaScaleConfig:
-    """The paper's original scale sets (600-pixel imagery)."""
-    return AdaScaleConfig(
-        scales=PAPER_SCALES,
-        regressor_scales=PAPER_REGRESSOR_SCALES,
-        max_long_side=2000,
-    )
-
+_YTBB_SPEC: dict[str, Any] = {
+    # Dataset parameters are single-sourced from the MiniYTBB module.
+    "dataset": default_ytbb_config(0).to_dict(),
+    "detector": {"num_classes": default_ytbb_config(0).num_classes},
+    "training": {
+        "train_scales": [128, 96, 72, 48],
+        "max_long_side": 426,
+        "iterations": 600,
+        "lr_decay_at": [430],
+    },
+    "regressor": {"iterations": 500, "lr_decay_at": [350], "stream_channels": 16},
+    "adascale": {
+        "scales": [128, 96, 72, 48],
+        "regressor_scales": [128, 96, 72, 48, 32],
+        "max_long_side": 426,
+    },
+}
 
 EXPERIMENT_PRESETS.register(
     "tiny",
     ExperimentPreset(
         name="tiny",
-        config_factory=tiny_experiment_config,
-        dataset_cls=SyntheticVID,
+        dataset="synthetic-vid",
+        spec=_TINY_SPEC,
         description="seconds-scale smoke preset (tests, quickstart, serve demo)",
     ),
 )
@@ -210,8 +197,8 @@ EXPERIMENT_PRESETS.register(
     "vid",
     ExperimentPreset(
         name="vid",
-        config_factory=small_experiment_config,
-        dataset_cls=SyntheticVID,
+        dataset="synthetic-vid",
+        spec=_VID_SPEC,
         description="SyntheticVID benchmark preset (ImageNet-VID stand-in)",
     ),
 )
@@ -219,8 +206,50 @@ EXPERIMENT_PRESETS.register(
     "ytbb",
     ExperimentPreset(
         name="ytbb",
-        config_factory=small_ytbb_experiment_config,
-        dataset_cls=MiniYTBB,
+        dataset="mini-ytbb",
+        spec=_YTBB_SPEC,
         description="MiniYTBB benchmark preset (YouTube-BB stand-in)",
     ),
 )
+
+
+# -- deprecated imperative entry points --------------------------------------
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.presets.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """Deprecated: use ``EXPERIMENT_PRESETS.get("tiny").build_config(seed)``."""
+    _warn_deprecated("tiny_experiment_config", "EXPERIMENT_PRESETS.get('tiny').build_config(seed)")
+    return EXPERIMENT_PRESETS.get("tiny").build_config(seed)
+
+
+def small_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """Deprecated: use ``EXPERIMENT_PRESETS.get("vid").build_config(seed)``."""
+    _warn_deprecated("small_experiment_config", "EXPERIMENT_PRESETS.get('vid').build_config(seed)")
+    return EXPERIMENT_PRESETS.get("vid").build_config(seed)
+
+
+def small_ytbb_experiment_config(seed: int = 0) -> ExperimentConfig:
+    """Deprecated: use ``EXPERIMENT_PRESETS.get("ytbb").build_config(seed)``."""
+    _warn_deprecated(
+        "small_ytbb_experiment_config", "EXPERIMENT_PRESETS.get('ytbb').build_config(seed)"
+    )
+    return EXPERIMENT_PRESETS.get("ytbb").build_config(seed)
+
+
+def paper_scales() -> AdaScaleConfig:
+    """Deprecated: use the ``PAPER_ADASCALE`` constant."""
+    _warn_deprecated("paper_scales", "repro.presets.PAPER_ADASCALE")
+    return PAPER_ADASCALE
+
+
+def tiny_experiment(seed: int = 0) -> ExperimentBundle:
+    """Deprecated: use ``repro.api.Pipeline.from_config("tiny", seed=seed).run()``."""
+    _warn_deprecated("tiny_experiment", "repro.api.Pipeline.from_config('tiny', seed=seed).run()")
+    preset = EXPERIMENT_PRESETS.get("tiny")
+    return AdaScalePipeline(preset.build_config(seed), dataset_cls=preset.dataset_cls).run()

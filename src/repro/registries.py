@@ -1,0 +1,76 @@
+"""The component registries of the declarative build API.
+
+Each swappable component family has one :class:`~repro.utils.registry.Registry`
+instance here; the components register themselves **at definition site** (the
+module that defines ``SyntheticVID`` also registers it), so importing a
+component module is all it takes to make it buildable by name via
+:func:`~repro.utils.registry.build_from_cfg`::
+
+    from repro.registries import DATASETS, load_components
+    load_components()
+    dataset = DATASETS.build({"type": "synthetic-vid", "split": "val"})
+
+This module is a leaf — it imports nothing but the registry class — so any
+component module can import it without cycles.  Call :func:`load_components`
+(or import :mod:`repro.api`, which does it for you) before resolving names to
+make sure every built-in component module has been imported.
+"""
+
+from __future__ import annotations
+
+from repro.utils.registry import Registry, build_from_cfg
+
+__all__ = [
+    "ACCELERATORS",
+    "ARRIVAL_PATTERNS",
+    "BACKBONES",
+    "DATASETS",
+    "DETECTORS",
+    "EXPERIMENT_PRESETS",
+    "SCALE_REGRESSORS",
+    "SCHEDULER_POLICIES",
+    "build_from_cfg",
+    "load_components",
+]
+
+#: Video datasets (ImageNet-VID / YouTube-BB stand-ins), by name.
+DATASETS: Registry = Registry("dataset")
+
+#: Backbone builders for the detector (feature extractors).
+BACKBONES: Registry = Registry("backbone")
+
+#: Full detector architectures.
+DETECTORS: Registry = Registry("detector")
+
+#: Scale-regressor architectures (Sec. 3.2 of the paper).
+SCALE_REGRESSORS: Registry = Registry("scale-regressor")
+
+#: Video-acceleration components: DFF, Seq-NMS and their AdaScale combinations.
+ACCELERATORS: Registry = Registry("accelerator")
+
+#: Admission-control policies of the serving frame scheduler.
+SCHEDULER_POLICIES: Registry = Registry("backpressure-policy")
+
+#: Arrival processes of the synthetic load generator.
+ARRIVAL_PATTERNS: Registry = Registry("arrival-pattern")
+
+#: Named experiment presets (see :mod:`repro.presets`).
+EXPERIMENT_PRESETS: Registry = Registry("experiment preset")
+
+
+def load_components() -> None:
+    """Import every built-in component module so its registrations run.
+
+    Idempotent and cheap after the first call (module imports are cached).
+    Deferred imports keep this module cycle-free.
+    """
+    import repro.acceleration.combined  # noqa: F401  (registers accelerators)
+    import repro.acceleration.dff  # noqa: F401
+    import repro.acceleration.seqnms  # noqa: F401
+    import repro.core.regressor  # noqa: F401  (registers scale regressors)
+    import repro.data.mini_ytbb  # noqa: F401  (registers datasets)
+    import repro.data.synthetic_vid  # noqa: F401
+    import repro.detection.rfcn  # noqa: F401  (registers backbones/detectors)
+    import repro.presets  # noqa: F401  (registers experiment presets)
+    import repro.serving.loadgen  # noqa: F401  (registers arrival patterns)
+    import repro.serving.scheduler  # noqa: F401  (registers backpressure policies)

@@ -27,12 +27,54 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.data.synthetic_vid import VideoFrame
+from repro.registries import ARRIVAL_PATTERNS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serving.request import FrameRequest
     from repro.serving.server import InferenceServer
 
-__all__ = ["ArrivalEvent", "LoadGenerator", "round_robin_streams"]
+__all__ = [
+    "ArrivalEvent",
+    "LoadGenerator",
+    "round_robin_streams",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "uniform_arrivals",
+]
+
+
+@ARRIVAL_PATTERNS.register("poisson")
+def poisson_arrivals(
+    rng: np.random.Generator, num_frames: int, mean_gap: float, burst_size: int
+) -> np.ndarray:
+    """Independent Poisson arrivals: exponential inter-arrival gaps."""
+    return np.cumsum(rng.exponential(mean_gap, size=num_frames))
+
+
+@ARRIVAL_PATTERNS.register("bursty")
+def bursty_arrivals(
+    rng: np.random.Generator, num_frames: int, mean_gap: float, burst_size: int
+) -> np.ndarray:
+    """Bursts of ``burst_size`` near-simultaneous frames at the same long-run rate.
+
+    The gap between burst starts keeps the average at ``1 / mean_gap`` frames
+    per second; a random per-stream phase desynchronises the streams' bursts.
+    """
+    burst_gap = burst_size * mean_gap
+    phase = rng.uniform(0.0, burst_gap)
+    frame_ids = np.arange(num_frames)
+    burst_ids = frame_ids // burst_size
+    within_burst = frame_ids % burst_size
+    return phase + burst_ids * burst_gap + within_burst * 1e-4
+
+
+@ARRIVAL_PATTERNS.register("uniform")
+def uniform_arrivals(
+    rng: np.random.Generator, num_frames: int, mean_gap: float, burst_size: int
+) -> np.ndarray:
+    """Fixed-interval arrivals (a camera at constant FPS) with a random phase."""
+    offset = rng.uniform(0.0, mean_gap)
+    return offset + np.arange(1, num_frames + 1) * mean_gap
 
 
 def round_robin_streams(snippets, num_streams: int) -> list[list[VideoFrame]]:
@@ -47,8 +89,6 @@ def round_robin_streams(snippets, num_streams: int) -> list[list[VideoFrame]]:
     if num_streams < 1:
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
     return [snippets[i % len(snippets)].frames() for i in range(num_streams)]
-
-_PATTERNS = ("poisson", "bursty", "uniform")
 
 
 @dataclass(frozen=True)
@@ -76,8 +116,10 @@ class LoadGenerator:
             raise ValueError(f"num_streams must be >= 1, got {num_streams}")
         if frames_per_stream < 1:
             raise ValueError(f"frames_per_stream must be >= 1, got {frames_per_stream}")
-        if pattern not in _PATTERNS:
-            raise ValueError(f"pattern must be one of {_PATTERNS}, got {pattern!r}")
+        if pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"pattern must be one of {tuple(ARRIVAL_PATTERNS.names())}, got {pattern!r}"
+            )
         if rate_fps <= 0:
             raise ValueError(f"rate_fps must be positive, got {rate_fps}")
         if burst_size < 1:
@@ -93,28 +135,13 @@ class LoadGenerator:
         """The full arrival schedule, sorted by time (deterministic in seed)."""
         rng = np.random.default_rng(self.seed)
         mean_gap = 1.0 / self.rate_fps
+        arrivals = ARRIVAL_PATTERNS.get(self.pattern)
         events: list[ArrivalEvent] = []
         for stream_id in range(self.num_streams):
             # One child generator per stream so adding streams never perturbs
             # the arrival times of existing ones.
             stream_rng = np.random.default_rng(rng.integers(0, 2**63))
-            if self.pattern == "poisson":
-                gaps = stream_rng.exponential(mean_gap, size=self.frames_per_stream)
-                times = np.cumsum(gaps)
-            elif self.pattern == "bursty":
-                # Bursts of `burst_size` near-simultaneous frames; the gap
-                # between burst starts keeps the long-run average at
-                # `rate_fps`.  A random per-stream phase desynchronises the
-                # streams' bursts.
-                burst_gap = self.burst_size * mean_gap
-                phase = stream_rng.uniform(0.0, burst_gap)
-                frame_ids = np.arange(self.frames_per_stream)
-                burst_ids = frame_ids // self.burst_size
-                within_burst = frame_ids % self.burst_size
-                times = phase + burst_ids * burst_gap + within_burst * 1e-4
-            else:  # uniform
-                offset = stream_rng.uniform(0.0, mean_gap)
-                times = offset + np.arange(1, self.frames_per_stream + 1) * mean_gap
+            times = arrivals(stream_rng, self.frames_per_stream, mean_gap, self.burst_size)
             events.extend(
                 ArrivalEvent(time_s=float(t), stream_id=stream_id, frame_index=int(i))
                 for i, t in enumerate(times)

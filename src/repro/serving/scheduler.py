@@ -37,13 +37,57 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.registries import SCHEDULER_POLICIES
 from repro.serving.request import FrameRequest, RequestStatus
 
-__all__ = ["SchedulerClosedError", "FrameScheduler"]
+__all__ = [
+    "SchedulerClosedError",
+    "FrameScheduler",
+    "BlockPolicy",
+    "DropOldestPolicy",
+    "RejectPolicy",
+]
 
 
 class SchedulerClosedError(RuntimeError):
     """Raised when submitting to a scheduler that has been closed."""
+
+
+@SCHEDULER_POLICIES.register("block")
+class BlockPolicy:
+    """Stall the submitter until the queue has room (lossless backpressure)."""
+
+    def admit(self, scheduler: "FrameScheduler", request: FrameRequest) -> bool:
+        # Called with the scheduler condition variable held.
+        while scheduler._size >= scheduler.queue_capacity and not scheduler._closed:
+            scheduler._cond.wait()
+        if scheduler._closed:
+            raise SchedulerClosedError("scheduler closed while blocked on submit")
+        return True
+
+
+@SCHEDULER_POLICIES.register("drop-oldest")
+class DropOldestPolicy:
+    """Shed the stalest queued frame to admit the new one (video semantics)."""
+
+    def admit(self, scheduler: "FrameScheduler", request: FrameRequest) -> bool:
+        if scheduler._size >= scheduler.queue_capacity:
+            victim = scheduler._oldest_queued()
+            if victim is not None:
+                scheduler._remove(victim)
+                scheduler._shed(victim, RequestStatus.DROPPED)
+        return True
+
+
+@SCHEDULER_POLICIES.register("reject")
+class RejectPolicy:
+    """Refuse the new frame when the queue is at capacity."""
+
+    def admit(self, scheduler: "FrameScheduler", request: FrameRequest) -> bool:
+        if scheduler._size >= scheduler.queue_capacity:
+            scheduler._shed(request, RequestStatus.REJECTED)
+            return False
+        return True
 
 
 @dataclass
@@ -73,10 +117,14 @@ class FrameScheduler:
             raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
-        if backpressure not in ("block", "drop-oldest", "reject"):
-            raise ValueError(f"unknown backpressure policy {backpressure!r}")
+        if backpressure not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"registered policies: {', '.join(SCHEDULER_POLICIES.names())}"
+            )
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
+        self._policy = SCHEDULER_POLICIES.build(backpressure)
         self.max_batch_size = max_batch_size
         self.batch_wait_s = batch_wait_s
         self.deadline_s = deadline_s
@@ -113,20 +161,8 @@ class FrameScheduler:
         with self._cond:
             if self._closed:
                 raise SchedulerClosedError("scheduler is closed")
-            if self.backpressure == "block":
-                while self._size >= self.queue_capacity and not self._closed:
-                    self._cond.wait()
-                if self._closed:
-                    raise SchedulerClosedError("scheduler closed while blocked on submit")
-            elif self._size >= self.queue_capacity:
-                if self.backpressure == "reject":
-                    self._shed(request, RequestStatus.REJECTED)
-                    return False
-                # drop-oldest: shed the stalest queued frame to make room.
-                victim = self._oldest_queued()
-                if victim is not None:
-                    self._remove(victim)
-                    self._shed(victim, RequestStatus.DROPPED)
+            if not self._policy.admit(self, request):
+                return False
             if self.deadline_s is not None and request.deadline is None:
                 request.deadline = request.enqueue_time + self.deadline_s
             state = self._streams.setdefault(request.stream_id, _StreamState())

@@ -1,17 +1,31 @@
-"""A minimal name → factory registry.
+"""Name → component registries and the ``build_from_cfg`` spec builder.
 
-Used to register dataset builders, detector backbones and experiment methods so
-benchmarks and examples can select components by name (mirroring how config
-driven detection frameworks such as MMDetection or Detectron wire components).
+This is the substrate of the declarative component API: every swappable
+component family (datasets, detector architectures, accelerators, scheduler
+backpressure policies, load-generator arrival patterns, …) registers its
+members in a :class:`Registry` at definition site, and callers instantiate
+them from *data* — ``{"type": name, **kwargs}`` specs — through
+:func:`build_from_cfg` (mirroring how config-driven detection frameworks such
+as MMDetection or Detectron wire components).
+
+Registration is strict: a name can be bound once.  Re-binding (shadowing) is
+only possible inside an explicit :meth:`Registry.allow_override` context,
+which test suites use to point a well-known name at a smaller stand-in;
+production code paths never silently replace a component.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Iterator, TypeVar
+from contextlib import contextmanager
+from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["Registry"]
+__all__ = ["Registry", "build_from_cfg"]
+
+#: kind → first registry constructed with that kind; lets nested specs name a
+#: component from another family as ``"kind/name"`` (see :func:`build_from_cfg`).
+_REGISTRIES_BY_KIND: dict[str, "Registry[Any]"] = {}
 
 
 class Registry(Generic[T]):
@@ -30,14 +44,18 @@ class Registry(Generic[T]):
     def __init__(self, kind: str) -> None:
         self.kind = kind
         self._entries: dict[str, T] = {}
+        self._override_depth = 0
+        # First registry of a kind is the one qualified specs resolve through.
+        _REGISTRIES_BY_KIND.setdefault(kind, self)
 
     def register(
         self, name: str, obj: T | None = None, override: bool = False
     ) -> Callable[[T], T] | T:
         """Register ``obj`` under ``name``; usable as a decorator when ``obj`` is None.
 
-        ``override=True`` replaces an existing entry (used by tests that point
-        a preset name at a smaller configuration).
+        Shadowing an existing entry requires *both* ``override=True`` and an
+        enclosing :meth:`allow_override` context — tests temporarily repoint
+        names that way; outside the context re-registration always raises.
         """
         if obj is not None:
             self._insert(name, obj, override)
@@ -49,9 +67,31 @@ class Registry(Generic[T]):
 
         return decorator
 
+    @contextmanager
+    def allow_override(self) -> Iterator["Registry[T]"]:
+        """Context in which ``register(..., override=True)`` may shadow entries.
+
+        The escape hatch is deliberately loud: silent shadowing hides wiring
+        bugs, so production registration never passes ``override=True``.
+        """
+        self._override_depth += 1
+        try:
+            yield self
+        finally:
+            self._override_depth -= 1
+
     def _insert(self, name: str, obj: T, override: bool = False) -> None:
-        if name in self._entries and not override:
-            raise KeyError(f"{self.kind} {name!r} is already registered")
+        if name in self._entries:
+            if not override:
+                raise KeyError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"registered {self.kind}s: {self._known()}"
+                )
+            if self._override_depth == 0:
+                raise RuntimeError(
+                    f"shadowing {self.kind} {name!r} requires an explicit "
+                    f"`with registry.allow_override():` context"
+                )
         self._entries[name] = obj
 
     def get(self, name: str) -> T:
@@ -59,8 +99,13 @@ class Registry(Generic[T]):
         try:
             return self._entries[name]
         except KeyError as exc:
-            known = ", ".join(sorted(self._entries)) or "<empty>"
-            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}") from exc
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: {self._known()}"
+            ) from exc
+
+    def build(self, spec: str | Mapping[str, Any], **default_kwargs: Any) -> Any:
+        """Instantiate a ``{"type": name, **kwargs}`` spec from this registry."""
+        return build_from_cfg(spec, self, **default_kwargs)
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -71,6 +116,79 @@ class Registry(Generic[T]):
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={self.names()})"
+
     def names(self) -> list[str]:
         """Sorted list of registered names."""
         return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        """``(name, entry)`` pairs, sorted by name."""
+        return sorted(self._entries.items())
+
+    def _known(self) -> str:
+        return ", ".join(sorted(self._entries)) or "<empty>"
+
+
+def _resolve(type_name: str, registry: Registry[Any]) -> tuple[Any, Registry[Any]]:
+    """Resolve ``name`` or ``"kind/name"`` to (factory, owning registry).
+
+    A literal match in ``registry`` wins, so registered names containing a
+    slash are never misparsed as qualified references.
+    """
+    if type_name in registry:
+        return registry.get(type_name), registry
+    if "/" in type_name:
+        kind, _, name = type_name.partition("/")
+        other = _REGISTRIES_BY_KIND.get(kind)
+        if other is not None:
+            return other.get(name), other
+    return registry.get(type_name), registry  # raises with the known names
+
+
+def build_from_cfg(
+    spec: str | Mapping[str, Any], registry: Registry[Any], **default_kwargs: Any
+) -> Any:
+    """Instantiate a component from a declarative spec.
+
+    ``spec`` is either a bare component name or a mapping with a ``"type"``
+    key naming the factory; the remaining keys are passed as keyword
+    arguments.  ``default_kwargs`` fill in keys the spec does not provide
+    (the spec always wins).  Nested mappings that themselves carry a
+    ``"type"`` key are built recursively — from the same registry, or from
+    another component family via a qualified ``"kind/name"`` type (e.g.
+    ``{"type": "accelerator/dff", ...}``) — as are such mappings inside list
+    or tuple values.
+    """
+    if isinstance(spec, str):
+        spec = {"type": spec}
+    if not isinstance(spec, Mapping):
+        raise TypeError(
+            f"{registry.kind} spec must be a name or a mapping with a 'type' key, "
+            f"got {type(spec).__name__}: {spec!r}"
+        )
+    if "type" not in spec:
+        raise KeyError(
+            f"{registry.kind} spec {dict(spec)!r} has no 'type' key; "
+            f"registered {registry.kind}s: {', '.join(registry.names()) or '<empty>'}"
+        )
+    kwargs = {key: value for key, value in spec.items() if key != "type"}
+    for key, value in default_kwargs.items():
+        kwargs.setdefault(key, value)
+    factory, owner = _resolve(str(spec["type"]), registry)
+    kwargs = {key: _build_nested(value, owner) for key, value in kwargs.items()}
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise TypeError(
+            f"building {owner.kind} {spec['type']!r} from spec failed: {exc}"
+        ) from exc
+
+
+def _build_nested(value: Any, registry: Registry[Any]) -> Any:
+    if isinstance(value, Mapping) and "type" in value:
+        return build_from_cfg(value, registry)
+    if isinstance(value, (list, tuple)):
+        return type(value)(_build_nested(item, registry) for item in value)
+    return value

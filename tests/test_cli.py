@@ -2,18 +2,23 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import api
 from repro.cli import build_parser, main
+from repro.config import ExperimentConfig
+from repro.configio import toml_supported
 from repro.presets import EXPERIMENT_PRESETS, ExperimentPreset
 
 
-def _point_tiny_at_micro(monkeypatch, micro_config, dataset_cls):
+def _point_tiny_at_micro(monkeypatch, micro_config):
     """Re-register the 'tiny' preset to the micro configuration (auto-restored)."""
     preset = ExperimentPreset(
         name="tiny",
-        config_factory=lambda seed=0: micro_config,
-        dataset_cls=dataset_cls,
+        dataset=micro_config.dataset.name,
+        spec=micro_config.to_dict(),
         description="micro test override",
     )
     monkeypatch.setitem(EXPERIMENT_PRESETS._entries, "tiny", preset)
@@ -32,7 +37,7 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["evaluate"])
         assert args.preset == "tiny"
-        assert args.seed == 0
+        assert args.seed is None  # None = keep the seeds the preset declares
         assert args.methods == ["SS/SS", "MS/SS", "MS/AdaScale"]
 
     def test_rejects_unknown_preset(self):
@@ -55,6 +60,19 @@ class TestParser:
         assert args.pattern == "poisson"
         assert args.policy is None
 
+    def test_set_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["run", "--set", "serving.num_workers=3", "--set", "seed=4"]
+        )
+        assert args.overrides == ["serving.num_workers=3", "seed=4"]
+
+    def test_config_flag_accepted_by_every_experiment_command(self):
+        parser = build_parser()
+        for command in ("run", "train", "evaluate", "labels", "serve", "config"):
+            extra = ["--output", "x"] if command == "train" else []
+            args = parser.parse_args([command, "--config", "exp.toml", *extra])
+            assert str(args.config) == "exp.toml"
+
 
 class TestRegistries:
     def test_known_presets_registered(self):
@@ -72,7 +90,16 @@ class TestRegistries:
         preset = EXPERIMENT_PRESETS.get("tiny")
         with pytest.raises(KeyError):
             EXPERIMENT_PRESETS.register("tiny", preset)
-        EXPERIMENT_PRESETS.register("tiny", preset, override=True)
+        # override=True outside an allow_override context is loud, not silent.
+        with pytest.raises(RuntimeError, match="allow_override"):
+            EXPERIMENT_PRESETS.register("tiny", preset, override=True)
+        with EXPERIMENT_PRESETS.allow_override():
+            EXPERIMENT_PRESETS.register("tiny", preset, override=True)
+
+    def test_preset_dataset_resolves_through_registry(self):
+        from repro.data.mini_ytbb import MiniYTBB
+
+        assert EXPERIMENT_PRESETS.get("ytbb").dataset_cls is MiniYTBB
 
 
 class TestCommands:
@@ -81,7 +108,7 @@ class TestCommands:
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
         # Point the 'tiny' preset at the micro configuration so load shapes match.
-        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
+        _point_tiny_at_micro(monkeypatch, micro_config)
         exit_code = main(["evaluate", "--bundle", str(bundle_dir), "--methods", "MS/SS"])
         captured = capsys.readouterr()
         assert exit_code == 0
@@ -94,9 +121,9 @@ class TestCommands:
 
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
-        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
+        _point_tiny_at_micro(monkeypatch, micro_config)
         monkeypatch.setattr(
-            cli, "_build_or_load", lambda args: cli.ExperimentBundle.load(bundle_dir, micro_config)
+            cli, "_pipeline", lambda args: api.Pipeline.from_bundle(bundle_dir, micro_config)
         )
         exit_code = main(["labels"])
         captured = capsys.readouterr()
@@ -107,7 +134,7 @@ class TestCommands:
         """`serve --bundle` runs a load-generated session and prints telemetry."""
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
-        _point_tiny_at_micro(monkeypatch, micro_config, type(micro_bundle.train_dataset))
+        _point_tiny_at_micro(monkeypatch, micro_config)
         exit_code = main(
             [
                 "serve",
@@ -126,6 +153,154 @@ class TestCommands:
         assert "p95" in captured.out
         assert "throughput" in captured.out
         assert "Adaptive-scale traces" in captured.out
+
+    def test_serve_accepts_set_overrides(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        _point_tiny_at_micro(monkeypatch, micro_config)
+        exit_code = main(
+            [
+                "serve",
+                "--bundle",
+                str(bundle_dir),
+                "--streams",
+                "2",
+                "--frames",
+                "2",
+                "--set",
+                "serving.backpressure=drop-oldest",
+                "--set",
+                "serving.batch_wait_ms=1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "policy drop-oldest" in captured.out
+
+
+class TestRunCommand:
+    def test_run_with_config_file_and_set_matches_in_code_config(
+        self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch
+    ):
+        """`repro run --config f --set a.b=c` == the equivalent in-code config."""
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        _point_tiny_at_micro(monkeypatch, micro_config)
+        config_path = tmp_path / "exp.json"
+        json.dump({"serving": {"num_workers": 1}}, config_path.open("w"))
+
+        exit_code = main(
+            [
+                "run",
+                "--bundle",
+                str(bundle_dir),
+                "--config",
+                str(config_path),
+                "--set",
+                "serving.max_batch_size=2",
+                "--methods",
+                "MS/SS",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+
+        # The equivalently-constructed in-code config gives identical numbers.
+        in_code = micro_config.with_(
+            serving=micro_config.serving.with_(num_workers=1, max_batch_size=2)
+        )
+        expected = api.Pipeline.from_bundle(bundle_dir, in_code).evaluate(["MS/SS"])
+        row = expected["MS/SS"]
+        # Detection outputs are deterministic (timings are wall-clock, so not).
+        assert f"{100 * row.mean_ap:.1f}" in out
+        assert f"| {row.mean_scale:.0f}" in out
+
+    @pytest.mark.skipif(not toml_supported(), reason="no TOML reader on this interpreter")
+    def test_run_with_toml_config(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        _point_tiny_at_micro(monkeypatch, micro_config)
+        config_path = tmp_path / "exp.toml"
+        micro_config.save(config_path)
+        exit_code = main(
+            ["run", "--bundle", str(bundle_dir), "--config", str(config_path), "--methods", "MS/SS"]
+        )
+        assert exit_code == 0
+        assert "MS/SS" in capsys.readouterr().out
+
+    def test_run_rejects_bad_override(self, capsys):
+        with pytest.raises(SystemExit, match="config error"):
+            main(["run", "--set", "serving.bogus_field=1"])
+
+    def test_run_rejects_type_mismatch(self):
+        with pytest.raises(SystemExit, match="config error"):
+            main(["run", "--set", "serving.num_workers=many"])
+
+    def test_missing_config_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="config error"):
+            main(["run", "--config", str(tmp_path / "does-not-exist.toml")])
+
+    def test_dataset_override_changes_dataset_class(self, monkeypatch):
+        """--set dataset.name picks the dataset via the registry, not the preset."""
+        import repro.cli as cli
+        from repro.data.mini_ytbb import MiniYTBB
+
+        captured = {}
+
+        def fake_from_config(config, dataset=None, **kwargs):
+            captured["dataset"] = dataset
+            raise SystemExit(0)  # stop before training
+
+        monkeypatch.setattr(cli.api.Pipeline, "from_config", fake_from_config)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--preset",
+                    "tiny",
+                    "--set",
+                    "dataset.name=mini-ytbb",
+                    "--set",
+                    "dataset.num_classes=4",
+                ]
+            )
+        assert captured["dataset"] is MiniYTBB
+
+
+class TestConfigCommand:
+    def test_check_passes_for_registered_presets(self, capsys):
+        assert main(["config", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "vid" in out and "ytbb" in out
+        assert "all presets round-trip losslessly" in out
+
+    def test_show_toml(self, capsys):
+        assert main(["config", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "[dataset]" in out and "[serving]" in out
+
+    def test_show_json_respects_set(self, capsys):
+        assert main(["config", "--format", "json", "--set", "serving.num_workers=7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serving"]["num_workers"] == 7
+
+    def test_save_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "resolved.json"
+        assert main(["config", "--preset", "vid", "--save", str(path)]) == 0
+        loaded = ExperimentConfig.load(path)
+        assert loaded == EXPERIMENT_PRESETS.get("vid").build_config(seed=None)
+
+    def test_save_bad_suffix_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro config: error"):
+            main(["config", "--save", str(tmp_path / "resolved.yaml")])
+
+    def test_check_flags_drift(self, capsys, monkeypatch):
+        broken = ExperimentPreset(
+            name="broken", dataset="synthetic-vid", spec={"detector": {"num_classes": 99}}
+        )
+        monkeypatch.setitem(EXPERIMENT_PRESETS._entries, "broken", broken)
+        assert main(["config", "--check"]) == 1
+        assert "broken" in capsys.readouterr().out
 
 
 class TestBenchCommand:

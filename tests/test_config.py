@@ -18,12 +18,7 @@ from repro.config import (
     RegressorConfig,
     TrainingConfig,
 )
-from repro.presets import (
-    paper_scales,
-    small_experiment_config,
-    small_ytbb_experiment_config,
-    tiny_experiment_config,
-)
+from repro.presets import EXPERIMENT_PRESETS, PAPER_ADASCALE
 
 
 class TestScaleConstants:
@@ -96,26 +91,24 @@ class TestExperimentValidation:
 
 
 class TestPresets:
-    def test_tiny_config_validates(self):
-        tiny_experiment_config().validate()
-
-    def test_small_config_validates(self):
-        small_experiment_config().validate()
-
-    def test_ytbb_config_validates(self):
-        small_ytbb_experiment_config().validate()
+    @pytest.mark.parametrize("name", ["tiny", "vid", "ytbb"])
+    def test_registered_presets_validate(self, name):
+        EXPERIMENT_PRESETS.get(name).build_config().validate()
 
     def test_presets_differ_in_dataset_size(self):
-        tiny = tiny_experiment_config()
-        small = small_experiment_config()
+        tiny = EXPERIMENT_PRESETS.get("tiny").build_config()
+        small = EXPERIMENT_PRESETS.get("vid").build_config()
         assert tiny.dataset.num_train_snippets < small.dataset.num_train_snippets
 
     def test_paper_scales_preset(self):
-        config = paper_scales()
-        assert config.scales == PAPER_SCALES
-        assert config.max_long_side == 2000
+        assert PAPER_ADASCALE.scales == PAPER_SCALES
+        assert PAPER_ADASCALE.max_long_side == 2000
 
     def test_seed_propagates(self):
-        config = small_experiment_config(seed=9)
+        config = EXPERIMENT_PRESETS.get("vid").build_config(seed=9)
         assert config.seed == 9
         assert config.dataset.seed == 9
+
+    def test_seed_none_keeps_spec_seeds(self):
+        config = EXPERIMENT_PRESETS.get("vid").build_config(seed=None)
+        assert config.seed == 0
