@@ -1,0 +1,176 @@
+"""Cluster scaling + SLO benchmark (the load-bearing claims of ``repro.cluster``).
+
+Two experiments, both on the virtual-time engine with a service model
+*calibrated by timing this machine's real detector* (see
+:func:`repro.cluster.calibrate_service_model`):
+
+* **Shard scaling** — one saturating steady trace replayed over 1, 2 and 4
+  shards (lossless ``block`` policy, governor off).  Offered load is sized
+  from the calibrated capacity bound, so even the 4-shard fleet stays
+  saturated and aggregate throughput measures pure service capacity.  The
+  gate: ≥ 1.7× at 2 shards and ≥ 3× at 4 shards — near-linear scaling, the
+  router spreading streams evenly and no shared bottleneck in the stack.
+* **SLO surge** — the ``slo_surge`` scenario (calm → ~2.4× overload plateau
+  → calm) twice over 2 shards: once with the ScaleGovernor steering toward a
+  p95 target, once open-loop.  The gate: the governed leg holds aggregate
+  p95 under target purely by walking AdaScale scale caps down (timeline has
+  degrade actions, shed stays 0 on both legs), while the ungoverned leg
+  blows through the target.
+
+Results land in ``benchmarks/results/BENCH_cluster_scaling.json``; the CI
+``cluster-smoke`` job validates the artefact against the bench schema and
+uploads it.
+"""
+
+from __future__ import annotations
+
+from conftest import FAST, write_result
+from repro.cluster import (
+    calibrate_service_model,
+    fleet_capacity_fps,
+    run_scaling_suite,
+    run_slo_suite,
+)
+from repro.config import ServingConfig
+from repro.evaluation import format_table
+from repro.evaluation.reporting import format_float
+
+_SERVING = ServingConfig(num_workers=2, max_batch_size=4, queue_capacity=64)
+_SHARD_COUNTS = (1, 2, 4)
+
+
+def test_cluster_scaling_and_slo(vid_bundle):
+    """Calibrate on the real detector, then run both virtual-time experiments."""
+    adascale = vid_bundle.config.adascale
+    model = calibrate_service_model(
+        vid_bundle,
+        frames_per_scale=2 if FAST else 4,
+        repeats=2 if FAST else 3,
+    )
+    capacity_1 = fleet_capacity_fps(model, _SERVING, adascale.regressor_scales, 1)
+
+    # -- experiment 1: shard scaling under saturation -------------------------
+    reports = run_scaling_suite(
+        model,
+        _SERVING,
+        adascale,
+        shard_counts=_SHARD_COUNTS,
+        duration_s=3.0 if FAST else 6.0,
+        max_total_frames=40_000 if FAST else 80_000,
+    )
+    base_fps = reports[1].throughput_fps
+    scaling_rows = []
+    scaling_data: dict[str, object] = {}
+    for shards in _SHARD_COUNTS:
+        report = reports[shards]
+        ratio = report.throughput_fps / base_fps
+        scaling_rows.append(
+            [
+                str(shards),
+                str(report.completed),
+                str(report.shed),
+                format_float(report.throughput_fps, 1),
+                format_float(report.p95_ms, 1),
+                format_float(ratio, 2) + "x",
+            ]
+        )
+        scaling_data[f"shards_{shards}"] = {
+            "completed": report.completed,
+            "shed": report.shed,
+            "throughput_fps": float(report.throughput_fps),
+            "p95_ms": float(report.p95_ms),
+        }
+    speedup_2 = reports[2].throughput_fps / base_fps
+    speedup_4 = reports[4].throughput_fps / base_fps
+    scaling_data["speedup_2_shards"] = float(speedup_2)
+    scaling_data["speedup_4_shards"] = float(speedup_4)
+
+    # -- experiment 2: the governor holds the SLO by degrading scale ----------
+    top_frame_ms = 1000.0 * model.frame_time_s(max(adascale.regressor_scales))
+    target_p95_ms = max(200.0, 40.0 * top_frame_ms)
+    slo = run_slo_suite(model, _SERVING, adascale, target_p95_ms=target_p95_ms, num_shards=2)
+    governed, ungoverned = slo["governed"], slo["ungoverned"]
+    degrades = [a for a in governed.timeline if a.action == "degrade"]
+    scale_degrades = [a for a in degrades if a.knob == "scale_cap"]
+    min_cap = min((a.new for a in scale_degrades), default=0)
+    slo_rows = [
+        [
+            "governed",
+            format_float(governed.p95_ms, 1),
+            format_float(governed.p99_ms, 1),
+            str(governed.completed),
+            str(governed.shed),
+            str(len(degrades)),
+            str(min_cap) if min_cap else "-",
+        ],
+        [
+            "ungoverned",
+            format_float(ungoverned.p95_ms, 1),
+            format_float(ungoverned.p99_ms, 1),
+            str(ungoverned.completed),
+            str(ungoverned.shed),
+            "0",
+            "-",
+        ],
+    ]
+    slo_data = {
+        "target_p95_ms": float(target_p95_ms),
+        "governed_p95_ms": float(governed.p95_ms),
+        "ungoverned_p95_ms": float(ungoverned.p95_ms),
+        "governed_shed": governed.shed,
+        "ungoverned_shed": ungoverned.shed,
+        "governed_completed": governed.completed,
+        "degrade_actions": len(degrades),
+        "restore_actions": sum(1 for a in governed.timeline if a.action == "restore"),
+        "min_scale_cap": int(min_cap),
+    }
+
+    scaling_table = format_table(
+        ["Shards", "Served", "Shed", "Aggregate FPS", "p95 (ms)", "vs 1 shard"],
+        scaling_rows,
+        title=(
+            "Cluster shard scaling — saturating steady trace, calibrated "
+            f"virtual time (1-shard capacity bound {capacity_1:.0f} fps)"
+        ),
+    )
+    slo_table = format_table(
+        ["Control", "p95 (ms)", "p99 (ms)", "Served", "Shed", "Degrades", "Min cap"],
+        slo_rows,
+        title=(
+            f"SLO surge (2 shards, target p95 {target_p95_ms:.0f} ms) — "
+            "degrade quality, not frames"
+        ),
+    )
+    model_lines = "Calibrated service model (real detector timings):\n" + "\n".join(
+        f"  scale {scale:>4}: {ms:7.2f} ms/frame"
+        for scale, ms in zip(model.scales, model.frame_ms)
+    ) + f"\n  batch marginal: {model.batch_marginal:.2f}"
+    table = "\n\n".join([scaling_table, slo_table, model_lines])
+
+    write_result(
+        "cluster_scaling",
+        table,
+        data={
+            "scaling": scaling_data,
+            "slo": slo_data,
+            "model": {
+                "scales": [int(s) for s in model.scales],
+                "frame_ms": [float(ms) for ms in model.frame_ms],
+                "batch_marginal": float(model.batch_marginal),
+            },
+        },
+    )
+
+    # -- gates (deterministic in virtual time) --------------------------------
+    # Near-linear scaling: the ISSUE's acceptance thresholds.
+    assert speedup_2 >= 1.7, f"2-shard scaling only {speedup_2:.2f}x"
+    assert speedup_4 >= 3.0, f"4-shard scaling only {speedup_4:.2f}x"
+    # Identical lossless frame populations across shard counts.
+    for report in reports.values():
+        assert report.shed == 0
+        assert report.completed == reports[1].completed
+    # The governor holds the SLO by degrading, not shedding.
+    assert ungoverned.p95_ms > target_p95_ms
+    assert governed.p95_ms <= target_p95_ms
+    assert governed.shed == 0 and ungoverned.shed == 0
+    assert scale_degrades, "governor never stepped a scale cap"

@@ -51,9 +51,13 @@ from repro.registries import (
     ACCELERATORS,
     ARRIVAL_PATTERNS,
     BACKBONES,
+    CLUSTER_AUTOSCALERS,
+    CLUSTER_GOVERNORS,
+    CLUSTER_SCENARIOS,
     DATASETS,
     DETECTORS,
     EXPERIMENT_PRESETS,
+    ROUTING_POLICIES,
     SCALE_REGRESSORS,
     SCHEDULER_POLICIES,
     build_from_cfg,
@@ -62,7 +66,17 @@ from repro.registries import (
 
 load_components()
 
-from repro.presets import ExperimentPreset  # noqa: E402  (after load_components)
+from repro.cluster import (  # noqa: E402  (after load_components)
+    ClusterConfig,
+    ClusterController,
+    ClusterReport,
+    ScenarioConfig,
+    ServiceModel,
+    WorkloadTrace,
+    analytic_service_model,
+    calibrate_service_model,
+)
+from repro.presets import ExperimentPreset  # noqa: E402
 from repro.serving import (  # noqa: E402
     InferenceServer,
     LoadGenerator,
@@ -75,15 +89,23 @@ __all__ = [
     "ACCELERATORS",
     "ARRIVAL_PATTERNS",
     "BACKBONES",
+    "CLUSTER_AUTOSCALERS",
+    "CLUSTER_GOVERNORS",
+    "CLUSTER_SCENARIOS",
     "DATASETS",
     "DETECTORS",
     "EXPERIMENT_PRESETS",
     "METHODS",
+    "ROUTING_POLICIES",
     "SCALE_REGRESSORS",
     "SCHEDULER_POLICIES",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterReport",
     "EvaluationReport",
     "MethodReport",
     "Pipeline",
+    "ScenarioConfig",
     "ServeReport",
     "Server",
     "StreamReport",
@@ -458,3 +480,157 @@ class Server:
             ),
             results=results,
         )
+
+
+# -- cluster facade -----------------------------------------------------------
+class Cluster:
+    """Declarative wrapper around the sharded serving cluster (``repro.cluster``).
+
+    Composes the experiment config (bundle, serving and AdaScale parameters)
+    with a :class:`~repro.cluster.ClusterConfig` (shards, router, governor,
+    autoscaler) and runs trace-driven scenarios::
+
+        cluster = api.Cluster.from_config("tiny", cluster={"num_shards": 4})
+        report = cluster.run_scenario("flash_crowd")
+        print(report.format())
+
+    ``mode="simulate"`` (the default) runs the calibrated virtual-time engine
+    — the per-scale service costs are measured on the bundle's real detector,
+    everything else is deterministic; ``mode="inprocess"`` replays the trace
+    against real :class:`~repro.serving.InferenceServer` shards in this
+    process.
+    """
+
+    def __init__(
+        self,
+        bundle: ExperimentBundle | None = None,
+        cluster: ClusterConfig | None = None,
+        serving: ServingConfig | None = None,
+        adascale=None,
+        service_model: ServiceModel | None = None,
+        pipeline: Pipeline | None = None,
+    ) -> None:
+        if bundle is None and service_model is None and pipeline is None:
+            raise ValueError(
+                "need a trained bundle, a pipeline to train one, or an explicit service_model"
+            )
+        self._bundle = bundle
+        #: untrained source of the bundle; training is deferred until a run
+        #: actually needs weights (calibration or in-process shards)
+        self._pipeline = pipeline
+        self.cluster = cluster if cluster is not None else ClusterConfig()
+        config = (
+            bundle.config
+            if bundle is not None
+            else (pipeline.config if pipeline is not None else None)
+        )
+        if config is not None:
+            self.serving = serving if serving is not None else config.serving
+            self.adascale = adascale if adascale is not None else config.adascale
+        else:
+            from repro.config import AdaScaleConfig
+
+            self.serving = serving if serving is not None else ServingConfig()
+            self.adascale = adascale if adascale is not None else AdaScaleConfig()
+        self._service_model = service_model
+
+    @property
+    def bundle(self) -> ExperimentBundle | None:
+        """The trained bundle, training the deferred pipeline on first access."""
+        if self._bundle is None and self._pipeline is not None:
+            self._bundle = self._pipeline.bundle
+        return self._bundle
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig | Mapping[str, Any] | str | None = None,
+        *,
+        cluster: ClusterConfig | Mapping[str, Any] | None = None,
+        seed: int | None = None,
+        config_file: str | Path | None = None,
+        overrides: Iterable[str] | Mapping[str, Any] = (),
+        bundle_dir: str | Path | None = None,
+        dataset: str | type | None = None,
+        calibrate: bool = True,
+    ) -> "Cluster":
+        """Resolve configs, train (or load) the bundle, optionally calibrate.
+
+        ``cluster`` may be a :class:`ClusterConfig` or a nested plain dict.
+        With ``calibrate=False`` the simulate mode falls back to the analytic
+        area-proportional service model instead of timing the real detector —
+        and training is deferred, so a pure virtual-time run never trains at
+        all (in-process runs still train on first use).
+        """
+        pipeline = Pipeline.from_config(
+            config, seed=seed, config_file=config_file, overrides=overrides, dataset=dataset
+        )
+        if bundle_dir is not None:
+            pipeline = Pipeline.from_bundle(bundle_dir, pipeline.config, pipeline.dataset_cls)
+        if isinstance(cluster, Mapping):
+            cluster = ClusterConfig.from_dict(cluster)
+        instance = cls(
+            cluster=cluster,
+            serving=pipeline.config.serving,
+            adascale=pipeline.config.adascale,
+            pipeline=pipeline,
+        )
+        if not calibrate:
+            instance._service_model = analytic_service_model(instance.adascale)
+        return instance
+
+    @property
+    def service_model(self) -> ServiceModel:
+        """The per-scale cost model (calibrated on first use when possible)."""
+        if self._service_model is None:
+            self._service_model = calibrate_service_model(self.bundle)
+        return self._service_model
+
+    def controller(self, cluster: ClusterConfig | None = None) -> ClusterController:
+        """A :class:`~repro.cluster.ClusterController` over this deployment."""
+        cluster = cluster if cluster is not None else self.cluster
+        # Weights are only needed for real in-process shards (or calibration,
+        # which the service_model property triggers itself).
+        model = self.service_model if cluster.mode == "simulate" else self._service_model
+        return ClusterController(
+            cluster=cluster,
+            serving=self.serving,
+            adascale=self.adascale,
+            model=model,
+            bundle=self.bundle if cluster.mode == "inprocess" else self._bundle,
+        )
+
+    def run_scenario(
+        self,
+        scenario: str | ScenarioConfig | WorkloadTrace = "flash_crowd",
+        *,
+        shards: int | None = None,
+        mode: str | None = None,
+        time_scale: float = 0.25,
+        **scenario_fields: Any,
+    ) -> ClusterReport:
+        """Run one scenario end to end and return its typed report.
+
+        ``scenario`` is a catalog name, a :class:`ScenarioConfig`, or a
+        pre-built :class:`WorkloadTrace`; ``scenario_fields`` override config
+        fields when a name is given (e.g. ``duration_s=10``).  ``shards`` and
+        ``mode`` override the cluster config for this run only —
+        ``self.cluster`` is left untouched.
+        """
+        cluster = self.cluster
+        if shards is not None:
+            cluster = cluster.with_(num_shards=int(shards))
+        if mode is not None:
+            cluster = cluster.with_(mode=mode)
+        if isinstance(scenario, str):
+            scenario = ScenarioConfig(name=scenario).with_(**scenario_fields)
+        elif isinstance(scenario, ScenarioConfig) and scenario_fields:
+            scenario = scenario.with_(**scenario_fields)
+        elif isinstance(scenario, WorkloadTrace) and scenario_fields:
+            raise ValueError(
+                "scenario field overrides "
+                f"({', '.join(sorted(scenario_fields))}) cannot apply to a "
+                "pre-built WorkloadTrace — regenerate the trace from a "
+                "ScenarioConfig instead"
+            )
+        return self.controller(cluster).run(scenario, time_scale=time_scale)

@@ -19,6 +19,11 @@ Commands:
 * ``serve`` — start the multi-stream inference server, replay a synthetic
   load-generated session against it, and print the latency/throughput
   telemetry (see :mod:`repro.serving`);
+* ``cluster`` — run a sharded multi-replica deployment through a
+  trace-driven workload scenario (flash crowds, diurnal cycles, heavy-tail
+  churn, recorded JSONL traces) with the SLO-aware control plane, either on
+  the calibrated virtual-time engine or on real in-process shards (see
+  :mod:`repro.cluster`);
 * ``config`` — show/save the resolved config, or ``--check`` that every
   registered preset round-trips losslessly through dict/TOML/JSON forms;
 * ``bench`` — run the benchmark harness under ``benchmarks/`` and write the
@@ -43,7 +48,13 @@ from repro.config import ExperimentConfig
 from repro.configio import dumps_toml, loads_toml, toml_supported
 from repro.core.pipeline import METHODS
 from repro.evaluation import format_table
-from repro.registries import ARRIVAL_PATTERNS, EXPERIMENT_PRESETS, SCHEDULER_POLICIES
+from repro.registries import (
+    ARRIVAL_PATTERNS,
+    CLUSTER_SCENARIOS,
+    EXPERIMENT_PRESETS,
+    ROUTING_POLICIES,
+    SCHEDULER_POLICIES,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -201,6 +212,100 @@ def build_parser() -> argparse.ArgumentParser:
             "snap predicted scales to the regressor scale set so concurrent "
             "streams share scheduler batch buckets"
         ),
+    )
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run a sharded serving cluster through a trace-driven scenario",
+        parents=[common],
+    )
+    cluster.add_argument(
+        "--bundle", type=Path, default=None, help="directory of a bundle saved by `train` (optional)"
+    )
+    cluster.add_argument("--shards", type=int, default=2, help="number of replica shards")
+    cluster.add_argument(
+        "--scenario",
+        choices=CLUSTER_SCENARIOS.names(),
+        default="flash_crowd",
+        help="workload scenario from the catalog (see repro.cluster.scenarios)",
+    )
+    cluster.add_argument(
+        "--mode",
+        choices=("simulate", "inprocess"),
+        default="simulate",
+        help=(
+            "simulate: calibrated virtual-time engine (deterministic); "
+            "inprocess: real InferenceServer shards in this process"
+        ),
+    )
+    cluster.add_argument(
+        "--duration", type=float, default=30.0, help="scenario horizon in (virtual) seconds"
+    )
+    cluster.add_argument(
+        "--streams", type=int, default=8, help="baseline concurrent streams of the scenario"
+    )
+    cluster.add_argument(
+        "--rate", type=float, default=30.0, help="per-stream mean arrival rate (frames/s)"
+    )
+    cluster.add_argument(
+        "--peak",
+        type=float,
+        default=4.0,
+        help="peak workload intensity as a multiple of baseline (crowd size / surge factor)",
+    )
+    cluster.add_argument(
+        "--router",
+        choices=ROUTING_POLICIES.names(),
+        default="least-loaded",
+        help="stream placement policy",
+    )
+    cluster.add_argument(
+        "--target-p95-ms",
+        type=float,
+        default=250.0,
+        help="the ScaleGovernor's rolling-p95 SLO target",
+    )
+    cluster.add_argument(
+        "--no-governor",
+        action="store_true",
+        help="disable the SLO feedback loop (open-loop full-quality serving)",
+    )
+    cluster.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the occupancy autoscaler (shard add/drain)",
+    )
+    cluster.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help=(
+            "simulate with the analytic area-proportional service model instead "
+            "of timing the trained detector (skips training entirely)"
+        ),
+    )
+    cluster.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="replay a recorded JSONL trace instead of generating the scenario",
+    )
+    cluster.add_argument(
+        "--save-trace",
+        type=Path,
+        default=None,
+        help="also save the generated workload trace as JSONL (replayable via --trace)",
+    )
+    cluster.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.25,
+        help="inprocess replay speed: 1 = real-time arrivals, 0 = as fast as possible",
+    )
+    cluster.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the cluster report as JSON",
     )
 
     config_cmd = subparsers.add_parser(
@@ -364,6 +469,95 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
         )
     )
+    return 0
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterConfig,
+        ScenarioConfig,
+        WorkloadTrace,
+        analytic_service_model,
+        build_scenario,
+    )
+
+    if args.shards < 1:
+        raise SystemExit(f"repro cluster: error: --shards must be >= 1, got {args.shards}")
+    if args.autoscale and args.mode == "inprocess":
+        raise SystemExit(
+            "repro cluster: error: --autoscale needs --mode simulate (in-process "
+            "shard add/drain is not supported yet)"
+        )
+    config = _resolve_config(args)
+    seed = args.seed if args.seed is not None else 0
+    cluster_config = ClusterConfig(
+        num_shards=args.shards,
+        mode=args.mode,
+        router=ClusterConfig().router.with_(policy=args.router),
+        governor=ClusterConfig().governor.with_(
+            enabled=not args.no_governor, target_p95_ms=args.target_p95_ms
+        ),
+        autoscaler=ClusterConfig().autoscaler.with_(
+            enabled=args.autoscale, max_shards=max(args.shards * 4, 8)
+        ),
+    )
+    try:
+        cluster_config.validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro cluster: error: {exc}") from exc
+
+    if args.trace is not None:
+        workload: ScenarioConfig | WorkloadTrace = WorkloadTrace.load_jsonl(args.trace)
+        scenario_name = workload.name
+    else:
+        scenario = ScenarioConfig(
+            name=args.scenario,
+            duration_s=args.duration,
+            num_streams=args.streams,
+            rate_fps=args.rate,
+            peak_multiplier=args.peak,
+            seed=seed,
+        )
+        try:
+            workload = build_scenario(scenario)
+        except ValueError as exc:
+            raise SystemExit(f"repro cluster: error: {exc}") from exc
+        scenario_name = scenario.name
+    if args.save_trace is not None:
+        path = workload.save_jsonl(args.save_trace)
+        print(f"Saved workload trace ({len(workload)} events) to {path}")
+
+    if args.mode == "simulate" and args.no_calibrate:
+        # Pure simulation: analytic service model, no training at all.
+        facade = api.Cluster(
+            cluster=cluster_config,
+            serving=config.serving,
+            adascale=config.adascale,
+            service_model=analytic_service_model(config.adascale),
+        )
+    else:
+        pipeline = _pipeline(args)
+        facade = api.Cluster(
+            bundle=pipeline.bundle,
+            cluster=cluster_config,
+            serving=config.serving,
+            adascale=config.adascale,
+        )
+    report = facade.run_scenario(workload, time_scale=args.time_scale)
+    print(
+        report.format(
+            title=(
+                f"Cluster report — {_config_source(args)}, scenario {scenario_name}, "
+                f"{args.shards} shards, {args.mode}"
+            )
+        )
+    )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(report.to_dict(), indent=2, allow_nan=False) + "\n"
+        )
+        print(f"\nWrote cluster report JSON to {args.output}")
     return 0
 
 
@@ -576,6 +770,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
 
     if args.command == "config":
         return _run_config(args)

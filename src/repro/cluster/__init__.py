@@ -1,0 +1,85 @@
+"""Sharded multi-replica serving with an SLO-aware adaptive control plane.
+
+``repro.cluster`` is the layer above :mod:`repro.serving`: where the server
+turns a trained bundle into *one* multi-stream service, the cluster turns N
+of those shards into a deployment that survives planetary traffic shapes —
+and closes the loop between observed latency and the quality the system
+chooses, the co-design the paper's scale/speed trade-off enables:
+
+* :mod:`~repro.cluster.router` — stream→shard placement (hash /
+  least-loaded) with per-shard admission caps and front-door overload
+  rejection;
+* :mod:`~repro.cluster.governor` — the control plane: a
+  :class:`ScaleGovernor` that holds each shard's rolling p95 under an SLO by
+  stepping AdaScale scale caps (then batch bounds) down under pressure and
+  back up with headroom, and an occupancy-targeted :class:`Autoscaler` that
+  adds/drains shards;
+* :mod:`~repro.cluster.scenarios` — the trace-driven workload catalog
+  (steady, diurnal, flash_crowd, heavy_tail, slo_surge, recorded JSONL
+  traces), every trace deterministic and replayable;
+* :mod:`~repro.cluster.replica` — real in-process shard handles over
+  :class:`~repro.serving.InferenceServer`, plus the pickled-config
+  :class:`ReplicaSpec` seam for process spawn later;
+* :mod:`~repro.cluster.simulation` — the calibrated virtual-time engine that
+  makes scaling and SLO experiments exact and machine-independent;
+* :mod:`~repro.cluster.service_model` — per-scale service costs measured on
+  the real detector (:func:`calibrate_service_model`);
+* :mod:`~repro.cluster.controller` / :mod:`~repro.cluster.report` — scenario
+  replay over either backend, ending in one typed :class:`ClusterReport`.
+
+The user-facing entry points are :class:`repro.api.Cluster` and the
+``repro cluster`` CLI command.
+"""
+
+from repro.cluster.config import (
+    AutoscalerConfig,
+    ClusterConfig,
+    GovernorConfig,
+    RouterConfig,
+    ScenarioConfig,
+)
+from repro.cluster.controller import (
+    ClusterController,
+    fleet_capacity_fps,
+    run_scaling_suite,
+    run_slo_suite,
+)
+from repro.cluster.governor import Autoscaler, GovernorAction, ScaleGovernor
+from repro.cluster.replica import InProcessReplica, ReplicaSpec
+from repro.cluster.report import ClusterReport, ShardReport
+from repro.cluster.router import Router
+from repro.cluster.scenarios import TraceEvent, WorkloadTrace, build_scenario
+from repro.cluster.service_model import (
+    ServiceModel,
+    analytic_service_model,
+    calibrate_service_model,
+)
+from repro.cluster.simulation import ClusterSimulation, SimulatedShard
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterConfig",
+    "ClusterController",
+    "ClusterReport",
+    "ClusterSimulation",
+    "GovernorAction",
+    "GovernorConfig",
+    "InProcessReplica",
+    "ReplicaSpec",
+    "Router",
+    "RouterConfig",
+    "ScaleGovernor",
+    "ScenarioConfig",
+    "ServiceModel",
+    "ShardReport",
+    "SimulatedShard",
+    "TraceEvent",
+    "WorkloadTrace",
+    "analytic_service_model",
+    "build_scenario",
+    "calibrate_service_model",
+    "fleet_capacity_fps",
+    "run_scaling_suite",
+    "run_slo_suite",
+]

@@ -1,0 +1,217 @@
+"""Typed result of a cluster scenario run.
+
+One :class:`ClusterReport` tells the whole story of a run, whichever backend
+produced it: per-shard and aggregate latency percentiles (aggregates are
+computed over the *merged* latency samples of every shard, not averaged
+percentiles — averaging percentiles is wrong and flatters the tail), shed
+accounting split by cause, router admission counters, and the control plane's
+scale-degradation timeline.  ``to_dict()`` is strict-JSON-clean (no NaN/Inf),
+so reports embed directly in ``BENCH_*.json`` artefacts and CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.cluster.governor import GovernorAction
+from repro.evaluation.reporting import format_float, format_table
+from repro.evaluation.runtime import RuntimeStats
+from repro.serving.metrics import TelemetrySnapshot
+
+__all__ = ["ShardReport", "ClusterReport"]
+
+
+def _clean(value: float) -> float:
+    """NaN/Inf → 0.0 so reports serialize as strict JSON."""
+    value = float(value)
+    return value if value == value and abs(value) != float("inf") else 0.0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's outcome."""
+
+    shard_id: int
+    completed: int
+    shed: int
+    submitted: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    throughput_fps: float
+    mean_batch: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    final_scale_cap: int  # 0 = uncapped (full quality)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        shard_id: int,
+        snapshot: TelemetrySnapshot,
+        final_scale_cap: int | None,
+    ) -> "ShardReport":
+        """Build from a shard's :class:`TelemetrySnapshot` (zero-traffic safe)."""
+        empty = snapshot.latency.count == 0
+        return cls(
+            shard_id=shard_id,
+            completed=int(snapshot.completed),
+            shed=int(snapshot.shed),
+            submitted=int(snapshot.submitted),
+            p50_ms=0.0 if empty else _clean(snapshot.latency.p50_ms),
+            p95_ms=0.0 if empty else _clean(snapshot.latency.p95_ms),
+            p99_ms=0.0 if empty else _clean(snapshot.latency.p99_ms),
+            throughput_fps=_clean(snapshot.throughput_fps),
+            mean_batch=_clean(snapshot.mean_batch_size),
+            mean_queue_depth=_clean(snapshot.mean_queue_depth),
+            max_queue_depth=int(snapshot.max_queue_depth),
+            final_scale_cap=int(final_scale_cap) if final_scale_cap is not None else 0,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Typed result of one cluster scenario run."""
+
+    scenario: str
+    mode: str  # "simulate" | "inprocess"
+    num_shards: int
+    shards: tuple[ShardReport, ...]
+    completed: int
+    shed: int
+    submitted: int
+    shed_rate: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    throughput_fps: float
+    duration_s: float
+    streams_opened: int
+    streams_rejected: int
+    frames_unrouted: int
+    timeline: tuple[GovernorAction, ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        scenario: str,
+        mode: str,
+        snapshots: dict[int, TelemetrySnapshot],
+        scale_caps: dict[int, int | None],
+        streams_opened: int,
+        streams_rejected: int,
+        frames_unrouted: int,
+        timeline: tuple[GovernorAction, ...] = (),
+    ) -> "ClusterReport":
+        """Aggregate shard snapshots into the cluster-level view."""
+        shards = tuple(
+            ShardReport.from_snapshot(shard_id, snapshots[shard_id], scale_caps.get(shard_id))
+            for shard_id in sorted(snapshots)
+        )
+        merged = RuntimeStats(name="cluster")
+        for snapshot in snapshots.values():
+            merged.samples_s.extend(snapshot.latency.samples_s)
+        completed = sum(shard.completed for shard in shards)
+        shed = sum(shard.shed for shard in shards) + frames_unrouted
+        submitted = sum(shard.submitted for shard in shards) + frames_unrouted
+        # The cluster served frames over the union of its shards' activity
+        # windows; with concurrent shards that is max(wall), not sum(wall).
+        duration = max((snap.wall_s for snap in snapshots.values()), default=0.0)
+        duration = _clean(duration)
+        empty = merged.count == 0
+        return cls(
+            scenario=scenario,
+            mode=mode,
+            num_shards=len(shards),
+            shards=shards,
+            completed=completed,
+            shed=shed,
+            submitted=submitted,
+            shed_rate=shed / submitted if submitted else 0.0,
+            p50_ms=0.0 if empty else _clean(merged.p50_ms),
+            p95_ms=0.0 if empty else _clean(merged.p95_ms),
+            p99_ms=0.0 if empty else _clean(merged.p99_ms),
+            throughput_fps=completed / duration if duration > 0 else 0.0,
+            duration_s=duration,
+            streams_opened=streams_opened,
+            streams_rejected=streams_rejected,
+            frames_unrouted=frames_unrouted,
+            timeline=timeline,
+        )
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Strict-JSON-clean nested dict (for ``BENCH_*.json`` embedding)."""
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "num_shards": self.num_shards,
+            "completed": self.completed,
+            "shed": self.shed,
+            "submitted": self.submitted,
+            "shed_rate": _clean(self.shed_rate),
+            "p50_ms": _clean(self.p50_ms),
+            "p95_ms": _clean(self.p95_ms),
+            "p99_ms": _clean(self.p99_ms),
+            "throughput_fps": _clean(self.throughput_fps),
+            "duration_s": _clean(self.duration_s),
+            "streams_opened": self.streams_opened,
+            "streams_rejected": self.streams_rejected,
+            "frames_unrouted": self.frames_unrouted,
+            "shards": [
+                {key: _clean(value) if isinstance(value, float) else value
+                 for key, value in asdict(shard).items()}
+                for shard in self.shards
+            ],
+            "timeline": [asdict(action) for action in self.timeline],
+        }
+
+    # -- rendering --------------------------------------------------------------
+    def format(self, title: str | None = None) -> str:
+        """Human-readable report: aggregate, per-shard table, timeline."""
+        title = title if title is not None else (
+            f"Cluster report — {self.scenario} ({self.mode}, {self.num_shards} shards)"
+        )
+        aggregate_rows = [
+            ["streams opened / rejected", f"{self.streams_opened} / {self.streams_rejected}"],
+            ["frames submitted", str(self.submitted)],
+            ["frames completed", str(self.completed)],
+            ["frames shed", f"{self.shed} ({100.0 * self.shed_rate:.1f}%)"],
+            ["aggregate throughput (fps)", format_float(self.throughput_fps, 1)],
+            ["p50 / p95 / p99 (ms)",
+             f"{format_float(self.p50_ms)} / {format_float(self.p95_ms)} / "
+             f"{format_float(self.p99_ms)}"],
+            ["duration (s)", format_float(self.duration_s, 2)],
+        ]
+        shard_rows = [
+            [
+                str(shard.shard_id),
+                str(shard.completed),
+                str(shard.shed),
+                format_float(shard.throughput_fps, 1),
+                format_float(shard.p50_ms),
+                format_float(shard.p95_ms),
+                format_float(shard.p99_ms),
+                format_float(shard.mean_batch, 2),
+                format_float(shard.mean_queue_depth, 1),
+                str(shard.final_scale_cap) if shard.final_scale_cap else "full",
+            ]
+            for shard in self.shards
+        ]
+        sections = [
+            format_table(["Aggregate", "Value"], aggregate_rows, title=title),
+            format_table(
+                [
+                    "Shard", "Served", "Shed", "FPS", "p50 (ms)", "p95 (ms)",
+                    "p99 (ms)", "Batch", "Depth", "Scale cap",
+                ],
+                shard_rows,
+                title="Per-shard telemetry",
+            ),
+        ]
+        if self.timeline:
+            lines = [action.format() for action in self.timeline]
+            sections.append(
+                "Scale-degradation timeline:\n" + "\n".join(f"  {line}" for line in lines)
+            )
+        return "\n\n".join(sections)

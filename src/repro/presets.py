@@ -20,12 +20,12 @@ Three presets are registered in
 * ``ytbb`` — the MiniYTBB benchmark preset (Table 1b).
 
 The historical imperative entry points (``tiny_experiment_config`` & co.)
-remain as thin deprecation shims over the registry.
+were removed after one deprecation cycle; accessing them raises an
+``AttributeError`` pointing at the :mod:`repro.api` replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -36,7 +36,6 @@ from repro.config import (
     PAPER_SCALES,
 )
 from repro.configio import deep_merge
-from repro.core.pipeline import AdaScalePipeline, ExperimentBundle
 from repro.data.mini_ytbb import MiniYTBB, default_ytbb_config  # noqa: F401  (registers dataset)
 from repro.data.synthetic_vid import SyntheticVID  # noqa: F401  (registers dataset)
 from repro.registries import DATASETS, EXPERIMENT_PRESETS
@@ -46,11 +45,6 @@ __all__ = [
     "EXPERIMENT_PRESETS",
     "ExperimentPreset",
     "PAPER_ADASCALE",
-    "tiny_experiment_config",
-    "tiny_experiment",
-    "small_experiment_config",
-    "small_ytbb_experiment_config",
-    "paper_scales",
 ]
 
 #: The paper's original scale sets (600-pixel imagery), as a config value.
@@ -213,43 +207,23 @@ EXPERIMENT_PRESETS.register(
 )
 
 
-# -- deprecated imperative entry points --------------------------------------
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.presets.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+# -- removed imperative entry points ------------------------------------------
+#: Former deprecation shims (dropped once CI ran warning-free) → replacement.
+_REMOVED_ENTRY_POINTS: dict[str, str] = {
+    "tiny_experiment_config": "repro.api.EXPERIMENT_PRESETS.get('tiny').build_config(seed)",
+    "small_experiment_config": "repro.api.EXPERIMENT_PRESETS.get('vid').build_config(seed)",
+    "small_ytbb_experiment_config": "repro.api.EXPERIMENT_PRESETS.get('ytbb').build_config(seed)",
+    "paper_scales": "repro.presets.PAPER_ADASCALE",
+    "tiny_experiment": "repro.api.Pipeline.from_config('tiny', seed=seed).run()",
+}
 
 
-def tiny_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """Deprecated: use ``EXPERIMENT_PRESETS.get("tiny").build_config(seed)``."""
-    _warn_deprecated("tiny_experiment_config", "EXPERIMENT_PRESETS.get('tiny').build_config(seed)")
-    return EXPERIMENT_PRESETS.get("tiny").build_config(seed)
-
-
-def small_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """Deprecated: use ``EXPERIMENT_PRESETS.get("vid").build_config(seed)``."""
-    _warn_deprecated("small_experiment_config", "EXPERIMENT_PRESETS.get('vid').build_config(seed)")
-    return EXPERIMENT_PRESETS.get("vid").build_config(seed)
-
-
-def small_ytbb_experiment_config(seed: int = 0) -> ExperimentConfig:
-    """Deprecated: use ``EXPERIMENT_PRESETS.get("ytbb").build_config(seed)``."""
-    _warn_deprecated(
-        "small_ytbb_experiment_config", "EXPERIMENT_PRESETS.get('ytbb').build_config(seed)"
-    )
-    return EXPERIMENT_PRESETS.get("ytbb").build_config(seed)
-
-
-def paper_scales() -> AdaScaleConfig:
-    """Deprecated: use the ``PAPER_ADASCALE`` constant."""
-    _warn_deprecated("paper_scales", "repro.presets.PAPER_ADASCALE")
-    return PAPER_ADASCALE
-
-
-def tiny_experiment(seed: int = 0) -> ExperimentBundle:
-    """Deprecated: use ``repro.api.Pipeline.from_config("tiny", seed=seed).run()``."""
-    _warn_deprecated("tiny_experiment", "repro.api.Pipeline.from_config('tiny', seed=seed).run()")
-    preset = EXPERIMENT_PRESETS.get("tiny")
-    return AdaScalePipeline(preset.build_config(seed), dataset_cls=preset.dataset_cls).run()
+def __getattr__(name: str):
+    """Point callers of the removed imperative entry points at ``repro.api``."""
+    if name in _REMOVED_ENTRY_POINTS:
+        raise AttributeError(
+            f"repro.presets.{name} was removed; use "
+            f"{_REMOVED_ENTRY_POINTS[name]} instead (see the 'Public API' "
+            "migration table in README.md and the repro.api module)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

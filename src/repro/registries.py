@@ -24,9 +24,13 @@ __all__ = [
     "ACCELERATORS",
     "ARRIVAL_PATTERNS",
     "BACKBONES",
+    "CLUSTER_AUTOSCALERS",
+    "CLUSTER_GOVERNORS",
+    "CLUSTER_SCENARIOS",
     "DATASETS",
     "DETECTORS",
     "EXPERIMENT_PRESETS",
+    "ROUTING_POLICIES",
     "SCALE_REGRESSORS",
     "SCHEDULER_POLICIES",
     "build_from_cfg",
@@ -57,6 +61,18 @@ ARRIVAL_PATTERNS: Registry = Registry("arrival-pattern")
 #: Named experiment presets (see :mod:`repro.presets`).
 EXPERIMENT_PRESETS: Registry = Registry("experiment preset")
 
+#: Stream→shard placement policies of the cluster router.
+ROUTING_POLICIES: Registry = Registry("routing-policy")
+
+#: SLO feedback controllers of the cluster control plane.
+CLUSTER_GOVERNORS: Registry = Registry("cluster-governor")
+
+#: Shard add/drain policies of the cluster control plane.
+CLUSTER_AUTOSCALERS: Registry = Registry("cluster-autoscaler")
+
+#: Trace-driven workload generators of the cluster scenario suite.
+CLUSTER_SCENARIOS: Registry = Registry("cluster-scenario")
+
 
 def load_components() -> None:
     """Import every built-in component module so its registrations run.
@@ -67,6 +83,9 @@ def load_components() -> None:
     import repro.acceleration.combined  # noqa: F401  (registers accelerators)
     import repro.acceleration.dff  # noqa: F401
     import repro.acceleration.seqnms  # noqa: F401
+    import repro.cluster.governor  # noqa: F401  (registers governors/autoscalers)
+    import repro.cluster.router  # noqa: F401  (registers routing policies)
+    import repro.cluster.scenarios  # noqa: F401  (registers cluster scenarios)
     import repro.core.regressor  # noqa: F401  (registers scale regressors)
     import repro.data.mini_ytbb  # noqa: F401  (registers datasets)
     import repro.data.synthetic_vid  # noqa: F401

@@ -197,13 +197,37 @@ class ServerMetrics:
             stream.last_completion = max(stream.last_completion, now)
             self._last_completion = max(self._last_completion, now)
 
+    def recent_latency(self, window: int) -> RuntimeStats:
+        """End-to-end latency over the last ``window`` completions.
+
+        The rolling view a feedback controller needs: cumulative percentiles
+        smear out load transients, but the tail of the last few dozen frames
+        tracks the *current* pressure.  Returns an empty ``RuntimeStats`` when
+        nothing completed yet — callers must treat ``count == 0`` as "no
+        signal", not "no load".
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        with self._lock:
+            return RuntimeStats(
+                samples_s=list(self.latency.samples_s[-window:]), name="recent"
+            )
+
     # -- reporting ----------------------------------------------------------
     def snapshot(self) -> TelemetrySnapshot:
-        """Consistent copy of all counters and distributions."""
+        """Consistent copy of all counters and distributions.
+
+        Safe on a zero-traffic instance (a cluster shard that never received a
+        stream): rate/occupancy aggregates report 0.0 instead of NaN, so the
+        snapshot formats and serializes cleanly.  Latency distributions stay
+        empty (``count == 0``); their percentile properties return NaN, which
+        renders as ``nan`` in tables — callers aggregating across shards
+        should check ``count`` first.
+        """
         with self._lock:
             wall = self._last_completion - self._first_submit
-            wall = wall if np.isfinite(wall) and wall > 0 else float("nan")
-            throughput = self.completed / wall if wall == wall and wall > 0 else float("nan")
+            wall = wall if np.isfinite(wall) and wall > 0 else 0.0
+            throughput = self.completed / wall if wall > 0 else 0.0
             streams = []
             for stream_id in sorted(self._streams):
                 stream = self._streams[stream_id]
@@ -211,7 +235,7 @@ class ServerMetrics:
                 fps = (
                     stream.latency.count / span
                     if np.isfinite(span) and span > 0
-                    else float("nan")
+                    else 0.0
                 )
                 streams.append(
                     StreamSnapshot(
@@ -236,11 +260,11 @@ class ServerMetrics:
                 ),
                 service=RuntimeStats(samples_s=list(self.service.samples_s), name="service"),
                 mean_batch_size=(
-                    float(np.mean(self._batch_sizes)) if self._batch_sizes else float("nan")
+                    float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
                 ),
                 max_batch_size=max(self._batch_sizes, default=0),
                 mean_queue_depth=(
-                    float(np.mean(self._queue_depths)) if self._queue_depths else float("nan")
+                    float(np.mean(self._queue_depths)) if self._queue_depths else 0.0
                 ),
                 max_queue_depth=max(self._queue_depths, default=0),
                 wall_s=wall,

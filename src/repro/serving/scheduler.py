@@ -150,6 +150,20 @@ class FrameScheduler:
         with self._cond:
             return self._closed
 
+    # -- runtime control -----------------------------------------------------
+    def set_max_batch_size(self, max_batch_size: int) -> None:
+        """Adjust the micro-batch bound at runtime (control-plane knob).
+
+        Takes effect at the next batch formation; in-flight batches are
+        unaffected.  The cluster's :class:`~repro.cluster.governor.ScaleGovernor`
+        steps this down under latency pressure and back up with headroom.
+        """
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        with self._cond:
+            self.max_batch_size = int(max_batch_size)
+            self._cond.notify_all()
+
     # -- submission ---------------------------------------------------------
     def submit(self, request: FrameRequest) -> bool:
         """Admit one frame; returns False if it was rejected.

@@ -66,6 +66,7 @@ class InferenceServer:
         self.serving.validate()
         self.seqnms_config = seqnms_config
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._scale_cap: int | None = None
         self._sessions: dict[int, StreamSession] = {}
         self._lock = threading.Lock()
         self._outstanding = 0
@@ -143,6 +144,7 @@ class InferenceServer:
                 num_classes=self.bundle.config.detector.num_classes,
                 seqnms_config=self.seqnms_config,
             )
+            session.scale_cap = self._scale_cap
             self._sessions[stream_id] = session
             return session
 
@@ -218,6 +220,38 @@ class InferenceServer:
     def telemetry(self) -> TelemetrySnapshot:
         """Current telemetry snapshot."""
         return self.metrics.snapshot()
+
+    # -- control plane -------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Frames submitted but not yet in a terminal state (the load signal)."""
+        with self._lock:
+            return self._outstanding
+
+    @property
+    def scale_cap(self) -> int | None:
+        """Current control-plane quality ceiling (None = uncapped)."""
+        with self._lock:
+            return self._scale_cap
+
+    def set_scale_cap(self, scale_cap: int | None) -> None:
+        """Clamp every stream's processing scale to at most ``scale_cap``.
+
+        The graceful-degradation knob of the cluster control plane: lowering
+        the cap trades detection quality for per-frame work (service time
+        scales with resized image area), so an overloaded shard can keep its
+        latency SLO without shedding frames.  ``None`` removes the cap.
+        Applies to the *next* dispatched frame of every open stream and to
+        streams opened later; never clamps below AdaScale's minimum scale.
+        """
+        with self._lock:
+            self._scale_cap = int(scale_cap) if scale_cap is not None else None
+            for session in self._sessions.values():
+                session.scale_cap = self._scale_cap
+
+    def set_max_batch_size(self, max_batch_size: int) -> None:
+        """Adjust the scheduler's micro-batch bound at runtime."""
+        self.scheduler.set_max_batch_size(max_batch_size)
 
     # -- internal callbacks -------------------------------------------------
     def _build_worker_context(self) -> WorkerContext:

@@ -118,16 +118,16 @@ class StreamSession:
         self.stream_id = stream_id
         self.adascale_config = adascale_config
         self.serving_config = serving_config
-        #: scale the stream's *next* frame will execute at — this is what the
-        #: scheduler buckets by, so it must track actual execution scale (for
-        #: DFF that is the cached key scale on non-key frames, not the
-        #: regressor's prediction for the next key frame)
-        self.current_scale = (
+        #: quality ceiling imposed by a control plane (e.g. the cluster's
+        #: ScaleGovernor): the stream's effective scale is clamped to at most
+        #: this value; ``None`` leaves AdaScale's choice untouched
+        self.scale_cap: int | None = None
+        self._current_scale = (
             int(serving_config.initial_scale)
             if serving_config.initial_scale is not None
             else adascale_config.max_scale
         )
-        self._next_key_scale = self.current_scale
+        self._next_key_scale = self._current_scale
         #: DFF key-frame cache; shared structurally with the offline DFF
         #: detector via DFFStream (the detector instance is supplied per call
         #: by the executing worker, so the bound one is never used).
@@ -145,6 +145,22 @@ class StreamSession:
         #: frames submitted so far (maintained by the server; one submitter
         #: per stream — frames must arrive in temporal order anyway)
         self.submitted = 0
+
+    @property
+    def current_scale(self) -> int:
+        """Scale the stream's *next* frame will execute at.
+
+        This is what the scheduler buckets by, so it must track actual
+        execution scale (for DFF that is the cached key scale on non-key
+        frames, not the regressor's prediction for the next key frame).  A
+        control-plane ``scale_cap`` clamps it from above — degrading quality
+        to shed detector work without shedding frames — but never below
+        AdaScale's minimum scale.
+        """
+        if self.scale_cap is None:
+            return self._current_scale
+        cap = max(int(self.scale_cap), self.adascale_config.min_scale)
+        return min(self._current_scale, cap)
 
     # -- worker-side execution (batched path) --------------------------------
     def plan_frame(self, request: FrameRequest, worker) -> FramePlan:
@@ -279,13 +295,13 @@ class StreamSession:
         if self.dff_stream is not None:
             # Non-key frames execute at the cached key scale regardless of the
             # regressor's prediction; only the next key frame adopts it.
-            self.current_scale = (
+            self._current_scale = (
                 self._next_key_scale
                 if self.dff_stream.next_is_key_frame
                 else self.dff_stream.key_scale
             )
         elif execution.next_scale is not None:
-            self.current_scale = int(execution.next_scale)
+            self._current_scale = int(execution.next_scale)
         record = _to_record(execution.detection, self.stream_id, request.frame_index)
         self._result.records.append(record)
         self._result.scales_used.append(execution.scale_used)

@@ -148,7 +148,13 @@ class TestBuiltinRegistries:
             ServingConfig(backpressure="fifo").validate()
 
     def test_arrival_patterns_registered(self):
-        assert set(ARRIVAL_PATTERNS.names()) == {"bursty", "poisson", "uniform"}
+        assert set(ARRIVAL_PATTERNS.names()) == {
+            "bursty",
+            "diurnal",
+            "flash-crowd",
+            "poisson",
+            "uniform",
+        }
 
     def test_dataset_buildable_from_spec(self):
         from repro.config import DatasetConfig

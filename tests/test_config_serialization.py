@@ -276,40 +276,30 @@ class TestOverrides:
         assert base["a"]["y"] == 2  # base untouched
 
 
-class TestDeprecationShims:
-    def test_old_preset_functions_warn_and_match_registry(self):
+class TestRemovedEntryPoints:
+    """The PR-4 deprecation shims are gone; the old names must fail loudly."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "tiny_experiment_config",
+            "small_experiment_config",
+            "small_ytbb_experiment_config",
+            "paper_scales",
+            "tiny_experiment",
+        ],
+    )
+    def test_old_names_raise_pointing_at_api(self, name):
         from repro import presets
 
-        pairs = [
-            (presets.tiny_experiment_config, "tiny"),
-            (presets.small_experiment_config, "vid"),
-            (presets.small_ytbb_experiment_config, "ytbb"),
-        ]
-        for shim, name in pairs:
-            with pytest.deprecated_call():
-                old_style = shim(seed=2)
-            assert old_style == EXPERIMENT_PRESETS.get(name).build_config(seed=2)
+        with pytest.raises(AttributeError, match="repro.api|PAPER_ADASCALE"):
+            getattr(presets, name)
+        # from-imports surface the same guidance as ImportError.
+        with pytest.raises(ImportError, match="repro"):
+            exec(f"from repro.presets import {name}")
 
-    def test_paper_scales_warns(self):
+    def test_unknown_attribute_still_plain_attribute_error(self):
         from repro import presets
 
-        with pytest.deprecated_call():
-            assert presets.paper_scales() == presets.PAPER_ADASCALE
-
-    def test_tiny_experiment_warns_without_training(self, monkeypatch):
-        from repro import presets
-
-        calls = {}
-
-        class FakePipeline:
-            def __init__(self, config, dataset_cls=None):
-                calls["config"] = config
-
-            def run(self):
-                calls["ran"] = True
-                return "bundle"
-
-        monkeypatch.setattr(presets, "AdaScalePipeline", FakePipeline)
-        with pytest.deprecated_call():
-            assert presets.tiny_experiment(seed=1) == "bundle"
-        assert calls["ran"] and calls["config"].seed == 1
+        with pytest.raises(AttributeError, match="no attribute"):
+            presets.definitely_not_a_thing

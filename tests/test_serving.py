@@ -15,6 +15,7 @@ from repro.evaluation.runtime import RuntimeStats
 from repro.serving import (
     ArrivalEvent,
     FrameRequest,
+    FrameResult,
     FrameScheduler,
     InferenceServer,
     LoadGenerator,
@@ -197,6 +198,62 @@ class TestServerMetrics:
         with pytest.raises(ValueError):
             ServerMetrics().on_shed("vanished")
 
+    def test_zero_traffic_snapshot_is_clean(self):
+        """A zero-traffic shard must report 0/None cleanly, never raise or NaN.
+
+        Cluster shards can legitimately see no traffic (a drained replica, a
+        router that never placed a stream there); their telemetry must still
+        format and serialize.
+        """
+        import json
+
+        snap = ServerMetrics().snapshot()
+        assert snap.submitted == 0 and snap.completed == 0 and snap.shed == 0
+        assert snap.wall_s == 0.0
+        assert snap.throughput_fps == 0.0
+        assert snap.mean_batch_size == 0.0
+        assert snap.mean_queue_depth == 0.0
+        assert snap.max_queue_depth == 0 and snap.max_batch_size == 0
+        assert snap.latency.count == 0
+        text = snap.format()  # must not raise
+        assert "throughput" in text
+        # Rate/occupancy aggregates are strict-JSON-safe (no NaN tokens).
+        json.dumps(
+            {
+                "wall_s": snap.wall_s,
+                "throughput_fps": snap.throughput_fps,
+                "mean_batch_size": snap.mean_batch_size,
+                "mean_queue_depth": snap.mean_queue_depth,
+            },
+            allow_nan=False,
+        )
+
+    def test_zero_traffic_cluster_shard_report_is_clean(self):
+        """ShardReport built from an empty snapshot carries zeros, not NaN."""
+        import json
+
+        from repro.cluster.report import ShardReport
+
+        report = ShardReport.from_snapshot(3, ServerMetrics().snapshot(), None)
+        assert report.completed == 0 and report.shed == 0
+        assert report.p50_ms == 0.0 and report.p95_ms == 0.0 and report.p99_ms == 0.0
+        json.dumps(report.__dict__, allow_nan=False)
+
+    def test_recent_latency_window(self):
+        metrics = ServerMetrics()
+        assert metrics.recent_latency(8).count == 0  # empty = no signal, no raise
+        for i in range(1, 101):
+            metrics.on_completed(
+                stream_id=0, queue_wait_s=0.0, service_s=0.0, latency_s=i / 1000.0
+            )
+        recent = metrics.recent_latency(10)
+        assert recent.count == 10
+        # Only the last 10 samples (91..100ms) are in the window.
+        assert recent.p50_ms == pytest.approx(95.5, abs=0.6)
+        assert metrics.recent_latency(1000).count == 100
+        with pytest.raises(ValueError):
+            metrics.recent_latency(0)
+
 
 class TestServingConfig:
     def test_validation(self):
@@ -259,6 +316,180 @@ class TestLoadGenerator:
         event = ArrivalEvent(time_s=0.0, stream_id=0, frame_index=0)
         with pytest.raises(AttributeError):
             event.time_s = 1.0  # type: ignore[misc]
+
+
+class TestBackpressureSaturation:
+    """Queue-bound invariants and shed accounting under sustained saturation.
+
+    Each policy is driven well past capacity through a scheduler whose
+    consumer is deliberately slow/manual, so the queue sits at its bound for
+    the whole run; the invariants are checked *throughout*, not just at the
+    end, and the shed counts must reconcile exactly with ServerMetrics.
+    """
+
+    CAPACITY = 4
+    SUBMISSIONS = 60
+
+    def _scheduler(self, policy: str, metrics: ServerMetrics) -> FrameScheduler:
+        return FrameScheduler(
+            queue_capacity=self.CAPACITY,
+            backpressure=policy,
+            max_batch_size=2,
+            batch_wait_s=0.0,
+            on_shed=lambda request, status: metrics.on_shed(status.value),
+            on_depth=metrics.observe_queue_depth,
+            on_batch=metrics.observe_batch,
+        )
+
+    def _drain_all(self, scheduler: FrameScheduler, metrics: ServerMetrics) -> int:
+        """Dispatch-and-complete until the queue is empty; returns completions."""
+        completed = 0
+        while True:
+            batch = scheduler.next_batch(timeout=0.01)
+            if not batch:
+                return completed
+            assert len(batch) <= 2
+            for request in batch:
+                metrics.on_completed(
+                    stream_id=request.stream_id,
+                    queue_wait_s=0.0,
+                    service_s=0.001,
+                    latency_s=0.001,
+                )
+                # What the server's completion callback does for real workers.
+                request.resolve(
+                    FrameResult(
+                        stream_id=request.stream_id,
+                        frame_index=request.frame_index,
+                        status=RequestStatus.COMPLETED,
+                    )
+                )
+                completed += 1
+                scheduler.task_done(request.stream_id)
+
+    def test_reject_preserves_queue_bound_and_reconciles(self):
+        metrics = ServerMetrics()
+        scheduler = self._scheduler("reject", metrics)
+        admitted = 0
+        for i in range(self.SUBMISSIONS):
+            metrics.on_submitted()
+            if scheduler.submit(_request(i, 0, 64, enqueue_time=float(i))):
+                admitted += 1
+            assert scheduler.depth <= self.CAPACITY  # invariant under saturation
+        assert admitted == self.CAPACITY  # no consumer ran: exactly one queue-full
+        completed = self._drain_all(scheduler, metrics)
+        snap = metrics.snapshot()
+        assert completed == admitted
+        assert snap.rejected == self.SUBMISSIONS - admitted
+        assert snap.completed + snap.rejected == snap.submitted == self.SUBMISSIONS
+        assert snap.max_queue_depth <= self.CAPACITY
+
+    def test_reject_sustained_with_slow_consumer(self):
+        """Interleaved submit/drain cycles: totals still reconcile exactly."""
+        metrics = ServerMetrics()
+        scheduler = self._scheduler("reject", metrics)
+        completed = 0
+        stream = 0
+        for _ in range(6):  # sustained: repeat saturation after every drain
+            for _ in range(10):
+                metrics.on_submitted()
+                scheduler.submit(_request(stream, 0, 64, enqueue_time=float(stream)))
+                stream += 1
+                assert scheduler.depth <= self.CAPACITY
+            completed += self._drain_all(scheduler, metrics)
+        snap = metrics.snapshot()
+        assert snap.submitted == 60
+        assert snap.completed == completed
+        assert snap.completed + snap.rejected == snap.submitted
+        assert snap.completed == 6 * self.CAPACITY
+
+    def test_drop_oldest_preserves_queue_bound_and_reconciles(self):
+        metrics = ServerMetrics()
+        scheduler = self._scheduler("drop-oldest", metrics)
+        requests = []
+        for i in range(self.SUBMISSIONS):
+            metrics.on_submitted()
+            request = _request(i, 0, 64, enqueue_time=float(i))
+            assert scheduler.submit(request) is True  # drop-oldest always admits
+            requests.append(request)
+            assert scheduler.depth <= self.CAPACITY
+        completed = self._drain_all(scheduler, metrics)
+        snap = metrics.snapshot()
+        assert completed == self.CAPACITY  # everything older was shed
+        assert snap.dropped == self.SUBMISSIONS - self.CAPACITY
+        assert snap.completed + snap.dropped == snap.submitted == self.SUBMISSIONS
+        # The survivors are exactly the newest CAPACITY submissions, and every
+        # victim's future resolved as DROPPED (no submitter ever hangs).
+        for request in requests[: -self.CAPACITY]:
+            assert request.result(timeout=1.0).status is RequestStatus.DROPPED
+        for request in requests[-self.CAPACITY:]:
+            assert request.result(timeout=1.0).status is RequestStatus.COMPLETED
+
+    def test_block_is_lossless_under_sustained_saturation(self):
+        metrics = ServerMetrics()
+        scheduler = self._scheduler("block", metrics)
+        depth_violations = []
+        served = []
+
+        def producer():
+            for i in range(self.SUBMISSIONS):
+                metrics.on_submitted()
+                scheduler.submit(_request(i % 8, i // 8, 64, enqueue_time=float(i)))
+                if scheduler.depth > self.CAPACITY:
+                    depth_violations.append(scheduler.depth)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        # Slow consumer: the producer saturates the queue and must block.
+        while len(served) < self.SUBMISSIONS:
+            batch = scheduler.next_batch(timeout=0.5)
+            if not batch:
+                if not thread.is_alive() and scheduler.depth == 0:
+                    break
+                continue
+            for request in batch:
+                time.sleep(0.001)
+                metrics.on_completed(
+                    stream_id=request.stream_id,
+                    queue_wait_s=0.0,
+                    service_s=0.001,
+                    latency_s=0.002,
+                )
+                served.append(request)
+                scheduler.task_done(request.stream_id)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        snap = metrics.snapshot()
+        assert not depth_violations  # the bound held the whole time
+        assert snap.completed == len(served) == self.SUBMISSIONS
+        assert snap.shed == 0  # block is lossless
+        assert snap.max_queue_depth <= self.CAPACITY
+
+    def test_saturated_server_totals_reconcile(self, micro_bundle):
+        """End to end through InferenceServer: counters reconcile per policy."""
+        frames = list(micro_bundle.val_dataset)[0].frames()
+        for policy in ("drop-oldest", "reject"):
+            config = ServingConfig(
+                num_workers=1, max_batch_size=1, queue_capacity=1, backpressure=policy
+            )
+            with InferenceServer(micro_bundle, serving=config) as server:
+                requests = []
+                for index, frame in enumerate(frames * 4):  # sustained oversubmit
+                    requests.append(server.submit(0, frame.image, frame_index=index))
+                assert server.drain(timeout=120.0)
+            snap = server.telemetry()
+            assert snap.submitted == len(requests)
+            assert snap.completed + snap.shed == snap.submitted
+            statuses = [r.result(timeout=1.0).status for r in requests]
+            expected = (
+                RequestStatus.DROPPED if policy == "drop-oldest" else RequestStatus.REJECTED
+            )
+            shed_count = sum(1 for status in statuses if status is expected)
+            shed_field = snap.dropped if policy == "drop-oldest" else snap.rejected
+            assert shed_field == shed_count
+            assert snap.completed == sum(
+                1 for status in statuses if status is RequestStatus.COMPLETED
+            )
 
 
 @pytest.fixture(scope="module")
