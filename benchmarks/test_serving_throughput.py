@@ -21,11 +21,12 @@ from dataclasses import replace
 import numpy as np
 
 from conftest import FAST, write_result
-from repro.config import ServingConfig
+from repro.config import ServingConfig, TelemetryConfig
 from repro.evaluation import format_table
 from repro.evaluation.reporting import format_float
 from repro.nn.im2col import plan_cache_stats
 from repro.nn.runtime import runtime_options
+from repro.observability import Tracer
 from repro.profiling import StageProfiler
 from repro.serving import InferenceServer, LoadGenerator, round_robin_streams
 
@@ -230,6 +231,27 @@ def test_single_stream_profile(vid_bundle):
     optimized_fps = statistics.median(optimized_samples)
     speedup = optimized_fps / baseline_fps
 
+    # Telemetry overhead A/B/C (interleaved like the legs above): no tracer,
+    # an active tracer with every frame sampled out (the cost of the null
+    # path), and full tracing into the ring buffer.  All three run the
+    # optimized bundle, so the only variable is the instrumentation.
+    telemetry_cfg = TelemetryConfig(enabled=True, ring_capacity=1 << 16)
+    off_samples: list[float] = []
+    sampled_out_samples: list[float] = []
+    traced_samples: list[float] = []
+    for _ in range(repeats):
+        fps, _ = _single_stream_run(bundle32, streams, frames_per_stream)
+        off_samples.append(fps)
+        with Tracer(telemetry_cfg.with_(sample_rate=0.0)):
+            fps, _ = _single_stream_run(bundle32, streams, frames_per_stream)
+        sampled_out_samples.append(fps)
+        with Tracer(telemetry_cfg.with_(sample_rate=1.0)):
+            fps, _ = _single_stream_run(bundle32, streams, frames_per_stream)
+        traced_samples.append(fps)
+    telemetry_off_fps = statistics.median(off_samples)
+    sampled_out_fps = statistics.median(sampled_out_samples)
+    traced_fps = statistics.median(traced_samples)
+
     # Per-stage breakdown of one optimized pass (not part of the timing legs —
     # the profiler's scope bookkeeping would bias the A/B).
     profiler = StageProfiler()
@@ -257,10 +279,36 @@ def test_single_stream_profile(vid_bundle):
         ),
     )
     table += "\n\n" + profiler.format("Per-stage time breakdown (optimized pass)")
+    telemetry_rows = [
+        ["telemetry off", format_float(telemetry_off_fps, 1), "1.00x"],
+        [
+            "tracer active, sample_rate=0",
+            format_float(sampled_out_fps, 1),
+            format_float(sampled_out_fps / telemetry_off_fps, 3) + "x",
+        ],
+        [
+            "full tracing (ring sink)",
+            format_float(traced_fps, 1),
+            format_float(traced_fps / telemetry_off_fps, 3) + "x",
+        ],
+    ]
+    table += "\n\n" + format_table(
+        ["Telemetry configuration", "FPS", "vs off"],
+        telemetry_rows,
+        title=f"Telemetry overhead — median of {repeats} interleaved repeats",
+    )
     write_result(
         "serving",
         table,
         data={
+            "telemetry_overhead": {
+                "repeats": repeats,
+                "off_fps": float(telemetry_off_fps),
+                "sampled_out_fps": float(sampled_out_fps),
+                "traced_fps": float(traced_fps),
+                "sampled_out_ratio": float(sampled_out_fps / telemetry_off_fps),
+                "traced_ratio": float(traced_fps / telemetry_off_fps),
+            },
             "single_stream": {
                 "frames": frames_per_stream,
                 "repeats": repeats,
@@ -291,6 +339,10 @@ def test_single_stream_profile(vid_bundle):
     # with margin for slower machines.
     if repeats >= 3:
         assert speedup >= 1.3
+        # Telemetry budgets: a disabled/sampled-out tracer must be free
+        # (<= 2% fps regression) and full tracing must stay under 10%.
+        assert sampled_out_fps >= 0.98 * telemetry_off_fps
+        assert traced_fps >= 0.90 * telemetry_off_fps
 
 
 def _sweep_run(bundle, streams, max_batch_size: int, batched: bool) -> tuple[float, float]:

@@ -35,11 +35,12 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.config import ExperimentConfig, ServingConfig
+from repro.config import ExperimentConfig, ServingConfig, TelemetryConfig
+from repro.observability.trace import SpanEvent, Tracer
 from repro.configio import apply_overrides, deep_merge, load_config_file, split_override
 from repro.core.pipeline import (
     METHODS,
@@ -109,6 +110,8 @@ __all__ = [
     "ServeReport",
     "Server",
     "StreamReport",
+    "TelemetryConfig",
+    "Tracer",
     "build_from_cfg",
     "load_experiment_config",
     "round_robin_streams",
@@ -264,6 +267,8 @@ class ServeReport:
     streams: tuple[StreamReport, ...]
     #: full per-stream results (detection records) for callers that need them
     results: Mapping[int, StreamResult]
+    #: span/instant events captured when the run was traced (else empty)
+    trace_events: tuple[SpanEvent, ...] = ()
 
     def format(self, title: str = "Serving telemetry") -> str:
         """Render the telemetry plus the per-stream adaptive-scale traces."""
@@ -444,12 +449,17 @@ class Server:
         rate_fps: float = 30.0,
         time_scale: float = 0.0,
         seed: int = 0,
+        telemetry: TelemetryConfig | None = None,
     ) -> ServeReport:
         """Replay a deterministic synthetic load and return a typed report.
 
         Stream sources are the bundle's validation snippets, assigned
         round-robin.  This is the shared serve flow of the ``repro serve``
         CLI, the concurrent-streams example and the serving benchmark.
+
+        ``telemetry`` activates a :class:`~repro.observability.Tracer` for the
+        replay; captured events come back on ``ServeReport.trace_events``.
+        With ``telemetry=None`` (or ``enabled=False``) tracing stays a no-op.
         """
         sources = round_robin_streams(self.bundle.val_dataset, streams)
         shortest = min(len(source) for source in sources)
@@ -461,13 +471,19 @@ class Server:
             rate_fps=rate_fps,
             seed=seed,
         )
+        tracer = Tracer(telemetry) if telemetry is not None else None
         server = self.inference
         started = server._started
         if not started:
             server.start()
         try:
-            generator.run(server, sources, time_scale=time_scale)
-            server.drain()
+            if tracer is not None:
+                with tracer:
+                    generator.run(server, sources, time_scale=time_scale)
+                    server.drain()
+            else:
+                generator.run(server, sources, time_scale=time_scale)
+                server.drain()
         finally:
             if not started:
                 server.stop(cancel_pending=False)
@@ -479,6 +495,7 @@ class Server:
                 for stream_id, result in sorted(results.items())
             ),
             results=results,
+            trace_events=tracer.events() if tracer is not None else (),
         )
 
 
@@ -607,6 +624,7 @@ class Cluster:
         shards: int | None = None,
         mode: str | None = None,
         time_scale: float = 0.25,
+        telemetry: TelemetryConfig | None = None,
         **scenario_fields: Any,
     ) -> ClusterReport:
         """Run one scenario end to end and return its typed report.
@@ -615,7 +633,9 @@ class Cluster:
         pre-built :class:`WorkloadTrace`; ``scenario_fields`` override config
         fields when a name is given (e.g. ``duration_s=10``).  ``shards`` and
         ``mode`` override the cluster config for this run only —
-        ``self.cluster`` is left untouched.
+        ``self.cluster`` is left untouched.  ``telemetry`` traces the run
+        (both backends emit the same event vocabulary); events come back on
+        ``ClusterReport.trace_events``.
         """
         cluster = self.cluster
         if shards is not None:
@@ -633,4 +653,9 @@ class Cluster:
                 "pre-built WorkloadTrace — regenerate the trace from a "
                 "ScenarioConfig instead"
             )
-        return self.controller(cluster).run(scenario, time_scale=time_scale)
+        if telemetry is None:
+            return self.controller(cluster).run(scenario, time_scale=time_scale)
+        tracer = Tracer(telemetry)
+        with tracer:
+            report = self.controller(cluster).run(scenario, time_scale=time_scale)
+        return replace(report, trace_events=tracer.events())

@@ -24,6 +24,10 @@ Commands:
   churn, recorded JSONL traces) with the SLO-aware control plane, either on
   the calibrated virtual-time engine or on real in-process shards (see
   :mod:`repro.cluster`);
+* ``obs`` — summarize or export a telemetry span log recorded by a traced
+  ``serve``/``cluster`` run (``--span-log``): stage/shard rollup tables, SLO
+  burn rates, and Chrome-trace / Prometheus exports (see
+  :mod:`repro.observability`);
 * ``config`` — show/save the resolved config, or ``--check`` that every
   registered preset round-trips losslessly through dict/TOML/JSON forms;
 * ``bench`` — run the benchmark harness under ``benchmarks/`` and write the
@@ -55,8 +59,11 @@ from repro.registries import (
     ROUTING_POLICIES,
     SCHEDULER_POLICIES,
 )
+from repro.utils.logging import get_logger
 
 __all__ = ["main", "build_parser"]
+
+_LOGGER = get_logger(__name__)
 
 _DEFAULT_METHODS = ["SS/SS", "MS/SS", "MS/AdaScale"]
 
@@ -307,6 +314,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the cluster report as JSON",
     )
+    cluster.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace the run: admission/queue/service spans, completions, governor decisions",
+    )
+    cluster.add_argument(
+        "--telemetry-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of frames to trace, deterministic per admission (default: 1.0)",
+    )
+    cluster.add_argument(
+        "--span-log",
+        type=Path,
+        default=None,
+        help="write every captured event as JSONL here (implies --telemetry)",
+    )
+    cluster.add_argument(
+        "--export-trace",
+        type=Path,
+        default=None,
+        help="write a Chrome trace-event JSON of the run here (implies --telemetry)",
+    )
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="summarize or export a telemetry span log from a traced run",
+    )
+    obs_subparsers = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summarize = obs_subparsers.add_parser(
+        "summarize", help="rollup tables, decisions and SLO burn rates for a span log"
+    )
+    obs_summarize.add_argument("input", type=Path, help="JSONL span log (from --span-log)")
+    obs_summarize.add_argument(
+        "--target-p95-ms",
+        type=float,
+        default=250.0,
+        help="latency target the burn-rate series is computed against",
+    )
+    obs_summarize.add_argument(
+        "--burn-by",
+        choices=("stream", "shard"),
+        default="shard",
+        help="entity the burn-rate series is keyed by",
+    )
+    obs_export = obs_subparsers.add_parser(
+        "export", help="convert a span log to a viewer/scrape format"
+    )
+    obs_export.add_argument("input", type=Path, help="JSONL span log (from --span-log)")
+    obs_export.add_argument(
+        "--format",
+        choices=("chrome-trace", "prometheus"),
+        required=True,
+        help="chrome-trace: chrome://tracing / Perfetto JSON; prometheus: text exposition",
+    )
+    obs_export.add_argument(
+        "--output", type=Path, required=True, help="file the export is written to"
+    )
 
     config_cmd = subparsers.add_parser(
         "config",
@@ -527,6 +593,20 @@ def _run_cluster(args: argparse.Namespace) -> int:
         path = workload.save_jsonl(args.save_trace)
         print(f"Saved workload trace ({len(workload)} events) to {path}")
 
+    telemetry = None
+    if args.telemetry or args.span_log is not None or args.export_trace is not None:
+        try:
+            telemetry = config.telemetry.with_(
+                enabled=True,
+                sample_rate=args.telemetry_sample,
+                jsonl_path=str(args.span_log) if args.span_log is not None else "",
+                # Exports want the whole run, not the last ring-full of it.
+                ring_capacity=max(config.telemetry.ring_capacity, 262_144),
+            )
+            telemetry.validate()
+        except ValueError as exc:
+            raise SystemExit(f"repro cluster: error: {exc}") from exc
+
     if args.mode == "simulate" and args.no_calibrate:
         # Pure simulation: analytic service model, no training at all.
         facade = api.Cluster(
@@ -543,7 +623,9 @@ def _run_cluster(args: argparse.Namespace) -> int:
             serving=config.serving,
             adascale=config.adascale,
         )
-    report = facade.run_scenario(workload, time_scale=args.time_scale)
+    report = facade.run_scenario(
+        workload, time_scale=args.time_scale, telemetry=telemetry
+    )
     print(
         report.format(
             title=(
@@ -558,6 +640,124 @@ def _run_cluster(args: argparse.Namespace) -> int:
             json.dumps(report.to_dict(), indent=2, allow_nan=False) + "\n"
         )
         print(f"\nWrote cluster report JSON to {args.output}")
+    if args.span_log is not None:
+        print(f"Wrote telemetry span log ({len(report.trace_events)} events) to {args.span_log}")
+    if args.export_trace is not None:
+        from repro.observability import write_chrome_trace
+
+        path = write_chrome_trace(args.export_trace, report.trace_events)
+        print(f"Wrote Chrome trace ({len(report.trace_events)} events) to {path}")
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        burn_rate_series,
+        events_to_metrics,
+        load_span_log,
+        shard_rollup,
+        stage_rollup,
+        to_prometheus_text,
+        write_chrome_trace,
+    )
+
+    try:
+        events = load_span_log(args.input)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"repro obs: error: cannot read span log {args.input}: {exc}") from exc
+    if not events:
+        raise SystemExit(f"repro obs: error: span log {args.input} holds no events")
+
+    if args.obs_command == "export":
+        if args.format == "chrome-trace":
+            path = write_chrome_trace(args.output, events)
+        else:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(to_prometheus_text(events_to_metrics(events)))
+            path = args.output
+        print(f"Wrote {args.format} export ({len(events)} events) to {path}")
+        return 0
+
+    # summarize
+    kinds: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    traces = len({event.trace_id for event in events if event.trace_id})
+    first = min(event.start_s for event in events)
+    last = max(event.start_s + event.duration_s for event in events)
+    overview_rows = [
+        ["events", str(len(events))],
+        ["traced frames", str(traces)],
+        *[[f"{kind} events", str(count)] for kind, count in sorted(kinds.items())],
+        ["time span (s)", f"{last - first:.2f}"],
+    ]
+    sections = [
+        format_table(["Quantity", "Value"], overview_rows, title=f"Span log — {args.input}")
+    ]
+
+    stages = stage_rollup(events)
+    if stages:
+        sections.append(
+            format_table(
+                ["Stage", "Count", "Total (s)", "Mean (ms)"],
+                [
+                    [name, str(row["count"]), f"{row['total_s']:.3f}", f"{row['mean_ms']:.2f}"]
+                    for name, row in stages.items()
+                ],
+                title="Stage rollup (span totals)",
+            )
+        )
+
+    shards = shard_rollup(events)
+    if shards:
+        sections.append(
+            format_table(
+                ["Shard", "Admitted", "Completed", "Shed", "Decisions", "Busy (s)"],
+                [
+                    [
+                        str(shard_id),
+                        str(int(row["admitted"])),
+                        str(int(row["completed"])),
+                        str(int(row["shed"])),
+                        str(int(row["decisions"])),
+                        f"{row['busy_s']:.3f}",
+                    ]
+                    for shard_id, row in shards.items()
+                ],
+                title="Shard rollup",
+            )
+        )
+
+    decisions = [event for event in events if event.kind == "decision"]
+    if decisions:
+        lines = [
+            f"  t={event.start_s:8.2f}s shard {event.shard_id}: {event.name} "
+            f"{event.attrs.get('knob', '?')} {event.attrs.get('old', '?')} -> "
+            f"{event.attrs.get('new', '?')} ({event.attrs.get('reason', '')})"
+            for event in sorted(decisions, key=lambda event: event.start_s)
+        ]
+        sections.append("Control decisions:\n" + "\n".join(lines))
+
+    burn = burn_rate_series(events, target_ms=args.target_p95_ms, key=args.burn_by)
+    if burn:
+        sections.append(
+            format_table(
+                [args.burn_by.capitalize(), "Buckets", "Completions", "Mean burn", "Max burn"],
+                [
+                    [
+                        str(entity),
+                        str(len(series)),
+                        str(sum(total for _, _, total in series)),
+                        f"{sum(rate for _, rate, _ in series) / len(series):.3f}",
+                        f"{max(rate for _, rate, _ in series):.3f}",
+                    ]
+                    for entity, series in burn.items()
+                ],
+                title=f"SLO burn rate (target {args.target_p95_ms:.0f} ms, 1 s buckets)",
+            )
+        )
+
+    print("\n\n".join(sections))
     return 0
 
 
@@ -725,7 +925,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         )
     else:
         invalid = 1
-        print(f"warning: no BENCH_*.json artefacts found under {results_dir}")
+        _LOGGER.warning("no BENCH_*.json artefacts found under %s", results_dir)
     # A passing pytest run with unusable machine-readable output is a failure:
     # the artefacts are the product here.
     return exit_code if exit_code != 0 else (1 if invalid else 0)
@@ -773,6 +973,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cluster":
         return _run_cluster(args)
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "config":
         return _run_config(args)

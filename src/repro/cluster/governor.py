@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.config import AutoscalerConfig, GovernorConfig
+from repro.observability.metrics import get_registry
+from repro.observability.trace import active_tracer
 from repro.registries import CLUSTER_AUTOSCALERS, CLUSTER_GOVERNORS
 
 __all__ = ["GovernorAction", "ScaleGovernor", "Autoscaler"]
@@ -89,6 +91,10 @@ class ScaleGovernor:
             raise ValueError(f"ladder must be non-empty descending scales, got {ladder}")
         self._states: dict[int, _ShardLoopState] = {}
         self.actions: list[GovernorAction] = []
+        self._action_counter = get_registry().counter(
+            "repro_cluster_governor_actions_total",
+            help="Control decisions taken by the SLO governor, by action and knob",
+        )
 
     # -- the control step ----------------------------------------------------
     def step(self, shards, now: float) -> list[GovernorAction]:
@@ -143,6 +149,14 @@ class ScaleGovernor:
                         taken.append(action)
             else:
                 state.calm_streak = 0
+        if taken:
+            tracer = active_tracer()
+            for action in taken:
+                self._action_counter.labels(
+                    action=action.action, knob=action.knob
+                ).inc()
+                if tracer is not None:
+                    tracer.decision(action)
         self.actions.extend(taken)
         return taken
 

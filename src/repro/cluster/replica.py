@@ -45,7 +45,7 @@ class InProcessReplica:
     ) -> None:
         self.shard_id = shard_id
         self.serving = serving
-        self.server = InferenceServer(bundle, serving=serving)
+        self.server = InferenceServer(bundle, serving=serving, shard_id=shard_id)
         self.accepting = True
         self.baseline_batch_size = serving.max_batch_size
         self._streams: set[int] = set()

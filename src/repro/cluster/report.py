@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass
 from repro.cluster.governor import GovernorAction
 from repro.evaluation.reporting import format_float, format_table
 from repro.evaluation.runtime import RuntimeStats
+from repro.observability.trace import SpanEvent
 from repro.serving.metrics import TelemetrySnapshot
 
 __all__ = ["ShardReport", "ClusterReport"]
@@ -90,6 +91,10 @@ class ClusterReport:
     streams_rejected: int
     frames_unrouted: int
     timeline: tuple[GovernorAction, ...] = ()
+    #: Telemetry span/instant events captured when the run was traced
+    #: (attached by the api facade via ``dataclasses.replace``); empty when
+    #: telemetry was off.
+    trace_events: tuple[SpanEvent, ...] = ()
 
     @classmethod
     def build(
@@ -164,6 +169,7 @@ class ClusterReport:
                 for shard in self.shards
             ],
             "timeline": [asdict(action) for action in self.timeline],
+            "trace_event_count": len(self.trace_events),
         }
 
     # -- rendering --------------------------------------------------------------

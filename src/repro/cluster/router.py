@@ -24,9 +24,11 @@ an overloaded cluster stays observable.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from typing import Sequence
 
 from repro.cluster.config import RouterConfig
+from repro.observability.metrics import get_registry
 from repro.registries import ROUTING_POLICIES
 
 __all__ = ["Router"]
@@ -52,18 +54,39 @@ def hash_policy(stream_id: int, candidates: Sequence, hash_seed: int = 0):
     return sorted(candidates, key=lambda shard: shard.shard_id)[index]
 
 
+_ROUTER_IDS = itertools.count()
+
+
 class Router:
-    """Pins streams to shards and refuses work the shards cannot absorb."""
+    """Pins streams to shards and refuses work the shards cannot absorb.
+
+    Rejection counters live in the process-wide metrics registry
+    (``repro_cluster_rejected_total{router=..., kind=...}``) instead of plain
+    attributes; ``rejected_streams`` / ``rejected_frames`` read their cells.
+    """
 
     def __init__(self, config: RouterConfig) -> None:
         config.validate()
         self.config = config
         self._policy = ROUTING_POLICIES.get(config.policy)
         self._assignment: dict[int, object] = {}
-        #: streams refused because every live shard was at its admission cap
-        self.rejected_streams = 0
-        #: frames refused because their stream was never admitted
-        self.rejected_frames = 0
+        rejected = get_registry().counter(
+            "repro_cluster_rejected_total",
+            help="Streams/frames refused at the cluster front door",
+        )
+        router = f"router-{next(_ROUTER_IDS)}"
+        self._rejected_streams = rejected.labels(router=router, kind="streams")
+        self._rejected_frames = rejected.labels(router=router, kind="frames")
+
+    @property
+    def rejected_streams(self) -> int:
+        """Streams refused because every live shard was at its admission cap."""
+        return int(self._rejected_streams.value)
+
+    @property
+    def rejected_frames(self) -> int:
+        """Frames refused because their stream was never admitted."""
+        return int(self._rejected_frames.value)
 
     # -- placement -----------------------------------------------------------
     def assign(self, stream_id: int, shards: Sequence) -> object | None:
@@ -82,7 +105,7 @@ class Router:
             if shard.accepting and shard.active_streams < self.config.max_streams_per_shard
         ]
         if not candidates:
-            self.rejected_streams += 1
+            self._rejected_streams.inc()
             return None
         shard = self._policy(stream_id, candidates, hash_seed=self.config.hash_seed)
         self._assignment[stream_id] = shard
@@ -92,7 +115,7 @@ class Router:
         """The shard serving ``stream_id``; None counts a rejected frame."""
         shard = self._assignment.get(stream_id)
         if shard is None:
-            self.rejected_frames += 1
+            self._rejected_frames.inc()
         return shard
 
     def release(self, stream_id: int) -> object | None:

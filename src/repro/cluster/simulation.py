@@ -38,6 +38,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,7 +48,11 @@ from repro.cluster.router import Router
 from repro.cluster.scenarios import WorkloadTrace
 from repro.cluster.service_model import ServiceModel
 from repro.config import ServingConfig
+from repro.observability.trace import active_tracer
 from repro.serving.metrics import ServerMetrics
+
+if TYPE_CHECKING:
+    from repro.observability.trace import TraceContext
 
 __all__ = ["SimulatedShard", "ClusterSimulation"]
 
@@ -61,6 +66,7 @@ class _SimFrame:
     arrival_s: float
     deadline_s: float | None
     scale: int
+    trace: "TraceContext | None" = None
 
 
 class _ScaleWalk:
@@ -162,13 +168,30 @@ class SimulatedShard:
             self.metrics.on_shed("rejected")
             return False
         scale = self._effective_scale(walk.next_scale())
+        tracer = active_tracer()
+        trace = (
+            tracer.begin_trace(
+                stream_id=stream_id,
+                frame_index=frame_index,
+                shard_id=self.shard_id,
+                now=now,
+            )
+            if tracer is not None
+            else None
+        )
         policy = self.serving.backpressure
         if policy != "block" and len(self._queue) >= self.serving.queue_capacity:
             if policy == "drop-oldest":
-                self._queue.popleft()  # victims are queued frames, never in flight
+                victim = self._queue.popleft()  # victims are queued, never in flight
                 self.metrics.on_shed("dropped")
+                if tracer is not None and victim.trace is not None:
+                    tracer.instant(
+                        "serving/shed", victim.trace, now=now, status="dropped"
+                    )
             else:  # reject (and any custom policy degrades to reject here)
                 self.metrics.on_shed("rejected")
+                if tracer is not None and trace is not None:
+                    tracer.instant("serving/shed", trace, now=now, status="rejected")
                 return False
         deadline = (
             now + self.serving.deadline_ms / 1000.0
@@ -182,6 +205,7 @@ class SimulatedShard:
                 arrival_s=now,
                 deadline_s=deadline,
                 scale=scale,
+                trace=trace,
             )
         )
         self.metrics.observe_queue_depth(len(self._queue))
@@ -197,6 +221,7 @@ class SimulatedShard:
         """
         started: list[tuple[float, list[_SimFrame]]] = []
         self._expire_overdue(now)
+        tracer = active_tracer()
         while self._idle_workers > 0:
             batch = self._form_batch()
             if not batch:
@@ -206,6 +231,17 @@ class SimulatedShard:
                 self._busy_streams.add(frame.stream_id)
             self.metrics.observe_batch(len(batch))
             self.metrics.observe_queue_depth(len(self._queue))
+            if tracer is not None:
+                contexts = [frame.trace for frame in batch if frame.trace is not None]
+                if contexts:
+                    arrived = max(frame.arrival_s for frame in batch)
+                    tracer.emit_batch_span(
+                        "serving/batch_assembly",
+                        contexts,
+                        start_s=arrived,
+                        duration_s=max(now - arrived, 0.0),
+                        batch_size=len(batch),
+                    )
             service_s = self.model.batch_time_s(batch[0].scale, len(batch))
             started.append((now + service_s, batch))
         return started
@@ -215,7 +251,10 @@ class SimulatedShard:
         self._idle_workers += 1
         # One scale per batch (the bucket invariant): compute the amortised
         # per-frame share once, not once per frame.
-        service_s = self.model.batch_time_s(batch[0].scale, len(batch)) / len(batch)
+        batch_s = self.model.batch_time_s(batch[0].scale, len(batch))
+        service_s = batch_s / len(batch)
+        dispatch_s = now - batch_s
+        tracer = active_tracer()
         for frame in batch:
             self._busy_streams.discard(frame.stream_id)
             latency_s = now - frame.arrival_s
@@ -225,6 +264,27 @@ class SimulatedShard:
                 service_s=service_s,
                 latency_s=latency_s,
             )
+            if tracer is not None and frame.trace is not None:
+                tracer.emit_span(
+                    "serving/queue_wait",
+                    frame.trace,
+                    start_s=frame.arrival_s,
+                    duration_s=max(dispatch_s - frame.arrival_s, 0.0),
+                )
+                tracer.emit_span(
+                    "serving/service",
+                    frame.trace,
+                    start_s=dispatch_s,
+                    duration_s=batch_s,
+                    service_s=service_s,
+                )
+                tracer.instant(
+                    "serving/complete_frame",
+                    frame.trace,
+                    now=now,
+                    latency_ms=1000.0 * latency_s,
+                    scale_used=frame.scale,
+                )
 
     @property
     def idle(self) -> bool:
@@ -273,10 +333,15 @@ class SimulatedShard:
     def _expire_overdue(self, now: float) -> None:
         if self.serving.deadline_ms is None:
             return
+        tracer = active_tracer()
         kept = deque()
         for frame in self._queue:
             if frame.deadline_s is not None and frame.deadline_s < now:
                 self.metrics.on_shed("expired")
+                if tracer is not None and frame.trace is not None:
+                    tracer.instant(
+                        "serving/shed", frame.trace, now=now, status="expired"
+                    )
             else:
                 kept.append(frame)
         self._queue = kept
@@ -409,36 +474,38 @@ class ClusterSimulation:
     def _autoscale_step(self) -> None:
         desired = self.autoscaler.desired_shards(self.live_shards, self.now)
         current = len(self.live_shards)
+        action: GovernorAction | None = None
         if desired > current:
             shard = self._add_shard()
-            self.timeline.append(
-                GovernorAction(
-                    time_s=self.now,
-                    shard_id=shard.shard_id,
-                    action="scale-up",
-                    knob="shards",
-                    old=current,
-                    new=desired,
-                    p95_ms=0.0,
-                    queue_depth=0,
-                    reason="mean occupancy over scale_up_at",
-                )
+            action = GovernorAction(
+                time_s=self.now,
+                shard_id=shard.shard_id,
+                action="scale-up",
+                knob="shards",
+                old=current,
+                new=desired,
+                p95_ms=0.0,
+                queue_depth=0,
+                reason="mean occupancy over scale_up_at",
             )
         elif desired < current:
             # Drain the youngest accepting shard: stop placements, let its
             # residual streams finish naturally.
             victim = max(self.live_shards, key=lambda shard: shard.shard_id)
             victim.accepting = False
-            self.timeline.append(
-                GovernorAction(
-                    time_s=self.now,
-                    shard_id=victim.shard_id,
-                    action="scale-down",
-                    knob="shards",
-                    old=current,
-                    new=desired,
-                    p95_ms=0.0,
-                    queue_depth=victim.queue_depth,
-                    reason="mean occupancy under scale_down_at",
-                )
+            action = GovernorAction(
+                time_s=self.now,
+                shard_id=victim.shard_id,
+                action="scale-down",
+                knob="shards",
+                old=current,
+                new=desired,
+                p95_ms=0.0,
+                queue_depth=victim.queue_depth,
+                reason="mean occupancy under scale_down_at",
             )
+        if action is not None:
+            self.timeline.append(action)
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.decision(action)

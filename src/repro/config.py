@@ -27,6 +27,7 @@ __all__ = [
     "RegressorConfig",
     "AdaScaleConfig",
     "ServingConfig",
+    "TelemetryConfig",
     "ExperimentConfig",
     "PAPER_SCALES",
     "REDUCED_SCALES",
@@ -309,6 +310,43 @@ class ServingConfig(SerializableConfig):
 
 
 @dataclass(frozen=True)
+class TelemetryConfig(SerializableConfig):
+    """Tracing/metrics-export parameters (``repro.observability``).
+
+    When ``enabled`` is false the tracer is never activated and every
+    instrumentation site reduces to a null check — the same no-op discipline
+    as :func:`repro.profiling.stage`.  ``jsonl_path = ""`` disables the JSONL
+    span sink (the empty string stands in for "off" on purpose: TOML has no
+    null, mirroring the cluster config's enabled-flag rule).
+    """
+
+    #: master switch; a disabled config never activates a tracer
+    enabled: bool = False
+    #: fraction of frame traces kept, in [0, 1]; sampling is deterministic in
+    #: the admission order, so the same run traces the same frames
+    sample_rate: float = 1.0
+    #: emit per-frame spans (queue wait, batch assembly, detector stages)
+    spans: bool = True
+    #: emit governor/autoscaler decision events
+    decisions: bool = True
+    #: capacity of the bounded in-memory ring buffer (oldest events drop)
+    ring_capacity: int = 8192
+    #: JSONL span-log path; "" keeps the sink off
+    jsonl_path: str = ""
+
+    def with_(self, **kwargs: object) -> "TelemetryConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity checks; raises ``ValueError`` on inconsistency."""
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {self.sample_rate}")
+        if self.ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be >= 1, got {self.ring_capacity}")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig(SerializableConfig):
     """Top-level experiment composition used by the pipeline and benchmarks."""
 
@@ -318,6 +356,7 @@ class ExperimentConfig(SerializableConfig):
     regressor: RegressorConfig = field(default_factory=RegressorConfig)
     adascale: AdaScaleConfig = field(default_factory=AdaScaleConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     seed: int = 0
 
     def with_(self, **kwargs: object) -> "ExperimentConfig":
@@ -343,6 +382,7 @@ class ExperimentConfig(SerializableConfig):
         _require_descending(self.adascale.scales, "adascale.scales")
         _require_descending(self.adascale.regressor_scales, "adascale.regressor_scales")
         self.serving.validate()
+        self.telemetry.validate()
         if self.serving.initial_scale is not None and not (
             self.adascale.min_scale <= self.serving.initial_scale <= self.adascale.max_scale
         ):

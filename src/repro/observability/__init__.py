@@ -1,0 +1,63 @@
+"""End-to-end observability for the serving/cluster stack.
+
+Three pieces, designed to cost nothing when off:
+
+* **Tracing** (:mod:`~repro.observability.trace`) — a
+  :class:`TraceContext` minted per admitted frame rides on the request
+  through scheduler → micro-batch → worker → session (and, in the cluster,
+  router → shard), collecting typed spans plus governor/autoscaler
+  **decision events**.  Activation mirrors the stage profiler: one
+  module-level active tracer, read without locking, so disabled
+  instrumentation is a null check.
+* **Metrics** (:mod:`~repro.observability.metrics`) — a process-wide
+  :class:`MetricsRegistry` of labeled counters/gauges/histograms with
+  per-thread shards and explicit snapshots; :class:`ServerMetrics`, the
+  cluster router and the governor register their counters here.
+* **Sinks & exporters** (:mod:`~repro.observability.sinks` /
+  :mod:`~repro.observability.export`) — bounded ring buffer, JSONL span
+  log, Chrome trace-event export (``chrome://tracing`` / Perfetto),
+  Prometheus text exposition, per-stage/per-shard rollups, and SLO
+  burn-rate series.
+
+Everything is configured by :class:`repro.config.TelemetryConfig`
+(re-exported here), which is a field of ``ExperimentConfig`` — so
+``--set telemetry.sample_rate=0.1`` works like any other config override.
+"""
+
+from repro.config import TelemetryConfig
+from repro.observability.export import (
+    burn_rate_series,
+    events_to_metrics,
+    shard_rollup,
+    stage_rollup,
+    to_chrome_trace,
+    to_prometheus_text,
+    validate_chrome_trace,
+    validate_prometheus_text,
+    write_chrome_trace,
+)
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.sinks import JsonlSpanSink, RingBufferSink, load_span_log
+from repro.observability.trace import SpanEvent, TraceContext, Tracer, active_tracer
+
+__all__ = [
+    "JsonlSpanSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "SpanEvent",
+    "TelemetryConfig",
+    "TraceContext",
+    "Tracer",
+    "active_tracer",
+    "burn_rate_series",
+    "events_to_metrics",
+    "get_registry",
+    "load_span_log",
+    "shard_rollup",
+    "stage_rollup",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_chrome_trace",
+]

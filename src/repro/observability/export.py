@@ -1,0 +1,315 @@
+"""Exporters and read-time aggregations over recorded telemetry.
+
+Everything here consumes a flat sequence of
+:class:`~repro.observability.trace.SpanEvent` records (from a tracer's ring
+buffer or a JSONL span log) and produces either an interchange format or a
+rollup:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format, loadable in ``chrome://tracing`` and Perfetto.
+  Shards map to processes, streams to threads, so a multi-shard run renders
+  as parallel swimlanes with governor decisions as instant markers.
+* :func:`to_prometheus_text` — Prometheus text exposition of a
+  :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`;
+  :func:`events_to_metrics` rebuilds such a snapshot from recorded events so
+  the ``repro obs`` CLI can expose a span log the same way.
+* :func:`stage_rollup` — per-stage ``{name: {count, total_s, mean_ms}}`` in
+  exactly the shape of :meth:`repro.profiling.StageProfiler.stages` (the
+  profiler bridge: the trace's stage spans and the profiler's stage scopes
+  share names, so the two views are directly comparable).
+* :func:`shard_rollup` — per-shard traffic/decision summary.
+* :func:`burn_rate_series` — per-stream / per-shard SLO burn-rate buckets
+  (fraction of completions over the latency target per time bucket), the
+  series a future governor can consume as its error signal.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.observability.trace import SpanEvent
+
+__all__ = [
+    "burn_rate_series",
+    "events_to_metrics",
+    "shard_rollup",
+    "stage_rollup",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "validate_prometheus_text",
+    "write_chrome_trace",
+]
+
+#: Event name carrying the end-to-end completion of one frame.
+COMPLETION_EVENT = "serving/complete_frame"
+#: Event name carrying a shed (dropped / expired / rejected) frame.
+SHED_EVENT = "serving/shed"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+def to_chrome_trace(events: Sequence[SpanEvent]) -> dict[str, Any]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Spans become ``"X"`` (complete) events with microsecond ``ts``/``dur``;
+    instants and decisions become ``"i"`` events.  ``pid`` is the shard id
+    and ``tid`` the stream id, which gives Perfetto one swimlane per stream
+    grouped under its shard; decisions are process-scoped markers.
+    """
+    trace_events: list[dict[str, Any]] = []
+    for event in events:
+        args: dict[str, Any] = dict(event.attrs)
+        args["trace_id"] = event.trace_id
+        if event.frame_index >= 0:
+            args["frame_index"] = event.frame_index
+        record: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.kind,
+            "pid": event.shard_id if event.shard_id >= 0 else 0,
+            "tid": event.stream_id if event.stream_id >= 0 else 0,
+            "ts": event.start_s * 1e6,
+            "args": args,
+        }
+        if event.kind == "span":
+            record["ph"] = "X"
+            record["dur"] = event.duration_s * 1e6
+        else:
+            record["ph"] = "i"
+            # Decisions mark the whole process (shard); frame instants mark
+            # their own thread (stream) lane.
+            record["s"] = "p" if event.kind == "decision" else "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, events: Sequence[SpanEvent]) -> Path:
+    """Write :func:`to_chrome_trace` output as strict JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events), allow_nan=False))
+    return path
+
+
+def validate_chrome_trace(payload: Mapping[str, Any]) -> list[str]:
+    """Schema check of a Chrome trace object; returns problems (empty = ok)."""
+    problems: list[str] = []
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents missing or not a list"]
+    for index, record in enumerate(trace_events):
+        if not isinstance(record, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in record:
+                problems.append(f"event {index} ({record.get('name')!r}) missing {key!r}")
+        if record.get("ph") == "X" and "dur" not in record:
+            problems.append(f"event {index} ({record.get('name')!r}) is 'X' without dur")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus_text(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Histograms are exposed summary-style: ``_count`` and ``_sum`` series plus
+    one ``{quantile="..."}`` series per reported percentile.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "counter")
+        exposed_type = "summary" if kind == "histogram" else kind
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {exposed_type}")
+        for sample in family.get("samples", ()):
+            labels = dict(sample.get("labels", {}))
+            if kind == "histogram":
+                lines.append(f"{name}_count{_format_labels(labels)} {sample['count']:.6g}")
+                lines.append(f"{name}_sum{_format_labels(labels)} {sample['sum']:.6g}")
+                for key, value in sample.items():
+                    if key.startswith("p") and key[1:].isdigit():
+                        quantile = int(key[1:]) / 100.0
+                        q_labels = {**labels, "quantile": f"{quantile:g}"}
+                        lines.append(f"{name}{_format_labels(q_labels)} {value:.6g}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} {sample['value']:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Line-level check of Prometheus exposition text (empty list = ok)."""
+    import re
+
+    sample_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+    problems: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            problems.append(f"line {number} is not a valid sample: {line!r}")
+            continue
+        try:
+            float(match.group(3))
+        except ValueError:
+            problems.append(f"line {number} has a non-numeric value: {line!r}")
+    return problems
+
+
+def events_to_metrics(events: Sequence[SpanEvent]) -> dict[str, dict[str, Any]]:
+    """Rebuild a registry-style snapshot from recorded events.
+
+    Lets ``repro obs export --format prometheus`` expose a span log without
+    access to the live process's registry: completions, sheds and decisions
+    become counters, completion latency a histogram, all labeled by shard.
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    completed = registry.counter(
+        "repro_trace_frames_completed_total", help="Completed frames seen in the trace"
+    )
+    shed = registry.counter(
+        "repro_trace_frames_shed_total", help="Shed frames seen in the trace"
+    )
+    decisions = registry.counter(
+        "repro_trace_decisions_total", help="Control-plane decisions in the trace"
+    )
+    spans = registry.counter(
+        "repro_trace_spans_total", help="Duration spans in the trace"
+    )
+    latency = registry.histogram(
+        "repro_trace_frame_latency_seconds", help="End-to-end frame latency"
+    )
+    for event in events:
+        shard = str(event.shard_id)
+        if event.kind == "decision":
+            decisions.labels(shard=shard, action=event.name).inc()
+        elif event.kind == "span":
+            spans.labels(shard=shard, name=event.name).inc()
+        if event.name == COMPLETION_EVENT:
+            completed.labels(shard=shard).inc()
+            latency_ms = event.attrs.get("latency_ms")
+            if latency_ms is not None:
+                latency.labels(shard=shard).observe(float(latency_ms) / 1000.0)
+        elif event.name == SHED_EVENT:
+            shed.labels(shard=shard, status=str(event.attrs.get("status", ""))).inc()
+    return registry.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Rollups
+# ---------------------------------------------------------------------------
+def stage_rollup(events: Iterable[SpanEvent]) -> dict[str, dict[str, float]]:
+    """Per-stage span totals in :meth:`StageProfiler.stages` shape.
+
+    Returns ``{name: {"count", "total_s", "mean_ms"}}`` sorted by descending
+    total time — directly comparable with a profiler run over the same
+    workload because the worker emits trace stage spans under the same names
+    as its profiler scopes.
+    """
+    totals: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+    for event in events:
+        if event.kind != "span":
+            continue
+        bucket = totals[event.name]
+        bucket[0] += 1
+        bucket[1] += event.duration_s
+    result = {
+        name: {
+            "count": int(count),
+            "total_s": float(total),
+            "mean_ms": 1000.0 * total / count if count else 0.0,
+        }
+        for name, (count, total) in totals.items()
+    }
+    return dict(sorted(result.items(), key=lambda item: -item[1]["total_s"]))
+
+
+def shard_rollup(events: Iterable[SpanEvent]) -> dict[int, dict[str, float]]:
+    """Per-shard traffic summary: admissions, completions, sheds, decisions."""
+    shards: dict[int, dict[str, float]] = defaultdict(
+        lambda: {
+            "admitted": 0,
+            "completed": 0,
+            "shed": 0,
+            "decisions": 0,
+            "busy_s": 0.0,
+        }
+    )
+    for event in events:
+        bucket = shards[event.shard_id]
+        if event.kind == "decision":
+            bucket["decisions"] += 1
+        elif event.name == "serving/admit":
+            bucket["admitted"] += 1
+        elif event.name == COMPLETION_EVENT:
+            bucket["completed"] += 1
+        elif event.name == SHED_EVENT:
+            bucket["shed"] += 1
+        if event.kind == "span" and event.name == "serving/service":
+            bucket["busy_s"] += event.duration_s
+    return dict(sorted(shards.items()))
+
+
+def burn_rate_series(
+    events: Iterable[SpanEvent],
+    target_ms: float,
+    bucket_s: float = 1.0,
+    key: str = "stream",
+) -> dict[int, list[tuple[float, float, int]]]:
+    """SLO burn-rate buckets keyed by stream or shard.
+
+    For every completion event, the frame either met or burned the latency
+    target; per ``bucket_s`` time bucket this returns
+    ``(bucket_start_s, burn_rate, completions)`` where ``burn_rate`` is the
+    fraction of completions over ``target_ms``.  This is the error series an
+    SLO controller integrates — per stream for fairness decisions, per shard
+    for capacity decisions.
+    """
+    if key not in ("stream", "shard"):
+        raise ValueError(f"key must be 'stream' or 'shard', got {key!r}")
+    if bucket_s <= 0:
+        raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+    counts: dict[int, dict[int, list[int]]] = defaultdict(dict)
+    for event in events:
+        if event.name != COMPLETION_EVENT:
+            continue
+        latency_ms = event.attrs.get("latency_ms")
+        if latency_ms is None:
+            continue
+        entity = event.stream_id if key == "stream" else event.shard_id
+        bucket_index = int(event.start_s // bucket_s)
+        bucket = counts[entity].setdefault(bucket_index, [0, 0])
+        bucket[0] += 1
+        if float(latency_ms) > target_ms:
+            bucket[1] += 1
+    series: dict[int, list[tuple[float, float, int]]] = {}
+    for entity, buckets in counts.items():
+        series[entity] = [
+            (index * bucket_s, burned / total, total)
+            for index, (total, burned) in sorted(buckets.items())
+        ]
+    return dict(sorted(series.items()))

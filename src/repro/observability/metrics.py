@@ -1,0 +1,253 @@
+"""Process-wide metrics registry: labeled counters, gauges and histograms.
+
+The serving/cluster stack used to keep its counters as private attributes
+scattered across :class:`~repro.serving.metrics.ServerMetrics`, the cluster
+router and the governor.  This registry gives them one home with uniform
+semantics:
+
+* **Instruments** are named families (``counter`` / ``gauge`` / ``histogram``)
+  with free-form labels; ``instrument.labels(shard="0")`` resolves a *cell*
+  once, and the caller holds on to the cell so the hot path never touches a
+  dict.
+* **Cells are lock-free-ish**: counters and histograms accumulate into
+  per-thread shards (the same trick as ``StageProfiler._thread_timer``), so
+  concurrent workers never contend on an increment; a small lock is only
+  taken the first time a thread touches a cell and when a reader merges the
+  shards.
+* **Snapshots are explicit**: nothing is windowed or reset behind the
+  caller's back — :meth:`MetricsRegistry.snapshot` returns a plain dict of
+  everything at that instant, which the Prometheus exporter renders verbatim.
+
+``get_registry()`` returns the process-default registry that library
+components register into; tests that need isolation construct their own
+:class:`MetricsRegistry` and pass it down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+_KINDS = ("counter", "gauge", "histogram")
+
+#: Quantiles reported for histogram cells in snapshots / Prometheus text.
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return float(ordered[index])
+
+
+class _CounterCell:
+    """One labeled counter: per-thread float shards, merged at read time."""
+
+    __slots__ = ("_lock", "_local", "_shards")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: list[list[float]] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = self._local.shard = [0.0]
+            with self._lock:
+                self._shards.append(shard)
+        shard[0] += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            shards = list(self._shards)
+        return float(sum(shard[0] for shard in shards))
+
+
+class _GaugeCell:
+    """One labeled gauge: last-write-wins scalar."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-watermarks)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _HistogramCell:
+    """One labeled histogram: per-thread sample lists, merged at read time."""
+
+    __slots__ = ("_lock", "_local", "_shards")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: list[list[float]] = []
+
+    def observe(self, value: float) -> None:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = self._local.shard = []
+            with self._lock:
+                self._shards.append(shard)
+        shard.append(float(value))
+
+    def values(self) -> list[float]:
+        """Merged copy of every thread's samples (unordered across threads)."""
+        with self._lock:
+            shards = list(self._shards)
+        merged: list[float] = []
+        for shard in shards:
+            merged.extend(shard)
+        return merged
+
+    @property
+    def count(self) -> int:
+        return len(self.values())
+
+    def summary(self) -> dict[str, float]:
+        """count / sum / quantiles of the samples at this instant."""
+        ordered = sorted(self.values())
+        stats: dict[str, float] = {
+            "count": float(len(ordered)),
+            "sum": float(sum(ordered)),
+        }
+        for q in _QUANTILES:
+            stats[f"p{int(q * 100)}"] = _percentile(ordered, q)
+        return stats
+
+
+_CELL_TYPES = {"counter": _CounterCell, "gauge": _GaugeCell, "histogram": _HistogramCell}
+
+
+class _Instrument:
+    """A named metric family; ``labels(...)`` resolves one cell per label set."""
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self._lock = threading.Lock()
+        self._cells: dict[tuple[tuple[str, str], ...], Any] = {}
+
+    def labels(self, **labels: object):
+        """The cell for this label set (created on first use).
+
+        Hold on to the returned cell: resolving is a dict lookup under a
+        lock, incrementing the cell is not.
+        """
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        cell = self._cells.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.get(key)
+                if cell is None:
+                    cell = self._cells[key] = _CELL_TYPES[self.kind]()
+        return cell
+
+    def cells(self) -> list[tuple[dict[str, str], Any]]:
+        """``(labels, cell)`` pairs, sorted by label set."""
+        with self._lock:
+            items = sorted(self._cells.items())
+        return [(dict(key), cell) for key, cell in items]
+
+
+# Public aliases so type hints read naturally at call sites.
+Counter = _Instrument
+Gauge = _Instrument
+Histogram = _Instrument
+
+
+class MetricsRegistry:
+    """Named instruments with explicit point-in-time snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help: str = "") -> _Instrument:
+        """Get or create a counter family (monotonically increasing)."""
+        return self._get_or_create(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> _Instrument:
+        """Get or create a gauge family (set / high-watermark)."""
+        return self._get_or_create(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "") -> _Instrument:
+        """Get or create a histogram family (sampled distribution)."""
+        return self._get_or_create(name, "histogram", help)
+
+    def _get_or_create(self, name: str, kind: str, help: str) -> _Instrument:
+        assert kind in _KINDS
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = _Instrument(name, kind, help)
+            elif instrument.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is registered as a {instrument.kind}, "
+                    f"requested as a {kind}"
+                )
+            if help and not instrument.help:
+                instrument.help = help
+            return instrument
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Everything at this instant, as plain JSON-compatible data.
+
+        Counters/gauges report ``{"value": float}`` per label set; histograms
+        report their :meth:`~_HistogramCell.summary`.  The Prometheus
+        exporter (:func:`repro.observability.export.to_prometheus_text`)
+        renders this dict verbatim.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        result: dict[str, dict[str, Any]] = {}
+        for instrument in instruments:
+            samples = []
+            for labels, cell in instrument.cells():
+                if instrument.kind == "histogram":
+                    samples.append({"labels": labels, **cell.summary()})
+                else:
+                    samples.append({"labels": labels, "value": float(cell.value)})
+            result[instrument.name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "samples": samples,
+            }
+        return result
+
+
+#: The process-default registry library components register into.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

@@ -1,0 +1,108 @@
+"""Telemetry sinks: where emitted :class:`SpanEvent` records go.
+
+Two built-ins, both registered in :data:`repro.registries.TELEMETRY_SINKS`:
+
+* ``"ring"`` — a bounded in-memory ring buffer (``collections.deque`` with a
+  ``maxlen``); the newest ``ring_capacity`` events survive and the tracer's
+  ``events()`` snapshot reads from here.  Always installed.
+* ``"jsonl"`` — an append-only JSONL span log (one ``SpanEvent.to_dict()``
+  per line), loadable by :func:`load_span_log` and consumed by the
+  ``repro obs`` CLI.  Installed when ``TelemetryConfig.jsonl_path`` is set.
+
+Sinks are deliberately dumb: emission happens on worker/submitter threads, so
+each sink does O(1) locked work per event and all aggregation (rollups,
+exports, burn rates) happens at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.config import TelemetryConfig
+from repro.registries import TELEMETRY_SINKS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.trace import SpanEvent
+
+__all__ = ["JsonlSpanSink", "RingBufferSink", "build_sinks", "load_span_log"]
+
+
+@TELEMETRY_SINKS.register("ring")
+class RingBufferSink:
+    """Bounded in-memory event buffer; oldest events drop at capacity."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[SpanEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: "SpanEvent") -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> tuple["SpanEvent", ...]:
+        """Point-in-time snapshot, oldest surviving event first."""
+        with self._lock:
+            return tuple(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        """Nothing to flush; the buffer stays readable after deactivation."""
+
+
+@TELEMETRY_SINKS.register("jsonl")
+class JsonlSpanSink:
+    """Append-only JSONL span log (one event dict per line)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: "SpanEvent") -> None:
+        line = json.dumps(event.to_dict(), allow_nan=False)
+        with self._lock:
+            if self._handle.closed:  # pragma: no cover - defensive
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+def build_sinks(config: TelemetryConfig) -> tuple[RingBufferSink, list]:
+    """The sink set a :class:`~repro.observability.trace.Tracer` writes to.
+
+    Returns ``(ring, sinks)`` — the ring buffer is always first so the tracer
+    can snapshot it, and the JSONL sink joins when a path is configured.
+    """
+    ring = TELEMETRY_SINKS.get("ring")(capacity=config.ring_capacity)
+    sinks = [ring]
+    if config.jsonl_path:
+        sinks.append(TELEMETRY_SINKS.get("jsonl")(config.jsonl_path))
+    return ring, sinks
+
+
+def load_span_log(path: str | Path) -> tuple["SpanEvent", ...]:
+    """Read a JSONL span log written by :class:`JsonlSpanSink`."""
+    from repro.observability.trace import SpanEvent
+
+    events: list[SpanEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(SpanEvent.from_dict(json.loads(line)))
+    return tuple(events)

@@ -24,6 +24,7 @@ machine so numbers from different hosts are never compared as like-for-like
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import platform
@@ -87,6 +88,9 @@ def bench_payload(
         "name": name,
         "fast": bool(fast),
         "created_unix": time.time(),
+        "created_iso": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "env": env_fingerprint(),
         "data": dict(data) if data else {},
     }

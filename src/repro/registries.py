@@ -33,6 +33,7 @@ __all__ = [
     "ROUTING_POLICIES",
     "SCALE_REGRESSORS",
     "SCHEDULER_POLICIES",
+    "TELEMETRY_SINKS",
     "build_from_cfg",
     "load_components",
 ]
@@ -73,6 +74,9 @@ CLUSTER_AUTOSCALERS: Registry = Registry("cluster-autoscaler")
 #: Trace-driven workload generators of the cluster scenario suite.
 CLUSTER_SCENARIOS: Registry = Registry("cluster-scenario")
 
+#: Telemetry event sinks of the observability layer (ring buffer, JSONL, …).
+TELEMETRY_SINKS: Registry = Registry("telemetry-sink")
+
 
 def load_components() -> None:
     """Import every built-in component module so its registrations run.
@@ -90,6 +94,7 @@ def load_components() -> None:
     import repro.data.mini_ytbb  # noqa: F401  (registers datasets)
     import repro.data.synthetic_vid  # noqa: F401
     import repro.detection.rfcn  # noqa: F401  (registers backbones/detectors)
+    import repro.observability.sinks  # noqa: F401  (registers telemetry sinks)
     import repro.presets  # noqa: F401  (registers experiment presets)
     import repro.serving.loadgen  # noqa: F401  (registers arrival patterns)
     import repro.serving.scheduler  # noqa: F401  (registers backpressure policies)

@@ -17,6 +17,7 @@ All hooks are thread-safe; workers and submitters share one instance.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.evaluation.reporting import format_float, format_table, runtime_summary_table
 from repro.evaluation.runtime import RuntimeStats
+from repro.observability.metrics import MetricsRegistry, get_registry
 
 __all__ = ["StreamSnapshot", "TelemetrySnapshot", "ServerMetrics"]
 
@@ -119,55 +121,119 @@ class _StreamCounters:
     last_completion: float = float("-inf")
 
 
-class ServerMetrics:
-    """Thread-safe accumulator behind :class:`TelemetrySnapshot`."""
+#: Terminal frame states a :class:`ServerMetrics` counts, in snapshot order.
+_FRAME_STATES = (
+    "submitted",
+    "completed",
+    "dropped",
+    "expired",
+    "rejected",
+    "failed",
+    "cancelled",
+)
 
-    def __init__(self, clock=time.monotonic) -> None:
+_INSTANCE_IDS = itertools.count()
+
+
+class ServerMetrics:
+    """Thread-safe accumulator behind :class:`TelemetrySnapshot`.
+
+    The frame-state counters live in the process-wide
+    :class:`~repro.observability.metrics.MetricsRegistry` (one
+    ``repro_serving_frames_total{instance=..., state=...}`` cell per terminal
+    state) rather than as private integers, so a Prometheus exposition of the
+    registry sees every server in the process; latency samples feed a
+    registry histogram the same way.  The attribute API is unchanged:
+    ``metrics.submitted`` etc. read their cells.
+    """
+
+    def __init__(
+        self,
+        clock=time.monotonic,
+        registry: MetricsRegistry | None = None,
+        instance: str | None = None,
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
+        self.registry = registry if registry is not None else get_registry()
+        self.instance = (
+            instance if instance is not None else f"server-{next(_INSTANCE_IDS)}"
+        )
+        frames = self.registry.counter(
+            "repro_serving_frames_total",
+            help="Frames per terminal state, per server instance",
+        )
+        self._state_cells = {
+            state: frames.labels(instance=self.instance, state=state)
+            for state in _FRAME_STATES
+        }
+        self._latency_cell = self.registry.histogram(
+            "repro_serving_latency_seconds",
+            help="End-to-end frame latency (submission to completion)",
+        ).labels(instance=self.instance)
+        self._depth_cell = self.registry.gauge(
+            "repro_serving_queue_depth",
+            help="Last sampled scheduler queue depth",
+        ).labels(instance=self.instance)
         self.latency = RuntimeStats(name="end-to-end")
         self.queue_wait = RuntimeStats(name="queue wait")
         self.service = RuntimeStats(name="service")
         self._streams: dict[int, _StreamCounters] = {}
         self._batch_sizes: list[int] = []
         self._queue_depths: list[int] = []
-        self.submitted = 0
-        self.completed = 0
-        self.dropped = 0
-        self.expired = 0
-        self.rejected = 0
-        self.failed = 0
-        self.cancelled = 0
         self._first_submit = float("inf")
         self._last_completion = float("-inf")
+
+    def _count(self, state: str) -> int:
+        return int(self._state_cells[state].value)
+
+    @property
+    def submitted(self) -> int:
+        return self._count("submitted")
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def dropped(self) -> int:
+        return self._count("dropped")
+
+    @property
+    def expired(self) -> int:
+        return self._count("expired")
+
+    @property
+    def rejected(self) -> int:
+        return self._count("rejected")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def cancelled(self) -> int:
+        return self._count("cancelled")
 
     # -- hooks --------------------------------------------------------------
     def on_submitted(self) -> None:
         """Record one admission attempt."""
         with self._lock:
-            self.submitted += 1
+            self._state_cells["submitted"].inc()
             self._first_submit = min(self._first_submit, self._clock())
 
     def on_shed(self, kind: str) -> None:
         """Record one shed frame; ``kind`` matches a RequestStatus value."""
+        if kind not in _FRAME_STATES or kind in ("submitted", "completed"):
+            raise ValueError(f"unknown shed kind {kind!r}")
         with self._lock:
-            if kind == "dropped":
-                self.dropped += 1
-            elif kind == "expired":
-                self.expired += 1
-            elif kind == "rejected":
-                self.rejected += 1
-            elif kind == "cancelled":
-                self.cancelled += 1
-            elif kind == "failed":
-                self.failed += 1
-            else:
-                raise ValueError(f"unknown shed kind {kind!r}")
+            self._state_cells[kind].inc()
 
     def observe_queue_depth(self, depth: int) -> None:
         """Sample the scheduler's queue depth (called on admit and dispatch)."""
         with self._lock:
             self._queue_depths.append(int(depth))
+            self._depth_cell.set(int(depth))
 
     def observe_batch(self, size: int) -> None:
         """Record the occupancy of one dispatched micro-batch."""
@@ -184,7 +250,8 @@ class ServerMetrics:
         """Record one successfully served frame."""
         now = self._clock()
         with self._lock:
-            self.completed += 1
+            self._state_cells["completed"].inc()
+            self._latency_cell.observe(latency_s)
             self.latency.add(latency_s)
             self.queue_wait.add(queue_wait_s)
             self.service.add(service_s)

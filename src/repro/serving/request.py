@@ -24,6 +24,7 @@ import numpy as np
 from repro.detection.rfcn import DetectionResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session → request)
+    from repro.observability.trace import TraceContext
     from repro.serving.session import StreamSession
 
 __all__ = ["RequestStatus", "FrameResult", "FrameRequest"]
@@ -88,6 +89,12 @@ class FrameRequest:
     session: "StreamSession | None" = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
     future: "Future[FrameResult]" = field(default_factory=Future)
+    #: trace context minted at admission when a tracer is active and the
+    #: frame was sampled; None otherwise (the no-tracing fast path)
+    trace: "TraceContext | None" = None
+    #: monotonic time the scheduler dispatched the frame into a micro-batch
+    #: (set in ``next_batch``); splits latency into queue wait vs service
+    dispatch_time: float | None = None
 
     def resolve_scale(self) -> int:
         """Processing scale for this frame, read at dispatch time."""

@@ -240,11 +240,13 @@ class FrameScheduler:
 
             batch = [r for r in ready if r.resolve_scale() == bucket_scale]
             batch = batch[: self.max_batch_size]
+            dispatch_time = self._clock() if batch else 0.0
             for request in batch:
                 state = self._streams[request.stream_id]
                 state.pending.popleft()
                 state.busy = True
                 self._size -= 1
+                request.dispatch_time = dispatch_time
             if batch:
                 if self._on_depth is not None:
                     self._on_depth(self._size)

@@ -37,6 +37,7 @@ import time
 from repro.acceleration.seqnms import SeqNMSConfig
 from repro.config import ServingConfig
 from repro.core.pipeline import ExperimentBundle
+from repro.observability.trace import active_tracer
 from repro.serving.metrics import ServerMetrics, TelemetrySnapshot
 from repro.serving.request import FrameRequest, FrameResult, RequestStatus
 from repro.serving.scheduler import FrameScheduler
@@ -60,12 +61,16 @@ class InferenceServer:
         serving: ServingConfig | None = None,
         seqnms_config: SeqNMSConfig | None = None,
         metrics: ServerMetrics | None = None,
+        shard_id: int = -1,
     ) -> None:
         self.bundle = bundle
         self.serving = serving if serving is not None else bundle.config.serving
         self.serving.validate()
         self.seqnms_config = seqnms_config
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: cluster shard this server backs (-1 for standalone); labels every
+        #: trace span this server emits
+        self.shard_id = int(shard_id)
         self._scale_cap: int | None = None
         self._sessions: dict[int, StreamSession] = {}
         self._lock = threading.Lock()
@@ -183,6 +188,14 @@ class InferenceServer:
             enqueue_time=time.monotonic(),
             session=session,
         )
+        tracer = active_tracer()
+        if tracer is not None:
+            request.trace = tracer.begin_trace(
+                stream_id=stream_id,
+                frame_index=request.frame_index,
+                shard_id=self.shard_id,
+                now=request.enqueue_time,
+            )
         self.metrics.on_submitted()
         with self._lock:
             self._outstanding += 1
@@ -260,6 +273,10 @@ class InferenceServer:
     def _on_shed(self, request: FrameRequest, status: RequestStatus) -> None:
         """Scheduler shed a queued frame (drop/expire/reject/cancel)."""
         self.metrics.on_shed(status.value)
+        if request.trace is not None:
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.instant("serving/shed", request.trace, status=status.value)
         if request.session is not None:
             request.session.on_shed(request)
         self._finish_one()
@@ -291,6 +308,8 @@ class InferenceServer:
                 service_s=execution.service_s,
                 latency_s=latency,
             )
+            if request.trace is not None:
+                self._trace_completion(request, execution, now, queue_wait, latency)
             request.resolve(
                 FrameResult(
                     stream_id=request.stream_id,
@@ -308,6 +327,51 @@ class InferenceServer:
         finally:
             self.scheduler.task_done(request.stream_id)
             self._finish_one()
+
+    def _trace_completion(
+        self,
+        request: FrameRequest,
+        execution: FrameExecution,
+        now: float,
+        queue_wait: float,
+        latency: float,
+    ) -> None:
+        """Emit the frame's queue-wait/service spans and completion instant.
+
+        The queue-wait span runs from enqueue to the scheduler's dispatch
+        stamp (falling back to the metrics-derived wait if a test bypassed
+        ``next_batch``); the service span covers dispatch → completion, i.e.
+        the frame's whole residence in the worker including intra-batch wait.
+        """
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        context = request.trace
+        dispatch = request.dispatch_time
+        if dispatch is None:
+            dispatch = request.enqueue_time + queue_wait
+        tracer.emit_span(
+            "serving/queue_wait",
+            context,
+            start_s=request.enqueue_time,
+            duration_s=dispatch - request.enqueue_time,
+        )
+        tracer.emit_span(
+            "serving/service",
+            context,
+            start_s=dispatch,
+            duration_s=now - dispatch,
+            service_s=execution.service_s,
+        )
+        tracer.instant(
+            "serving/complete_frame",
+            context,
+            now=now,
+            latency_ms=1000.0 * latency,
+            scale_used=execution.scale_used,
+            next_scale=execution.next_scale,
+            is_key_frame=execution.is_key_frame,
+        )
 
     def _finish_one(self) -> None:
         with self._drained:

@@ -45,6 +45,7 @@ from repro.config import AdaScaleConfig, ServingConfig
 from repro.data.transforms import image_to_chw, normalize_image, resize_image
 from repro.detection.rfcn import DetectionResult
 from repro.evaluation.voc_ap import DetectionRecord
+from repro.observability.trace import active_tracer
 from repro.serving.request import FrameRequest
 
 __all__ = ["FrameExecution", "FramePlan", "StreamResult", "StreamSession"]
@@ -218,6 +219,18 @@ class StreamSession:
         """
         if plan.detection is None:
             raise RuntimeError("complete_frame called before the detector phase")
+        if plan.request.trace is not None:
+            tracer = active_tracer()
+            if tracer is not None:
+                # The AdaScale feedback edge: this frame's regressor output
+                # becomes the stream's next (key-)frame scale.
+                tracer.instant(
+                    "serving/scale_feedback",
+                    plan.request.trace,
+                    scale_used=plan.scale,
+                    next_scale=plan.next_scale,
+                    kind=plan.kind,
+                )
         if self.dff_stream is not None:
             assert plan.dff_plan is not None
             out = self.dff_stream.commit_frame(

@@ -42,6 +42,7 @@ from repro.core.adascale import AdaScaleDetector
 from repro.core.regressor import ScaleRegressor
 from repro.detection.rfcn import RFCNDetector
 from repro.nn.layers import inference_mode
+from repro.observability.trace import active_tracer
 from repro.profiling import stage
 from repro.serving.request import FrameRequest
 from repro.serving.scheduler import FrameScheduler
@@ -168,8 +169,46 @@ class WorkerPool:
         self, batch: Sequence[FrameRequest], context: WorkerContext
     ) -> None:
         """Execute a whole scheduler micro-batch as stacked tensors."""
+        # Trace stage spans reuse the profiler's stage names (the profiler
+        # bridge): a trace's per-stage rollup and a StageProfiler run over the
+        # same workload are directly comparable.  With no tracer active (or no
+        # traced frame in this batch) every hook below is a no-op.
+        tracer = active_tracer()
+        traced_batch = (
+            [r.trace for r in batch if r.trace is not None] if tracer is not None else []
+        )
+
+        def _mark() -> tuple[float, float]:
+            if not traced_batch:
+                return (0.0, 0.0)
+            return (time.monotonic(), time.perf_counter())
+
+        def _stage_span(name: str, contexts, started: tuple[float, float]) -> None:
+            if traced_batch and contexts:
+                tracer.emit_batch_span(
+                    name,
+                    contexts,
+                    start_s=started[0],
+                    duration_s=time.perf_counter() - started[1],
+                )
+
+        if traced_batch:
+            # Assembly window: the batch cannot form before its last member
+            # arrives; what follows until dispatch is the adaptive fill wait.
+            dispatch = batch[0].dispatch_time
+            if dispatch is not None:
+                arrived = max(r.enqueue_time for r in batch)
+                tracer.emit_batch_span(
+                    "serving/batch_assembly",
+                    traced_batch,
+                    start_s=min(arrived, dispatch),
+                    duration_s=max(dispatch - arrived, 0.0),
+                    batch_size=len(batch),
+                )
+
         plans: list[FramePlan] = []
         errors: dict[int, BaseException] = {}
+        started = _mark()
         with stage("serving/plan"):
             for request in batch:
                 session = request.session
@@ -184,7 +223,12 @@ class WorkerPool:
                 except Exception as exc:  # pragma: no cover - defensive
                     _LOGGER.exception("plan failed on stream %s", request.stream_id)
                     errors[request.request_id] = exc
+        traced_plans = [
+            plan.request.trace for plan in plans if plan.request.trace is not None
+        ]
+        _stage_span("serving/plan", traced_plans, started)
 
+        started = _mark()
         with stage("serving/backbone_batch"):
             self._detect_stacked(
                 [plan for plan in plans if plan.tensor is not None],
@@ -193,6 +237,16 @@ class WorkerPool:
                 key=lambda plan: tuple(plan.tensor.shape),
                 run=self._run_backbone_group,
             )
+        _stage_span(
+            "serving/backbone_batch",
+            [
+                plan.request.trace
+                for plan in plans
+                if plan.tensor is not None and plan.request.trace is not None
+            ],
+            started,
+        )
+        started = _mark()
         with stage("serving/head_batch"):
             self._detect_stacked(
                 [plan for plan in plans if plan.warped_features is not None],
@@ -201,10 +255,22 @@ class WorkerPool:
                 key=lambda plan: tuple(plan.warped_features.shape),
                 run=self._run_head_group,
             )
+        _stage_span(
+            "serving/head_batch",
+            [
+                plan.request.trace
+                for plan in plans
+                if plan.warped_features is not None and plan.request.trace is not None
+            ],
+            started,
+        )
+        started = _mark()
         with stage("serving/regress"):
             self._regress_next_scales(plans, context, errors)
+        _stage_span("serving/regress", traced_plans, started)
 
         executions: dict[int, FrameExecution] = {}
+        started = _mark()
         with stage("serving/complete"):
             for plan in plans:
                 if plan.request.request_id in errors:
@@ -217,6 +283,7 @@ class WorkerPool:
                 except Exception as exc:  # pragma: no cover - defensive
                     _LOGGER.exception("commit failed on stream %s", plan.request.stream_id)
                     errors[plan.request.request_id] = exc
+        _stage_span("serving/complete", traced_plans, started)
 
         for request in batch:
             self._finish(

@@ -17,6 +17,7 @@ from repro.config import (
     ExperimentConfig,
     RegressorConfig,
     ServingConfig,
+    TelemetryConfig,
     TrainingConfig,
 )
 from repro.configio import (
@@ -37,6 +38,7 @@ ALL_CONFIG_CLASSES = [
     RegressorConfig,
     AdaScaleConfig,
     ServingConfig,
+    TelemetryConfig,
     ExperimentConfig,
 ]
 
@@ -50,6 +52,9 @@ MODIFIED_INSTANCES = [
     AdaScaleConfig(scales=(100, 50), regressor_scales=(100, 50, 25), quantize_predicted_scale=True),
     ServingConfig(deadline_ms=12.5, backpressure="drop-oldest", use_seqnms=True),
     ServingConfig(deadline_ms=None, initial_scale=96),
+    TelemetryConfig(
+        enabled=True, sample_rate=0.25, decisions=False, jsonl_path="spans.jsonl"
+    ),
     ExperimentConfig(
         dataset=DatasetConfig(num_classes=3),
         detector=DetectorConfig(num_classes=3),
@@ -249,6 +254,23 @@ class TestOverrides:
     def test_apply_overrides_accepts_typed_values(self):
         config = apply_overrides(ServingConfig(), {"num_workers": 4, "deadline_ms": 2.0})
         assert config.num_workers == 4 and config.deadline_ms == 2.0
+
+    def test_telemetry_override_via_set(self):
+        """``--set telemetry.sample_rate=0.1`` resolves through the facade."""
+        config = api.load_experiment_config(
+            "tiny",
+            overrides=["telemetry.sample_rate=0.1", "telemetry.enabled=true"],
+        )
+        assert config.telemetry.enabled is True
+        assert config.telemetry.sample_rate == pytest.approx(0.1)
+        # Untouched telemetry fields keep their defaults.
+        assert config.telemetry.ring_capacity == TelemetryConfig().ring_capacity
+
+    def test_telemetry_validation_bounds(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate=1.5).validate()
+        with pytest.raises(ValueError):
+            TelemetryConfig(ring_capacity=0).validate()
 
     def test_precedence_preset_file_cli(self, tmp_path):
         """preset < config file < --set, as the CLI merges them."""

@@ -1,0 +1,471 @@
+"""Tests for ``repro.observability`` — tracing, metrics, sinks and exporters.
+
+Covers the PR 6 tentpole end to end: tracer activation discipline (the
+profiler-style null path), deterministic sampling, the bounded ring buffer,
+the process-wide metrics registry under thread churn, Chrome-trace and
+Prometheus exporters (including their validators catching broken payloads),
+SLO burn-rate series, JSONL span-log round trips, governor/autoscaler
+decision events on a traced cluster run, and full frame-lifecycle trace
+propagation through the real serving stack via the api facade.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.cluster import (
+    ClusterConfig,
+    ScenarioConfig,
+    analytic_service_model,
+)
+from repro.cluster.governor import GovernorAction
+from repro.config import AdaScaleConfig, ServingConfig, TelemetryConfig
+from repro.observability import (
+    MetricsRegistry,
+    RingBufferSink,
+    SpanEvent,
+    Tracer,
+    active_tracer,
+    burn_rate_series,
+    events_to_metrics,
+    load_span_log,
+    shard_rollup,
+    stage_rollup,
+    to_prometheus_text,
+    validate_chrome_trace,
+    validate_prometheus_text,
+    write_chrome_trace,
+)
+
+ADA = AdaScaleConfig()
+SERVING = ServingConfig(num_workers=2, max_batch_size=4, queue_capacity=64)
+
+
+def _completion(
+    trace_id: int,
+    start_s: float,
+    latency_ms: float,
+    stream_id: int = 0,
+    shard_id: int = 0,
+) -> SpanEvent:
+    return SpanEvent(
+        name="serving/complete_frame",
+        kind="instant",
+        trace_id=trace_id,
+        span_id=trace_id,
+        parent_id=None,
+        start_s=start_s,
+        duration_s=0.0,
+        stream_id=stream_id,
+        shard_id=shard_id,
+        attrs={"latency_ms": latency_ms},
+    )
+
+
+# -- tracer activation ---------------------------------------------------------
+class TestTracerActivation:
+    def test_disabled_tracer_never_activates(self):
+        tracer = Tracer(TelemetryConfig(enabled=False))
+        with tracer:
+            assert active_tracer() is None
+        assert active_tracer() is None
+
+    def test_enabled_tracer_activates_and_clears(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        assert active_tracer() is None
+        with tracer:
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_nested_activation_raises(self):
+        with Tracer(TelemetryConfig(enabled=True)):
+            with pytest.raises(RuntimeError, match="already active"):
+                Tracer(TelemetryConfig(enabled=True)).__enter__()
+        assert active_tracer() is None
+
+    def test_events_survive_deactivation(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        with tracer:
+            tracer.begin_trace(stream_id=0, frame_index=0, now=0.0)
+        assert len(tracer.events()) == 1
+        assert tracer.events()[0].name == "serving/admit"
+
+    def test_constructor_overrides_apply(self):
+        tracer = Tracer(TelemetryConfig(enabled=True), sample_rate=0.5)
+        assert tracer.config.sample_rate == 0.5
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Tracer(TelemetryConfig(enabled=True, sample_rate=1.5))
+
+
+# -- sampling ------------------------------------------------------------------
+class TestSampling:
+    def test_rate_zero_samples_everything_out(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, sample_rate=0.0))
+        for index in range(10):
+            assert tracer.begin_trace(stream_id=0, frame_index=index, now=0.0) is None
+        assert tracer.events() == ()
+
+    def test_rate_one_traces_every_admission(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        contexts = [
+            tracer.begin_trace(stream_id=3, frame_index=index, now=float(index))
+            for index in range(5)
+        ]
+        assert all(context is not None for context in contexts)
+        admits = [event for event in tracer.events() if event.name == "serving/admit"]
+        assert len(admits) == 5
+        assert len({context.trace_id for context in contexts}) == 5
+
+    def test_sampling_is_deterministic_per_admission_order(self):
+        config = TelemetryConfig(enabled=True, sample_rate=0.25)
+        decisions = []
+        for _ in range(2):
+            tracer = Tracer(config)
+            decisions.append(
+                tuple(
+                    tracer.begin_trace(stream_id=0, frame_index=i, now=0.0) is not None
+                    for i in range(200)
+                )
+            )
+        assert decisions[0] == decisions[1]
+
+    def test_sampling_keeps_roughly_the_configured_fraction(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, sample_rate=0.25, ring_capacity=4096))
+        total = 2000
+        kept = sum(
+            tracer.begin_trace(stream_id=0, frame_index=i, now=0.0) is not None
+            for i in range(total)
+        )
+        assert 0.15 < kept / total < 0.35
+
+    def test_spans_toggle_suppresses_span_emission(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, spans=False))
+        context = tracer.begin_trace(stream_id=0, frame_index=0, now=0.0)
+        assert context is not None
+        tracer.emit_span("serving/queue_wait", context, start_s=0.0, duration_s=0.1)
+        tracer.instant("serving/complete_frame", context, now=0.2, latency_ms=5.0)
+        # The admission instant still records (the trace exists); the frame's
+        # spans and instants are suppressed by the toggle.
+        assert [event.name for event in tracer.events()] == ["serving/admit"]
+
+    def test_decisions_toggle_suppresses_decision_events(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, decisions=False))
+        action = GovernorAction(
+            time_s=1.0, shard_id=0, action="degrade", knob="scale_cap",
+            old=128, new=96, p95_ms=300.0, queue_depth=12, reason="p95 over target",
+        )
+        tracer.decision(action)
+        assert tracer.events() == ()
+
+
+# -- ring buffer ---------------------------------------------------------------
+class TestRingBuffer:
+    def test_capacity_bounds_and_evicts_oldest(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, ring_capacity=16))
+        for index in range(50):
+            tracer.begin_trace(stream_id=0, frame_index=index, now=float(index))
+        events = tracer.events()
+        assert len(events) == 16
+        # Oldest events dropped: the survivors are the newest 16 admissions.
+        assert [event.frame_index for event in events] == list(range(34, 50))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_len_tracks_contents(self):
+        sink = RingBufferSink(capacity=4)
+        assert len(sink) == 0
+        sink.emit(_completion(1, 0.0, 10.0))
+        assert len(sink) == 1
+
+
+# -- metrics registry ----------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_is_correct_under_thread_churn(self):
+        registry = MetricsRegistry()
+        cell = registry.counter("test_total").labels(kind="x")
+        per_thread, threads = 5000, 4
+
+        def worker():
+            for _ in range(per_thread):
+                cell.inc()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert cell.value == per_thread * threads
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_metric")
+        with pytest.raises(ValueError, match="registered as a counter"):
+            registry.gauge("repro_test_metric")
+
+    def test_same_labels_resolve_to_same_cell(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total")
+        assert family.labels(shard="0", kind="a") is family.labels(kind="a", shard="0")
+        assert family.labels(shard="1", kind="a") is not family.labels(shard="0", kind="a")
+
+    def test_gauge_set_and_high_watermark(self):
+        registry = MetricsRegistry()
+        cell = registry.gauge("depth").labels(shard="0")
+        cell.set(3.0)
+        cell.max(1.0)  # lower: ignored
+        assert cell.value == 3.0
+        cell.max(7.0)
+        assert cell.value == 7.0
+
+    def test_histogram_summary_quantiles(self):
+        registry = MetricsRegistry()
+        cell = registry.histogram("latency_seconds").labels(shard="0")
+        for value in range(1, 101):
+            cell.observe(float(value))
+        summary = cell.summary()
+        assert summary["count"] == 100.0
+        assert summary["sum"] == 5050.0
+        assert 45.0 <= summary["p50"] <= 55.0
+        assert 90.0 <= summary["p95"] <= 100.0
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", help="things").labels(kind="x").inc(2.0)
+        registry.histogram("b_seconds").labels().observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a_total"]["type"] == "counter"
+        assert snapshot["a_total"]["help"] == "things"
+        assert snapshot["a_total"]["samples"] == [
+            {"labels": {"kind": "x"}, "value": 2.0}
+        ]
+        histogram = snapshot["b_seconds"]["samples"][0]
+        assert histogram["count"] == 1.0 and histogram["sum"] == 0.5
+
+
+# -- exporters -----------------------------------------------------------------
+class TestExporters:
+    def _traced_events(self) -> tuple[SpanEvent, ...]:
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        context = tracer.begin_trace(stream_id=2, frame_index=0, shard_id=1, now=0.0)
+        tracer.emit_span("serving/queue_wait", context, start_s=0.0, duration_s=0.01)
+        tracer.emit_span("serving/service", context, start_s=0.01, duration_s=0.02)
+        tracer.instant("serving/complete_frame", context, now=0.03, latency_ms=30.0)
+        action = GovernorAction(
+            time_s=0.02, shard_id=1, action="degrade", knob="scale_cap",
+            old=128, new=96, p95_ms=250.0, queue_depth=8, reason="pressure",
+        )
+        tracer.decision(action)
+        return tracer.events()
+
+    def test_chrome_trace_round_trip_is_valid(self, tmp_path):
+        events = self._traced_events()
+        path = write_chrome_trace(tmp_path / "trace.json", events)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        records = payload["traceEvents"]
+        assert len(records) == len(events)
+        spans = [record for record in records if record["ph"] == "X"]
+        assert {record["name"] for record in spans} == {
+            "serving/queue_wait",
+            "serving/service",
+        }
+        assert all("dur" in record for record in spans)
+        decision = next(r for r in records if r["cat"] == "decision")
+        assert decision["s"] == "p" and decision["args"]["old"] == 128
+
+    def test_chrome_validator_catches_broken_payloads(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+        broken = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]}
+        assert any("without dur" in problem for problem in validate_chrome_trace(broken))
+
+    def test_prometheus_text_from_events_is_valid(self):
+        text = to_prometheus_text(events_to_metrics(self._traced_events()))
+        assert validate_prometheus_text(text) == []
+        assert 'repro_trace_frames_completed_total{shard="1"} 1' in text
+        assert "# TYPE repro_trace_frame_latency_seconds summary" in text
+        assert 'quantile="0.95"' in text
+
+    def test_prometheus_validator_catches_garbage(self):
+        assert validate_prometheus_text("not a metric line at all!\n")
+        assert validate_prometheus_text("metric_total notanumber\n")
+        assert validate_prometheus_text("# just a comment\n") == []
+
+    def test_stage_and_shard_rollups(self):
+        events = self._traced_events()
+        stages = stage_rollup(events)
+        assert stages["serving/service"]["count"] == 1
+        assert stages["serving/service"]["total_s"] == pytest.approx(0.02)
+        # Sorted by descending total time.
+        assert list(stages) == ["serving/service", "serving/queue_wait"]
+        shards = shard_rollup(events)
+        assert shards[1]["admitted"] == 1
+        assert shards[1]["completed"] == 1
+        assert shards[1]["decisions"] == 1
+        assert shards[1]["busy_s"] == pytest.approx(0.02)
+
+
+# -- burn rate -----------------------------------------------------------------
+class TestBurnRate:
+    def test_per_stream_buckets_and_rates(self):
+        events = [
+            _completion(1, 0.1, latency_ms=50.0, stream_id=0),
+            _completion(2, 0.2, latency_ms=500.0, stream_id=0),
+            _completion(3, 1.5, latency_ms=50.0, stream_id=0),
+            _completion(4, 0.3, latency_ms=500.0, stream_id=1),
+        ]
+        series = burn_rate_series(events, target_ms=100.0, bucket_s=1.0, key="stream")
+        assert series[0] == [(0.0, 0.5, 2), (1.0, 0.0, 1)]
+        assert series[1] == [(0.0, 1.0, 1)]
+
+    def test_per_shard_keying(self):
+        events = [
+            _completion(1, 0.0, latency_ms=500.0, shard_id=0),
+            _completion(2, 0.0, latency_ms=50.0, shard_id=1),
+        ]
+        series = burn_rate_series(events, target_ms=100.0, key="shard")
+        assert series[0][0][1] == 1.0
+        assert series[1][0][1] == 0.0
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError, match="key"):
+            burn_rate_series([], target_ms=100.0, key="galaxy")
+        with pytest.raises(ValueError, match="bucket_s"):
+            burn_rate_series([], target_ms=100.0, bucket_s=0.0)
+
+    def test_non_completion_events_ignored(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        tracer.begin_trace(stream_id=0, frame_index=0, now=0.0)
+        assert burn_rate_series(tracer.events(), target_ms=100.0) == {}
+
+
+# -- JSONL span log ------------------------------------------------------------
+class TestJsonlRoundTrip:
+    def test_span_log_round_trips_every_event(self, tmp_path):
+        log_path = tmp_path / "spans.jsonl"
+        tracer = Tracer(TelemetryConfig(enabled=True, jsonl_path=str(log_path)))
+        with tracer:
+            context = tracer.begin_trace(stream_id=1, frame_index=0, shard_id=0, now=0.0)
+            tracer.emit_span("serving/service", context, 0.0, 0.01, service_s=0.005)
+            tracer.instant("serving/complete_frame", context, now=0.01, latency_ms=10.0)
+        loaded = load_span_log(log_path)
+        assert loaded == tracer.events()
+        # Attrs survive with their values intact.
+        assert loaded[1].attrs["service_s"] == 0.005
+
+    def test_event_dict_round_trip(self):
+        event = _completion(7, 1.25, latency_ms=42.0, stream_id=3, shard_id=2)
+        assert SpanEvent.from_dict(json.loads(json.dumps(event.to_dict()))) == event
+
+
+# -- cluster decision events ---------------------------------------------------
+class TestClusterTracing:
+    def _facade(self, cluster: ClusterConfig) -> api.Cluster:
+        return api.Cluster(
+            cluster=cluster,
+            serving=SERVING,
+            adascale=ADA,
+            service_model=analytic_service_model(ADA),
+        )
+
+    def test_traced_run_reconstructs_frame_lifecycles(self):
+        facade = self._facade(ClusterConfig(num_shards=2))
+        report = facade.run_scenario(
+            ScenarioConfig(
+                name="flash_crowd", duration_s=4.0, num_streams=4, rate_fps=20.0
+            ),
+            telemetry=TelemetryConfig(enabled=True, ring_capacity=1 << 16),
+        )
+        assert report.trace_events
+        assert report.to_dict()["trace_event_count"] == len(report.trace_events)
+        by_trace: dict[int, set[str]] = {}
+        for event in report.trace_events:
+            if event.trace_id > 0:
+                by_trace.setdefault(event.trace_id, set()).add(event.name)
+        lifecycle = {
+            "serving/admit",
+            "serving/queue_wait",
+            "serving/service",
+            "serving/complete_frame",
+        }
+        complete = [names for names in by_trace.values() if lifecycle <= names]
+        assert len(complete) >= report.completed > 0
+        assert active_tracer() is None  # facade deactivated its tracer
+
+    def test_governor_decisions_appear_as_events(self):
+        cluster = ClusterConfig(num_shards=1)
+        facade = self._facade(cluster)
+        scenario = ScenarioConfig(
+            name="slo_surge", duration_s=10.0, num_streams=8, rate_fps=30.0,
+            peak_multiplier=8.0, seed=4,
+        )
+        report = facade.run_scenario(
+            scenario, telemetry=TelemetryConfig(enabled=True, ring_capacity=1 << 18)
+        )
+        decisions = [e for e in report.trace_events if e.kind == "decision"]
+        assert report.timeline  # the surge must force control actions
+        assert len(decisions) == len(report.timeline)
+        for event, action in zip(decisions, report.timeline):
+            assert event.name == f"cluster/{action.action}"
+            assert event.start_s == pytest.approx(action.time_s)
+            assert event.attrs["old"] == action.old
+            assert event.attrs["new"] == action.new
+            assert event.attrs["reason"] == action.reason
+
+    def test_untraced_run_attaches_no_events(self):
+        facade = self._facade(ClusterConfig(num_shards=1))
+        report = facade.run_scenario(
+            ScenarioConfig(name="steady", duration_s=2.0, num_streams=2, rate_fps=10.0)
+        )
+        assert report.trace_events == ()
+
+
+# -- real serving stack --------------------------------------------------------
+class TestServerTracing:
+    def test_serve_load_traces_full_frame_lifecycle(self, micro_bundle):
+        serving = ServingConfig(num_workers=2, max_batch_size=2, queue_capacity=16)
+        with api.Server(micro_bundle, serving=serving) as server:
+            report = server.serve_load(
+                streams=2,
+                frames_per_stream=3,
+                rate_fps=100.0,
+                seed=1,
+                telemetry=TelemetryConfig(enabled=True, ring_capacity=1 << 14),
+            )
+        assert active_tracer() is None
+        events = report.trace_events
+        assert events
+        names = {event.name for event in events}
+        # Detector stage spans (the profiler bridge) appear for real workers.
+        assert "serving/plan" in names
+        assert "serving/backbone_batch" in names
+        by_trace: dict[int, set[str]] = {}
+        for event in events:
+            if event.trace_id > 0:
+                by_trace.setdefault(event.trace_id, set()).add(event.name)
+        lifecycle = {
+            "serving/admit",
+            "serving/queue_wait",
+            "serving/service",
+            "serving/complete_frame",
+        }
+        complete = [trace for trace, seen in by_trace.items() if lifecycle <= seen]
+        completed = sum(stream.completed for stream in report.streams)
+        assert len(complete) >= completed > 0
+        # Completions carry the adaptive-scale decision of the frame.
+        completions = [e for e in events if e.name == "serving/complete_frame"]
+        assert all("scale_used" in event.attrs for event in completions)
+        assert all(event.attrs["latency_ms"] > 0.0 for event in completions)
+
+    def test_serve_load_without_telemetry_emits_nothing(self, micro_bundle):
+        serving = ServingConfig(num_workers=1, max_batch_size=2, queue_capacity=8)
+        with api.Server(micro_bundle, serving=serving) as server:
+            report = server.serve_load(streams=1, frames_per_stream=2)
+        assert report.trace_events == ()

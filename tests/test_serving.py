@@ -254,6 +254,78 @@ class TestServerMetrics:
         with pytest.raises(ValueError):
             metrics.recent_latency(0)
 
+    def test_recent_latency_empty_window_formats(self):
+        """The empty rolling view is a usable RuntimeStats, not a footgun."""
+        recent = ServerMetrics().recent_latency(32)
+        assert recent.count == 0
+        # Percentiles/rates of an empty window are NaN by contract — callers
+        # gate on count — but asking for them must not raise.
+        float(recent.p95_ms)
+        float(recent.fps)
+
+    def test_recent_latency_single_sample(self):
+        """One completion: every percentile collapses onto that sample."""
+        metrics = ServerMetrics()
+        metrics.on_completed(stream_id=0, queue_wait_s=0.0, service_s=0.0, latency_s=0.042)
+        recent = metrics.recent_latency(8)
+        assert recent.count == 1
+        assert recent.p50_ms == pytest.approx(42.0)
+        assert recent.p95_ms == pytest.approx(42.0)
+        assert recent.p99_ms == pytest.approx(42.0)
+
+    def test_recent_latency_eviction_under_churn(self):
+        """The window always reflects the *newest* samples as load shifts."""
+        metrics = ServerMetrics()
+        for _ in range(50):  # a slow era...
+            metrics.on_completed(stream_id=0, queue_wait_s=0.0, service_s=0.0, latency_s=0.5)
+        for _ in range(10):  # ...then a fast era
+            metrics.on_completed(stream_id=0, queue_wait_s=0.0, service_s=0.0, latency_s=0.001)
+        recent = metrics.recent_latency(10)
+        assert recent.count == 10
+        assert recent.p95_ms == pytest.approx(1.0)  # no slow-era samples remain
+        # A window spanning both eras still sees the old tail.
+        assert metrics.recent_latency(20).p95_ms == pytest.approx(500.0)
+
+    def test_recent_latency_snapshot_while_recording(self):
+        """Concurrent completions and rolling reads never tear or raise."""
+        import threading
+
+        metrics = ServerMetrics()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def record():
+            i = 0
+            while not stop.is_set():
+                metrics.on_completed(
+                    stream_id=i % 4, queue_wait_s=0.0, service_s=0.0, latency_s=0.001
+                )
+                i += 1
+
+        def read():
+            while not stop.is_set():
+                try:
+                    recent = metrics.recent_latency(16)
+                    assert 0 <= recent.count <= 16
+                    metrics.snapshot()
+                except Exception as exc:  # noqa: BLE001 - collected for the assert
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=record) for _ in range(2)] + [
+            threading.Thread(target=read) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        import time as _time
+
+        _time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+        assert metrics.completed == metrics.snapshot().latency.count
+
 
 class TestServingConfig:
     def test_validation(self):
