@@ -515,7 +515,9 @@ class Cluster:
     — the per-scale service costs are measured on the bundle's real detector,
     everything else is deterministic; ``mode="inprocess"`` replays the trace
     against real :class:`~repro.serving.InferenceServer` shards in this
-    process.
+    process; ``mode="process"`` spawns one OS process per shard (frames over
+    framed pipes, with crash supervision, stream migration and optional fault
+    injection via ``cluster.fault``).
     """
 
     def __init__(
@@ -535,6 +537,9 @@ class Cluster:
         #: untrained source of the bundle; training is deferred until a run
         #: actually needs weights (calibration or in-process shards)
         self._pipeline = pipeline
+        #: saved-bundle directory (when known) — process-mode replicas load
+        #: straight from it instead of re-saving to a temporary directory
+        self._bundle_dir: str | None = None
         self.cluster = cluster if cluster is not None else ClusterConfig()
         config = (
             bundle.config
@@ -592,6 +597,8 @@ class Cluster:
             adascale=pipeline.config.adascale,
             pipeline=pipeline,
         )
+        if bundle_dir is not None:
+            instance._bundle_dir = str(bundle_dir)
         if not calibrate:
             instance._service_model = analytic_service_model(instance.adascale)
         return instance
@@ -606,15 +613,17 @@ class Cluster:
     def controller(self, cluster: ClusterConfig | None = None) -> ClusterController:
         """A :class:`~repro.cluster.ClusterController` over this deployment."""
         cluster = cluster if cluster is not None else self.cluster
-        # Weights are only needed for real in-process shards (or calibration,
-        # which the service_model property triggers itself).
+        # Weights are only needed for real shards (or calibration, which the
+        # service_model property triggers itself).
         model = self.service_model if cluster.mode == "simulate" else self._service_model
+        needs_weights = cluster.mode in ("inprocess", "process")
         return ClusterController(
             cluster=cluster,
             serving=self.serving,
             adascale=self.adascale,
             model=model,
-            bundle=self.bundle if cluster.mode == "inprocess" else self._bundle,
+            bundle=self.bundle if needs_weights else self._bundle,
+            bundle_dir=self._bundle_dir if cluster.mode == "process" else None,
         )
 
     def run_scenario(
@@ -623,6 +632,7 @@ class Cluster:
         *,
         shards: int | None = None,
         mode: str | None = None,
+        fault: "FaultConfig | str | None" = None,
         time_scale: float = 0.25,
         telemetry: TelemetryConfig | None = None,
         **scenario_fields: Any,
@@ -633,7 +643,10 @@ class Cluster:
         pre-built :class:`WorkloadTrace`; ``scenario_fields`` override config
         fields when a name is given (e.g. ``duration_s=10``).  ``shards`` and
         ``mode`` override the cluster config for this run only —
-        ``self.cluster`` is left untouched.  ``telemetry`` traces the run
+        ``self.cluster`` is left untouched; ``fault`` (a
+        :class:`~repro.cluster.FaultConfig` or a CLI-style spec string such
+        as ``"kill-replica:shard=0,at=2.0"``) schedules a process-mode fault
+        injection the same way.  ``telemetry`` traces the run
         (both backends emit the same event vocabulary); events come back on
         ``ClusterReport.trace_events``.
         """
@@ -642,6 +655,12 @@ class Cluster:
             cluster = cluster.with_(num_shards=int(shards))
         if mode is not None:
             cluster = cluster.with_(mode=mode)
+        if fault is not None:
+            if isinstance(fault, str):
+                from repro.cluster.faults import parse_fault_spec
+
+                fault = parse_fault_spec(fault)
+            cluster = cluster.with_(fault=fault)
         if isinstance(scenario, str):
             scenario = ScenarioConfig(name=scenario).with_(**scenario_fields)
         elif isinstance(scenario, ScenarioConfig) and scenario_fields:

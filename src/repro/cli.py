@@ -238,11 +238,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--mode",
-        choices=("simulate", "inprocess"),
+        choices=("simulate", "inprocess", "process"),
         default="simulate",
         help=(
             "simulate: calibrated virtual-time engine (deterministic); "
-            "inprocess: real InferenceServer shards in this process"
+            "inprocess: real InferenceServer shards in this process; "
+            "process: one spawned OS process per shard (frames over framed "
+            "pipes, crash supervision, stream migration)"
+        ),
+    )
+    cluster.add_argument(
+        "--inject-fault",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "schedule a fault injection (process mode), e.g. "
+            "kill-replica:shard=0,at=2.0 — SIGKILL shard 0's worker process "
+            "2 s into the run; the supervisor must migrate and respawn"
         ),
     )
     cluster.add_argument(
@@ -545,15 +557,22 @@ def _run_cluster(args: argparse.Namespace) -> int:
         WorkloadTrace,
         analytic_service_model,
         build_scenario,
+        parse_fault_spec,
     )
 
     if args.shards < 1:
         raise SystemExit(f"repro cluster: error: --shards must be >= 1, got {args.shards}")
     if args.autoscale and args.mode == "inprocess":
         raise SystemExit(
-            "repro cluster: error: --autoscale needs --mode simulate (in-process "
-            "shard add/drain is not supported yet)"
+            "repro cluster: error: --autoscale needs --mode simulate or process "
+            "(in-process shard add/drain is not supported)"
         )
+    fault = ClusterConfig().fault
+    if args.inject_fault is not None:
+        try:
+            fault = parse_fault_spec(args.inject_fault)
+        except ValueError as exc:
+            raise SystemExit(f"repro cluster: error: {exc}") from exc
     config = _resolve_config(args)
     seed = args.seed if args.seed is not None else 0
     cluster_config = ClusterConfig(
@@ -566,6 +585,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
         autoscaler=ClusterConfig().autoscaler.with_(
             enabled=args.autoscale, max_shards=max(args.shards * 4, 8)
         ),
+        fault=fault,
     )
     try:
         cluster_config.validate()
@@ -623,6 +643,10 @@ def _run_cluster(args: argparse.Namespace) -> int:
             serving=config.serving,
             adascale=config.adascale,
         )
+        if args.bundle is not None:
+            # Process-mode replicas load straight from the saved bundle
+            # instead of re-saving it to a temporary directory.
+            facade._bundle_dir = str(args.bundle)
     report = facade.run_scenario(
         workload, time_scale=args.time_scale, telemetry=telemetry
     )

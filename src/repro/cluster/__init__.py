@@ -19,7 +19,12 @@ chooses, the co-design the paper's scale/speed trade-off enables:
   traces), every trace deterministic and replayable;
 * :mod:`~repro.cluster.replica` — real in-process shard handles over
   :class:`~repro.serving.InferenceServer`, plus the pickled-config
-  :class:`ReplicaSpec` seam for process spawn later;
+  :class:`ReplicaSpec` spawn seam;
+* :mod:`~repro.cluster.procpool` / :mod:`~repro.cluster.ipc` /
+  :mod:`~repro.cluster.faults` — the process-parallel backend: one spawned
+  OS process per shard behind the same control surface, frames over a
+  framed length-prefixed pipe protocol, with crash supervision,
+  cross-shard stream migration and scheduled fault injection;
 * :mod:`~repro.cluster.simulation` — the calibrated virtual-time engine that
   makes scaling and SLO experiments exact and machine-independent;
 * :mod:`~repro.cluster.service_model` — per-scale service costs measured on
@@ -34,10 +39,13 @@ The user-facing entry points are :class:`repro.api.Cluster` and the
 from repro.cluster.config import (
     AutoscalerConfig,
     ClusterConfig,
+    FaultConfig,
     GovernorConfig,
+    ProcessPoolConfig,
     RouterConfig,
     ScenarioConfig,
 )
+from repro.cluster.faults import build_fault_injector, parse_fault_spec
 from repro.cluster.controller import (
     ClusterController,
     fleet_capacity_fps,
@@ -45,6 +53,7 @@ from repro.cluster.controller import (
     run_slo_suite,
 )
 from repro.cluster.governor import Autoscaler, GovernorAction, ScaleGovernor
+from repro.cluster.procpool import ProcessReplica, ReplicaSupervisor
 from repro.cluster.replica import InProcessReplica, ReplicaSpec
 from repro.cluster.report import ClusterReport, ShardReport
 from repro.cluster.router import Router
@@ -63,10 +72,14 @@ __all__ = [
     "ClusterController",
     "ClusterReport",
     "ClusterSimulation",
+    "FaultConfig",
     "GovernorAction",
     "GovernorConfig",
     "InProcessReplica",
+    "ProcessPoolConfig",
+    "ProcessReplica",
     "ReplicaSpec",
+    "ReplicaSupervisor",
     "Router",
     "RouterConfig",
     "ScaleGovernor",
@@ -77,8 +90,10 @@ __all__ = [
     "TraceEvent",
     "WorkloadTrace",
     "analytic_service_model",
+    "build_fault_injector",
     "build_scenario",
     "calibrate_service_model",
+    "parse_fault_spec",
     "fleet_capacity_fps",
     "run_scaling_suite",
     "run_slo_suite",

@@ -32,7 +32,9 @@ from repro.config import SerializableConfig
 __all__ = [
     "AutoscalerConfig",
     "ClusterConfig",
+    "FaultConfig",
     "GovernorConfig",
+    "ProcessPoolConfig",
     "RouterConfig",
     "ScenarioConfig",
 ]
@@ -239,17 +241,111 @@ class ScenarioConfig(SerializableConfig):
 
 
 @dataclass(frozen=True)
+class ProcessPoolConfig(SerializableConfig):
+    """Process-mode replica pool: spawn, IPC flow control, crash recovery.
+
+    ``max_inflight_per_shard`` is the parent-side submission window — at most
+    this many frames of one shard may be between ``submit`` and a terminal
+    state before the router's replay loop blocks.  It is clamped to the
+    shard's ``serving.queue_capacity`` at runtime so a child running the
+    lossless ``block`` policy can never stall its own control loop on
+    admission (the pipe would back up behind it and deadlock both sides).
+    """
+
+    #: parent-side cap on frames in flight to one shard (≤ queue_capacity)
+    max_inflight_per_shard: int = 64
+    #: cadence of the child's telemetry snapshots back to the parent proxy
+    metrics_interval_s: float = 0.2
+    #: first respawn delay after a crash; doubles per consecutive crash ...
+    respawn_backoff_s: float = 0.25
+    #: ... up to this bound (the "bounded backoff" of the supervisor)
+    respawn_backoff_max_s: float = 2.0
+    #: crashes after which a shard is abandoned instead of respawned
+    max_respawns: int = 3
+    #: how long to wait for a spawned child's Hello before declaring it dead
+    start_timeout_s: float = 120.0
+
+    def with_(self, **kwargs: object) -> "ProcessPoolConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity checks; raises ``ValueError`` on inconsistency."""
+        if self.max_inflight_per_shard < 1:
+            raise ValueError(
+                f"max_inflight_per_shard must be >= 1, got {self.max_inflight_per_shard}"
+            )
+        if self.metrics_interval_s <= 0:
+            raise ValueError(
+                f"metrics_interval_s must be positive, got {self.metrics_interval_s}"
+            )
+        if self.respawn_backoff_s <= 0:
+            raise ValueError(
+                f"respawn_backoff_s must be positive, got {self.respawn_backoff_s}"
+            )
+        if self.respawn_backoff_max_s < self.respawn_backoff_s:
+            raise ValueError(
+                "respawn_backoff_max_s must be >= respawn_backoff_s "
+                f"({self.respawn_backoff_max_s} < {self.respawn_backoff_s})"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.start_timeout_s <= 0:
+            raise ValueError(
+                f"start_timeout_s must be positive, got {self.start_timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig(SerializableConfig):
+    """One scheduled fault injection (resolved through ``FAULT_INJECTORS``).
+
+    ``kind="none"`` disables injection; ``kind="kill-replica"`` SIGKILLs
+    shard ``shard_id``'s worker process ``at_s`` wall-clock seconds into the
+    run — the supervisor must then detect the crash, migrate the shard's live
+    streams and respawn it within the backoff bound.
+    """
+
+    kind: str = "none"
+    shard_id: int = 0
+    #: wall-clock seconds after replay start (process mode runs in real time)
+    at_s: float = 1.0
+
+    def with_(self, **kwargs: object) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity checks; raises ``ValueError`` on inconsistency."""
+        if self.shard_id < 0:
+            raise ValueError(f"shard_id must be >= 0, got {self.shard_id}")
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        from repro.registries import FAULT_INJECTORS, load_components
+
+        load_components()
+        if self.kind not in FAULT_INJECTORS:
+            raise ValueError(
+                f"unknown fault injector {self.kind!r}; "
+                f"registered injectors: {', '.join(FAULT_INJECTORS.names())}"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterConfig(SerializableConfig):
     """A sharded deployment: replica count plus the control-plane policies."""
 
     num_shards: int = 2
     #: "simulate" — calibrated virtual-time engine (deterministic, used by the
     #: scenario suite and scaling benchmarks); "inprocess" — real
-    #: :class:`~repro.serving.InferenceServer` shards in this process
+    #: :class:`~repro.serving.InferenceServer` shards in this process;
+    #: "process" — one spawned OS process per shard, frames over framed pipes
     mode: str = "simulate"
     router: RouterConfig = field(default_factory=RouterConfig)
     governor: GovernorConfig = field(default_factory=GovernorConfig)
     autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    procpool: ProcessPoolConfig = field(default_factory=ProcessPoolConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
 
     def with_(self, **kwargs: object) -> "ClusterConfig":
         """Return a copy with the given fields replaced."""
@@ -259,15 +355,22 @@ class ClusterConfig(SerializableConfig):
         """Sanity checks; raises ``ValueError`` on inconsistency."""
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
-        if self.mode not in ("simulate", "inprocess"):
+        if self.mode not in ("simulate", "inprocess", "process"):
             raise ValueError(
-                f"mode must be 'simulate' or 'inprocess', got {self.mode!r}"
+                f"mode must be 'simulate', 'inprocess' or 'process', got {self.mode!r}"
             )
         self.router.validate()
         self.governor.validate()
         self.autoscaler.validate()
+        self.procpool.validate()
+        self.fault.validate()
         if self.autoscaler.enabled and self.num_shards > self.autoscaler.max_shards:
             raise ValueError(
                 f"num_shards {self.num_shards} exceeds autoscaler.max_shards "
                 f"{self.autoscaler.max_shards}"
+            )
+        if self.fault.kind != "none" and self.mode != "process":
+            raise ValueError(
+                "fault injection targets spawned replica processes — it needs "
+                f"mode='process', got mode={self.mode!r}"
             )

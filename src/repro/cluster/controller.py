@@ -22,12 +22,16 @@ the governed-vs-ungoverned SLO comparison on the ``slo_surge`` scenario.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from typing import Mapping, Sequence
 
 from repro.cluster.config import ClusterConfig, ScenarioConfig
-from repro.cluster.governor import Autoscaler, ScaleGovernor
-from repro.cluster.replica import InProcessReplica
+from repro.cluster.faults import build_fault_injector
+from repro.cluster.governor import Autoscaler, GovernorAction, ScaleGovernor
+from repro.cluster.procpool import ProcessReplica, ReplicaSupervisor
+from repro.cluster.replica import InProcessReplica, ReplicaSpec
 from repro.cluster.report import ClusterReport
 from repro.cluster.router import Router
 from repro.cluster.scenarios import WorkloadTrace, build_scenario
@@ -64,6 +68,7 @@ class ClusterController:
         adascale: AdaScaleConfig,
         model: ServiceModel | None = None,
         bundle=None,
+        bundle_dir: str | None = None,
         seed: int = 0,
     ) -> None:
         cluster.validate()
@@ -73,19 +78,22 @@ class ClusterController:
                 "simulate mode needs a ServiceModel — calibrate one from a bundle "
                 "or use analytic_service_model()"
             )
-        if cluster.mode == "inprocess" and bundle is None:
-            raise ValueError("inprocess mode needs a trained ExperimentBundle")
+        if cluster.mode in ("inprocess", "process") and bundle is None:
+            raise ValueError(f"{cluster.mode} mode needs a trained ExperimentBundle")
         if cluster.mode == "inprocess" and cluster.autoscaler.enabled:
             raise ValueError(
-                "the autoscaler is not supported in inprocess mode yet (shard "
-                "add/drain needs the process-spawn seam); run the scenario in "
-                "simulate mode or disable the autoscaler"
+                "the autoscaler is not supported in inprocess mode (shard "
+                "add/drain needs the process-spawn seam); use mode='process' "
+                "or 'simulate', or disable the autoscaler"
             )
         self.cluster = cluster
         self.serving = serving
         self.adascale = adascale
         self.model = model
         self.bundle = bundle
+        #: saved-bundle directory the spawned replicas load from (process
+        #: mode); None = save ``bundle`` to a temporary directory per run
+        self.bundle_dir = bundle_dir
         self.seed = seed
         self.ladder = tuple(int(s) for s in adascale.regressor_scales)
 
@@ -107,6 +115,8 @@ class ClusterController:
             trace, name = build_scenario(scenario), scenario.name
         if self.cluster.mode == "simulate":
             return self._run_simulated(trace, name)
+        if self.cluster.mode == "process":
+            return self._run_process(trace, name, time_scale)
         return self._run_inprocess(trace, name, time_scale)
 
     # -- simulate --------------------------------------------------------------
@@ -217,6 +227,141 @@ class ClusterController:
             streams_rejected=router.rejected_streams,
             frames_unrouted=router.rejected_frames,
             timeline=tuple(timeline),
+        )
+
+    # -- process -----------------------------------------------------------------
+    def _run_process(
+        self, trace: WorkloadTrace, name: str, time_scale: float
+    ) -> ClusterReport:
+        """Replay over real OS-process shards with supervision and faults.
+
+        Structure mirrors :meth:`_run_inprocess`; the differences are the
+        spawn seam (each shard is a :class:`~repro.cluster.procpool
+        .ProcessReplica` built from a pickled :class:`ReplicaSpec` pointing at
+        a saved bundle), the :class:`~repro.cluster.procpool.ReplicaSupervisor`
+        in the tick loop (crash → migrate → respawn), the configured fault
+        injector, and — because shard add/drain is real here — the autoscaler.
+        """
+        governor = _build_governor(self.cluster, self.ladder)
+        autoscaler = _build_autoscaler(self.cluster)
+        router = Router(self.cluster.router)
+        bundle_dir = self.bundle_dir
+        scratch_dir = None
+        if bundle_dir is None:
+            scratch_dir = tempfile.mkdtemp(prefix="repro-cluster-bundle-")
+            self.bundle.save(scratch_dir)
+            bundle_dir = scratch_dir
+
+        def spec_for(shard_id: int) -> ReplicaSpec:
+            return ReplicaSpec.for_bundle_dir(
+                shard_id, self.bundle.config, self.serving, bundle_dir
+            )
+
+        timeline: list[GovernorAction] = []
+        fleet: list[ProcessReplica] = [
+            ProcessReplica(spec_for(shard_id), self.cluster.procpool)
+            for shard_id in range(self.cluster.num_shards)
+        ]
+        supervisor = ReplicaSupervisor(
+            fleet, router, self.cluster.procpool, on_action=timeline.append
+        )
+        injector = build_fault_injector(self.cluster.fault)
+        next_shard_id = self.cluster.num_shards
+        # Per-shard metrics must survive respawns: remember every shard's
+        # first ServerMetrics so the final report sees the whole run.
+        shard_metrics = {replica.shard_id: replica.metrics for replica in fleet}
+        max_stream_id = max(
+            (event.stream_id for event in trace if event.kind == "open"), default=-1
+        )
+        sources = round_robin_streams(self.bundle.val_dataset, max(max_stream_id + 1, 1))
+        try:
+            for replica in fleet:
+                replica.start(wait_ready=False)
+            startup_deadline = time.monotonic() + self.cluster.procpool.start_timeout_s
+            for replica in fleet:
+                replica.wait_ready(max(startup_deadline - time.monotonic(), 0.1))
+            start = time.monotonic()
+            interval_s = self.cluster.governor.interval_s
+            next_tick = start + interval_s
+            next_autoscale = start + self.cluster.autoscaler.interval_s
+
+            def tick() -> None:
+                """Supervision + fault + control-period governor/autoscaler."""
+                nonlocal next_tick, next_autoscale, next_shard_id
+                now = time.monotonic()
+                rel = now - start
+                supervisor.poll(rel)
+                injector.maybe_fire(rel, fleet, supervisor)
+                if governor is not None and now >= next_tick:
+                    timeline.extend(governor.step(list(fleet), rel))
+                    next_tick = now + interval_s
+                if autoscaler is not None and now >= next_autoscale:
+                    next_autoscale = now + self.cluster.autoscaler.interval_s
+                    live = [replica for replica in fleet if replica.accepting]
+                    desired = autoscaler.desired_shards(live, rel)
+                    if desired > len(live):
+                        replica = supervisor.spawn_shard(spec_for(next_shard_id), rel)
+                        shard_metrics[replica.shard_id] = replica.metrics
+                        next_shard_id += 1
+                    elif desired < len(live) and live:
+                        victim = max(live, key=lambda replica: replica.shard_id)
+                        supervisor.drain_shard(victim, rel)
+
+            for event in trace:
+                if time_scale > 0:
+                    target = start + event.time_s * time_scale
+                    while True:
+                        tick()
+                        delay = target - time.monotonic()
+                        if delay <= 0:
+                            break
+                        time.sleep(min(delay, interval_s))
+                else:
+                    tick()
+                if event.kind == "open":
+                    shard = router.assign(event.stream_id, fleet)
+                    if shard is not None:
+                        shard.open_stream(event.stream_id)
+                elif event.kind == "frame":
+                    shard = router.lookup(event.stream_id)
+                    if shard is not None:
+                        frames = sources[event.stream_id]
+                        image = frames[event.frame_index % len(frames)].image
+                        shard.submit(event.stream_id, image, event.frame_index)
+                elif event.kind == "close":
+                    shard = router.release(event.stream_id)
+                    if shard is not None:
+                        shard.close_stream(event.stream_id)
+            # Supervised drain: keep ticking so a crash *during* the drain
+            # still migrates and the backlog keeps moving.
+            deadline = time.monotonic() + 600.0
+            while time.monotonic() < deadline:
+                tick()
+                if all(replica.drain(timeout=0.05) for replica in list(fleet)):
+                    break
+        finally:
+            for replica in list(fleet):
+                replica.stop()
+            if scratch_dir is not None:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
+        snapshots = {
+            shard_id: metrics.snapshot()
+            for shard_id, metrics in sorted(shard_metrics.items())
+        }
+        caps = {replica.shard_id: replica.scale_cap for replica in fleet}
+        return ClusterReport.build(
+            scenario=name,
+            mode="process",
+            snapshots=snapshots,
+            scale_caps=caps,
+            streams_opened=trace.num_streams - router.rejected_streams,
+            streams_rejected=router.rejected_streams,
+            frames_unrouted=router.rejected_frames,
+            timeline=tuple(sorted(timeline, key=lambda action: action.time_s)),
+            streams_migrated=supervisor.migrated_streams,
+            streams_stranded=supervisor.stranded_streams,
+            crashes=supervisor.crashes,
+            respawns=supervisor.respawns,
         )
 
 

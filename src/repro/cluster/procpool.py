@@ -1,0 +1,762 @@
+"""Process-parallel shard backend: spawned replicas over framed IPC.
+
+This module turns :class:`~repro.cluster.replica.ReplicaSpec` — the
+pickled-config spawn seam — into real OS processes.  Three pieces:
+
+* :func:`replica_main` is the **child** entry point.  Spawned via
+  ``multiprocessing.get_context("spawn")``, it rebuilds the replica from its
+  spec (``ExperimentBundle.load`` from ``bundle_dir``), then serves a framed
+  :class:`~repro.cluster.ipc.FramedChannel` message loop: ``Submit`` frames
+  in, per-frame ``Done`` results and periodic ``Telemetry`` snapshots out.
+  SIGTERM (or an orderly ``Shutdown`` message, or parent death) exits with
+  status 0 after stopping the server — no orphaned worker threads.
+
+* :class:`ProcessReplica` is the **parent-side proxy**, exposing the same
+  control surface as :class:`~repro.cluster.replica.InProcessReplica`
+  (``submit`` / ``open_stream`` / ``set_scale_cap`` / ``set_max_batch_size``
+  / ``drain`` / rolling telemetry), so the router, governor and report treat
+  both backends identically.  Its submission window is capped at the child's
+  ``queue_capacity``: the child's ``block``-policy admission can then never
+  block its own pipe-reader loop (the queue always has room for everything
+  the parent has in flight), which is what makes the lossless backpressure
+  policy deadlock-free across the process boundary.
+
+* :class:`ReplicaSupervisor` watches the fleet: a dead child (detected as a
+  typed channel error, never a hang) triggers **stream migration** — every
+  live stream of the dead shard is re-homed through
+  :meth:`~repro.cluster.router.Router.reassign` and re-seeded with its last
+  committed AdaScale scale, in-flight frames are accounted as ``migrated``
+  (distinct from ``dropped``: the stream continues elsewhere) — and a
+  **bounded-backoff respawn** from the same spec, reusing the dead shard's
+  parent-side metrics so per-shard reporting stays continuous across the
+  crash.  Every decision is a :class:`~repro.cluster.governor.GovernorAction`
+  on the report timeline and a ``cluster/<action>`` decision event when
+  tracing is on.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+
+from repro.cluster.config import ProcessPoolConfig
+from repro.cluster.governor import GovernorAction
+from repro.cluster.ipc import (
+    ChannelClosed,
+    CloseStream,
+    Done,
+    FrameError,
+    FramedChannel,
+    Hello,
+    OpenStream,
+    PipeStream,
+    SetMaxBatchSize,
+    SetScaleCap,
+    Shutdown,
+    Submit,
+    Telemetry,
+)
+from repro.cluster.replica import ReplicaSpec
+from repro.config import ServingConfig
+from repro.detection.rfcn import DetectionResult
+from repro.observability.trace import active_tracer
+from repro.registries import SHARD_BACKENDS
+from repro.serving.metrics import ServerMetrics
+from repro.serving.request import FrameRequest, FrameResult, RequestStatus
+from repro.utils.logging import get_logger
+
+__all__ = ["ProcessReplica", "ReplicaSupervisor", "replica_main"]
+
+_LOGGER = get_logger("cluster.procpool")
+
+
+def _finite(value: float) -> float:
+    """NaN/Inf → 0.0 (shed results carry NaN latencies; the wire carries 0)."""
+    value = float(value)
+    return value if math.isfinite(value) else 0.0
+
+
+# -- child side ----------------------------------------------------------------
+def replica_main(spec: ReplicaSpec, connection, metrics_interval_s: float = 0.2) -> None:
+    """Entry point of one spawned replica process.
+
+    Builds the replica from ``spec`` (bundle loaded from ``spec.bundle_dir``),
+    announces readiness with ``Hello``, then serves the message loop until a
+    ``Shutdown`` message, SIGTERM, or parent death.  Always stops the server
+    before returning, so worker threads never outlive the message loop; a
+    clean path exits with status 0.
+    """
+    stop_requested = threading.Event()
+
+    def _on_sigterm(signum, frame) -> None:  # noqa: ARG001 - signal signature
+        stop_requested.set()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    channel = FramedChannel(PipeStream(connection))
+    send_lock = threading.Lock()
+
+    def _send(message) -> None:
+        """Thread-safe send; a dead parent just ends the loop."""
+        with send_lock:
+            try:
+                channel.send(message)
+            except FrameError:
+                stop_requested.set()
+
+    def _done_callback(stream_id: int, frame_index: int):
+        def callback(future) -> None:
+            error = future.exception()
+            if error is not None:
+                _send(
+                    Done(
+                        stream_id=stream_id,
+                        frame_index=frame_index,
+                        status=RequestStatus.FAILED.value,
+                        error=repr(error),
+                    )
+                )
+                return
+            result: FrameResult = future.result()
+            detection = result.detection
+            try:
+                # Post-advance scale: the session already committed this
+                # frame's regressor output (advance runs before resolve), so
+                # this is exactly the value a migration must re-seed with.
+                current_scale = server.session(stream_id).current_scale
+            except KeyError:  # pragma: no cover - session evicted
+                current_scale = None
+            _send(
+                Done(
+                    stream_id=stream_id,
+                    frame_index=frame_index,
+                    status=result.status.value,
+                    scale_used=result.scale_used,
+                    next_scale=result.next_scale,
+                    current_scale=current_scale,
+                    is_key_frame=result.is_key_frame,
+                    queue_wait_s=_finite(result.queue_wait_s),
+                    service_s=_finite(result.service_s),
+                    latency_s=_finite(result.latency_s),
+                    boxes=None if detection is None else detection.boxes,
+                    scores=None if detection is None else detection.scores,
+                    class_ids=None if detection is None else detection.class_ids,
+                )
+            )
+
+        return callback
+
+    replica = spec.build()
+    server = replica.server
+    server.start()
+    metrics = server.metrics
+    batch_mark = 0
+    depth_mark = 0
+
+    def _telemetry(final: bool = False) -> Telemetry:
+        nonlocal batch_mark, depth_mark
+        batch_mark, batches = metrics.batch_sizes_since(batch_mark)
+        depth_mark, depths = metrics.queue_depths_since(depth_mark)
+        return Telemetry(
+            queue_depth=server.scheduler.depth,
+            outstanding=server.outstanding,
+            scale_cap=server.scale_cap,
+            max_batch_size=server.scheduler.max_batch_size,
+            batch_sizes=tuple(batches),
+            queue_depths=tuple(depths),
+            final=final,
+        )
+
+    _send(Hello(shard_id=spec.shard_id, pid=os.getpid()))
+    cancel_pending = False
+    next_report = time.monotonic() + metrics_interval_s
+    try:
+        while not stop_requested.is_set():
+            if channel.poll(0.05):
+                try:
+                    message = channel.recv()
+                except FrameError:
+                    break  # parent is gone (or corrupted): shut down
+                if isinstance(message, Submit):
+                    request = server.submit(
+                        message.stream_id, message.image, frame_index=message.frame_index
+                    )
+                    request.future.add_done_callback(
+                        _done_callback(message.stream_id, message.frame_index)
+                    )
+                elif isinstance(message, OpenStream):
+                    try:
+                        server.open_stream(
+                            message.stream_id, initial_scale=message.initial_scale
+                        )
+                    except ValueError:
+                        pass  # idempotent re-open
+                elif isinstance(message, CloseStream):
+                    pass  # sessions stay resident for per-stream finalize
+                elif isinstance(message, SetScaleCap):
+                    server.set_scale_cap(message.scale_cap)
+                elif isinstance(message, SetMaxBatchSize):
+                    server.set_max_batch_size(message.max_batch_size)
+                elif isinstance(message, Shutdown):
+                    cancel_pending = message.cancel_pending
+                    break
+            now = time.monotonic()
+            if now >= next_report:
+                next_report = now + metrics_interval_s
+                _send(_telemetry())
+    finally:
+        # Stop first: cancelled/served futures fire their callbacks, so every
+        # Done reaches the parent before the final telemetry frame.
+        server.stop(cancel_pending=cancel_pending)
+        _send(_telemetry(final=True))
+        channel.close()
+
+
+# -- parent side ---------------------------------------------------------------
+@SHARD_BACKENDS.register("process")
+class ProcessReplica:
+    """Parent-side proxy for one spawned replica process.
+
+    Mirrors :class:`~repro.cluster.replica.InProcessReplica`'s control
+    surface; per-frame results resolve the same ``FrameRequest`` futures the
+    in-process backend returns.  ``metrics`` accepts an existing
+    :class:`~repro.serving.metrics.ServerMetrics` so a respawned shard keeps
+    accumulating into its predecessor's counters.
+    """
+
+    def __init__(
+        self,
+        spec: ReplicaSpec,
+        procpool: ProcessPoolConfig | None = None,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        self.spec = spec
+        self.procpool = procpool if procpool is not None else ProcessPoolConfig()
+        self.shard_id = spec.shard_id
+        self.serving = ServingConfig.from_dict(spec.serving)
+        self.baseline_batch_size = self.serving.max_batch_size
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: deadlock-freedom invariant: everything the parent has in flight
+        #: always fits the child's queue, so child-side admission never blocks
+        self.max_inflight = min(
+            self.procpool.max_inflight_per_shard, self.serving.queue_capacity
+        )
+        self.accepting = False
+        self.crashed = False
+        self.pid: int | None = None
+        self._closing = False
+        self._process = None
+        self._channel: FramedChannel | None = None
+        self._reader: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._lock = threading.Lock()
+        self._turn = threading.Condition(self._lock)
+        self._inflight: dict[tuple[int, int], FrameRequest] = {}
+        self._streams: set[int] = set()
+        self._stream_scale: dict[int, int] = {}
+        self._send_lock = threading.Lock()
+        self._queue_depth = 0
+        self._child_outstanding = 0
+        self._scale_cap: int | None = None
+        self._max_batch_size = self.serving.max_batch_size
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, wait_ready: bool = True) -> "ProcessReplica":
+        """Spawn the child process; optionally block until its ``Hello``."""
+        context = multiprocessing.get_context("spawn")
+        parent_end, child_end = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=replica_main,
+            args=(self.spec, child_end, self.procpool.metrics_interval_s),
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}",
+        )
+        self._process.start()
+        child_end.close()
+        self._channel = FramedChannel(PipeStream(parent_end))
+        self._reader = threading.Thread(
+            target=self._reader_loop,
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}-reader",
+        )
+        self._reader.start()
+        if wait_ready:
+            self.wait_ready(self.procpool.start_timeout_s)
+        return self
+
+    def wait_ready(self, timeout: float) -> None:
+        """Block until the child announced itself; raise if it never does."""
+        if not self._ready.wait(timeout):
+            self.kill()
+            raise TimeoutError(
+                f"shard {self.shard_id}: replica process sent no Hello within "
+                f"{timeout:.0f}s"
+            )
+        if self.crashed:
+            raise RuntimeError(
+                f"shard {self.shard_id}: replica process died during startup "
+                f"(exitcode {self._process.exitcode if self._process else None})"
+            )
+
+    def stop(self, cancel_pending: bool = False) -> None:
+        """Orderly shutdown with escalation: Shutdown → SIGTERM → SIGKILL."""
+        with self._turn:
+            if self._closing:
+                return
+            self._closing = True
+            self.accepting = False
+            self._turn.notify_all()
+        self._send_quietly(Shutdown(cancel_pending=cancel_pending))
+        if self._process is not None:
+            self._process.join(5.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(2.0)
+            if self._process.is_alive():  # pragma: no cover - last resort
+                self._process.kill()
+                self._process.join(2.0)
+        if self._channel is not None:
+            self._channel.close()
+        if self._reader is not None and self._reader is not threading.current_thread():
+            self._reader.join(2.0)
+        # Anything still unresolved (child died mid-shutdown) must not hang
+        # a caller blocked on request.result().
+        for stream_id in self.assigned_streams():
+            self.fail_stream_inflight(stream_id, RequestStatus.CANCELLED)
+
+    def kill(self) -> None:
+        """SIGKILL the child — the fault injector's weapon of choice."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the child process is currently running."""
+        return self._process is not None and self._process.is_alive()
+
+    # -- reader thread -------------------------------------------------------
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                message = self._channel.recv()
+                if isinstance(message, Hello):
+                    self.pid = message.pid
+                    self.accepting = True
+                    self._ready.set()
+                elif isinstance(message, Done):
+                    self._on_done(message)
+                elif isinstance(message, Telemetry):
+                    self._on_telemetry(message)
+        except FrameError:
+            pass  # EOF / truncation: orderly close or a crash — decided below
+        finally:
+            with self._turn:
+                if not self._closing:
+                    self.crashed = True
+                self.accepting = False
+                self._turn.notify_all()
+            self._ready.set()
+
+    def _on_done(self, message: Done) -> None:
+        status = RequestStatus(message.status)
+        with self._turn:
+            request = self._inflight.pop((message.stream_id, message.frame_index), None)
+            if message.current_scale is not None:
+                self._stream_scale[message.stream_id] = int(message.current_scale)
+            self._turn.notify_all()
+        if status is RequestStatus.COMPLETED:
+            self.metrics.on_completed(
+                stream_id=message.stream_id,
+                queue_wait_s=message.queue_wait_s,
+                service_s=message.service_s,
+                latency_s=message.latency_s,
+            )
+        else:
+            self.metrics.on_shed(status.value)
+        if request is None:
+            return
+        detection = None
+        if status is RequestStatus.COMPLETED and message.boxes is not None:
+            # Lightweight reconstruction: the wire carries the reportable
+            # arrays, not the regressor features / full class distributions.
+            count = int(message.boxes.shape[0])
+            detection = DetectionResult(
+                boxes=message.boxes,
+                scores=message.scores,
+                class_ids=message.class_ids,
+                probs=np.zeros((count, 0), dtype=np.float32),
+                proposals=np.zeros((0, 4), dtype=np.float32),
+                features=np.zeros((1, 0, 0, 0), dtype=np.float32),
+                scale_factor=1.0,
+                target_scale=message.scale_used,
+                image_size=(0, 0),
+            )
+        request.resolve(
+            FrameResult(
+                stream_id=message.stream_id,
+                frame_index=message.frame_index,
+                status=status,
+                detection=detection,
+                scale_used=message.scale_used,
+                next_scale=message.next_scale,
+                is_key_frame=message.is_key_frame,
+                queue_wait_s=message.queue_wait_s,
+                service_s=message.service_s,
+                latency_s=message.latency_s,
+            )
+        )
+
+    def _on_telemetry(self, message: Telemetry) -> None:
+        with self._turn:
+            self._queue_depth = int(message.queue_depth)
+            self._child_outstanding = int(message.outstanding)
+            self._scale_cap = message.scale_cap
+            self._max_batch_size = int(message.max_batch_size)
+        for size in message.batch_sizes:
+            self.metrics.observe_batch(size)
+        for depth in message.queue_depths:
+            self.metrics.observe_queue_depth(depth)
+
+    # -- stream lifecycle ----------------------------------------------------
+    def open_stream(self, stream_id: int, initial_scale: int | None = None) -> None:
+        """Register a stream; ``initial_scale`` re-seeds a migrated stream."""
+        self._streams.add(stream_id)
+        if initial_scale is not None:
+            self._stream_scale[stream_id] = int(initial_scale)
+        self._send_quietly(OpenStream(stream_id=stream_id, initial_scale=initial_scale))
+
+    def close_stream(self, stream_id: int) -> None:
+        """Mark a stream closed."""
+        self._streams.discard(stream_id)
+        self._send_quietly(CloseStream(stream_id=stream_id))
+
+    def submit(self, stream_id: int, image: np.ndarray, frame_index: int) -> FrameRequest:
+        """Ship one frame to the child; blocks at the submission window.
+
+        On a crashed/closing shard the frame is shed locally as ``dropped``
+        (the supervisor re-homes the *stream*; frames offered to a dead shard
+        before the router catches up are honestly lost, and counted).
+        """
+        request = FrameRequest(
+            stream_id=stream_id, frame_index=int(frame_index), image=np.asarray(image)
+        )
+        self.metrics.on_submitted()
+        with self._turn:
+            while (
+                len(self._inflight) >= self.max_inflight
+                and not self.crashed
+                and not self._closing
+            ):
+                self._turn.wait(0.1)
+            if self.crashed or self._closing:
+                self.metrics.on_shed(RequestStatus.DROPPED.value)
+                request.resolve_shed(RequestStatus.DROPPED)
+                return request
+            self._inflight[(stream_id, int(frame_index))] = request
+        try:
+            self._send(
+                Submit(stream_id=stream_id, frame_index=int(frame_index), image=request.image)
+            )
+        except FrameError:
+            with self._turn:
+                self._inflight.pop((stream_id, int(frame_index)), None)
+                self.crashed = True
+                self._turn.notify_all()
+            self.metrics.on_shed(RequestStatus.DROPPED.value)
+            request.resolve_shed(RequestStatus.DROPPED)
+        return request
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight frame reached a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._turn:
+            while self._inflight:
+                if self.crashed:
+                    return False  # the supervisor owns the cleanup now
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._turn.wait(0.1 if remaining is None else min(remaining, 0.1))
+            return True
+
+    def fail_stream_inflight(self, stream_id: int, status: RequestStatus) -> int:
+        """Resolve a stream's in-flight frames as shed; returns the count.
+
+        The migration path: the dead child will never answer these, so the
+        supervisor terminates them with ``MIGRATED`` (stream re-homed) or
+        ``DROPPED`` (stream stranded) and the shed accounting records which.
+        """
+        with self._turn:
+            keys = [key for key in self._inflight if key[0] == stream_id]
+            requests = [self._inflight.pop(key) for key in keys]
+            self._turn.notify_all()
+        for request in requests:
+            self.metrics.on_shed(status.value)
+            request.resolve_shed(status)
+        return len(requests)
+
+    def assigned_streams(self) -> list[int]:
+        """Stream ids with frames currently in flight on this shard."""
+        with self._turn:
+            return sorted({stream_id for stream_id, _ in self._inflight})
+
+    def last_scale(self, stream_id: int) -> int | None:
+        """The stream's last committed AdaScale scale (migration re-seed)."""
+        with self._turn:
+            return self._stream_scale.get(stream_id)
+
+    # -- control-plane view ---------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Frames submitted to this shard but not yet terminal."""
+        with self._turn:
+            return len(self._inflight)
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently open on this shard."""
+        return len(self._streams)
+
+    @property
+    def queue_depth(self) -> int:
+        """Child scheduler depth from the latest telemetry snapshot."""
+        with self._turn:
+            return self._queue_depth
+
+    @property
+    def occupancy(self) -> float:
+        """Outstanding frames per child worker (the live load signal)."""
+        return self.outstanding / self.serving.num_workers
+
+    @property
+    def max_batch_size(self) -> int:
+        """The child scheduler's current micro-batch bound."""
+        with self._turn:
+            return self._max_batch_size
+
+    @property
+    def scale_cap(self) -> int | None:
+        """The control plane's current quality ceiling."""
+        with self._turn:
+            return self._scale_cap
+
+    def recent_latency(self, window: int):
+        """Rolling end-to-end latency over the last ``window`` completions."""
+        return self.metrics.recent_latency(window)
+
+    def set_scale_cap(self, scale_cap: int | None) -> None:
+        """Clamp the shard's streams to at most ``scale_cap``."""
+        with self._turn:
+            self._scale_cap = int(scale_cap) if scale_cap is not None else None
+        self._send_quietly(SetScaleCap(scale_cap=scale_cap))
+
+    def set_max_batch_size(self, max_batch_size: int) -> None:
+        """Adjust the child scheduler's micro-batch bound."""
+        with self._turn:
+            self._max_batch_size = int(max_batch_size)
+        self._send_quietly(SetMaxBatchSize(max_batch_size=int(max_batch_size)))
+
+    # -- plumbing -------------------------------------------------------------
+    def _send(self, message) -> None:
+        with self._send_lock:
+            if self._channel is None:
+                raise ChannelClosed("replica not started")
+            self._channel.send(message)
+
+    def _send_quietly(self, message) -> None:
+        """Send where a dead peer is not an error (control-plane best effort)."""
+        try:
+            self._send(message)
+        except FrameError:
+            pass
+
+
+@SHARD_BACKENDS.register("inprocess")
+def _build_inprocess_replica(
+    spec: ReplicaSpec,
+    procpool: ProcessPoolConfig | None = None,  # noqa: ARG001 - surface parity
+    metrics: ServerMetrics | None = None,
+):
+    """Spec-driven construction of the in-process backend (registry parity)."""
+    replica = spec.build()
+    if metrics is not None:
+        replica.server.metrics = metrics
+    return replica
+
+
+# -- supervision ---------------------------------------------------------------
+class ReplicaSupervisor:
+    """Crash detection, stream migration and bounded-backoff respawn.
+
+    Owns the fleet list *in place* (the controller and router keep their
+    references).  ``poll`` is called from the controller's tick loop; it is
+    cheap when nothing is wrong.  All times are the controller's relative
+    clock (seconds since run start), matching the report timeline.
+    """
+
+    def __init__(
+        self,
+        fleet: list,
+        router,
+        config: ProcessPoolConfig,
+        on_action=None,
+    ) -> None:
+        self.fleet = fleet
+        self.router = router
+        self.config = config
+        self._on_action = on_action
+        self.crashes = 0
+        self.respawns = 0
+        self.migrated_streams = 0
+        self.stranded_streams = 0
+        self._attempts: dict[int, int] = {}
+        self._respawn_at: dict[int, tuple[float, ProcessReplica]] = {}
+        self._handled: set[int] = set()
+
+    # -- the watch loop ------------------------------------------------------
+    def poll(self, now: float) -> None:
+        """Detect crashes, run due respawns.  ``now`` = seconds since start."""
+        for replica in list(self.fleet):
+            if getattr(replica, "crashed", False) and id(replica) not in self._handled:
+                self._handled.add(id(replica))
+                self._handle_crash(replica, now)
+        for shard_id in [s for s, (due, _) in self._respawn_at.items() if now >= due]:
+            self._respawn(shard_id, now)
+
+    def _handle_crash(self, replica: ProcessReplica, now: float) -> None:
+        self.crashes += 1
+        replica.accepting = False
+        exitcode = replica._process.exitcode if replica._process is not None else None
+        _LOGGER.warning(
+            "shard %d: replica process died (pid %s, exitcode %s)",
+            replica.shard_id, replica.pid, exitcode,
+        )
+        self._emit(
+            now, replica.shard_id, "crash", "process", 1, 0,
+            reason=f"replica process died (pid {replica.pid}, exitcode {exitcode})",
+        )
+        self._migrate_streams(replica, now, cause="crash")
+        replica.stop()  # reap the corpse; the channel is already dead
+        attempts = self._attempts.get(replica.shard_id, 0) + 1
+        self._attempts[replica.shard_id] = attempts
+        if attempts <= self.config.max_respawns:
+            delay = min(
+                self.config.respawn_backoff_s * 2 ** (attempts - 1),
+                self.config.respawn_backoff_max_s,
+            )
+            self._respawn_at[replica.shard_id] = (now + delay, replica)
+        else:
+            self._emit(
+                now, replica.shard_id, "abandon", "process", 1, 0,
+                reason=f"crash {attempts} exceeds max_respawns={self.config.max_respawns}",
+            )
+
+    def _migrate_streams(self, replica: ProcessReplica, now: float, cause: str) -> None:
+        """Re-home every live stream of ``replica``; account the in-flight loss."""
+        for stream_id in self.router.streams_on(replica):
+            scale = replica.last_scale(stream_id)
+            target = self.router.reassign(stream_id, self.fleet, exclude=(replica,))
+            if target is not None:
+                target.open_stream(stream_id, initial_scale=scale)
+                abandoned = replica.fail_stream_inflight(stream_id, RequestStatus.MIGRATED)
+                replica.close_stream(stream_id)
+                self.migrated_streams += 1
+                self._emit(
+                    now, target.shard_id, "migrate", "stream",
+                    replica.shard_id, target.shard_id,
+                    reason=(
+                        f"stream {stream_id} re-homed after {cause} "
+                        f"({abandoned} in-flight frame(s) abandoned, "
+                        f"scale re-seeded to {scale})"
+                    ),
+                )
+            else:
+                replica.fail_stream_inflight(stream_id, RequestStatus.DROPPED)
+                self.stranded_streams += 1
+                self._emit(
+                    now, replica.shard_id, "strand", "stream",
+                    replica.shard_id, -1,
+                    reason=f"stream {stream_id} stranded after {cause}: no live shard has room",
+                )
+
+    def _respawn(self, shard_id: int, now: float) -> None:
+        due, dead = self._respawn_at.pop(shard_id)
+        # Same spec, same parent-side metrics: the respawned shard continues
+        # its predecessor's counters, so per-shard reporting spans the crash.
+        fresh = ProcessReplica(dead.spec, self.config, metrics=dead.metrics)
+        fresh.start(wait_ready=False)  # accepting flips on Hello, async
+        self.fleet[self.fleet.index(dead)] = fresh
+        self.respawns += 1
+        self._emit(
+            now, shard_id, "respawn", "process", 0, 1,
+            reason=(
+                f"attempt {self._attempts[shard_id]} of {self.config.max_respawns}, "
+                f"after bounded backoff"
+            ),
+        )
+
+    # -- autoscaler integration ----------------------------------------------
+    def spawn_shard(self, spec: ReplicaSpec, now: float) -> ProcessReplica:
+        """Scale-up: spawn a brand-new shard from ``spec`` and add it to the fleet."""
+        replica = ProcessReplica(spec, self.config)
+        replica.start(wait_ready=False)
+        self.fleet.append(replica)
+        self._emit(
+            now, spec.shard_id, "spawn", "shards",
+            len(self.fleet) - 1, len(self.fleet),
+            reason="autoscaler scale-up",
+        )
+        return replica
+
+    def drain_shard(self, replica: ProcessReplica, now: float, timeout: float = 30.0) -> None:
+        """Scale-down: graceful drain — no frame is lost, streams migrate.
+
+        In-flight frames finish on the old shard first (that is the
+        difference from the crash path), then the shard's streams re-home
+        with their committed scales and the process shuts down.
+        """
+        replica.accepting = False
+        self._emit(
+            now, replica.shard_id, "drain", "shards",
+            len(self.fleet), len(self.fleet) - 1,
+            reason="autoscaler scale-down",
+        )
+        replica.drain(timeout=timeout)
+        self._migrate_streams(replica, now, cause="drain")
+        replica.stop()
+        if replica in self.fleet:
+            self.fleet.remove(replica)
+
+    def note_fault(self, now: float, replica: ProcessReplica, kind: str) -> None:
+        """Record an injected fault on the timeline (the injector's hook)."""
+        self._emit(
+            now, replica.shard_id, "fault", "process", 1, 0,
+            reason=f"injected {kind} (pid {replica.pid})",
+        )
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _emit(
+        self, now: float, shard_id: int, action: str, knob: str,
+        old: int, new: int, reason: str,
+    ) -> None:
+        event = GovernorAction(
+            time_s=float(now),
+            shard_id=int(shard_id),
+            action=action,
+            knob=knob,
+            old=int(old),
+            new=int(new),
+            p95_ms=0.0,
+            queue_depth=0,
+            reason=reason,
+        )
+        if self._on_action is not None:
+            self._on_action(event)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.decision(event)

@@ -14,9 +14,10 @@ one copy of the parameters.
 process needs to stand up an equivalent replica — the experiment config as a
 plain dict, the serving config, and the directory of a saved bundle — in a
 frozen dataclass that pickles losslessly (asserted by the cluster tests).
-Today :meth:`ReplicaSpec.build` materialises the replica in-process; a later
-PR points the same spec at ``multiprocessing``/container spawn without
-touching router, governor or report code.
+:meth:`ReplicaSpec.build` materialises the replica in-process;
+:class:`~repro.cluster.procpool.ProcessReplica` ships the same spec across a
+``multiprocessing`` spawn boundary and runs exactly that body in the child —
+router, governor and report code drive either backend unchanged.
 """
 
 from __future__ import annotations
@@ -65,9 +66,9 @@ class InProcessReplica:
         return self.server.drain(timeout=timeout)
 
     # -- stream lifecycle ------------------------------------------------------
-    def open_stream(self, stream_id: int) -> None:
-        """Register a stream on this shard."""
-        self.server.open_stream(stream_id)
+    def open_stream(self, stream_id: int, initial_scale: int | None = None) -> None:
+        """Register a stream on this shard (``initial_scale``: migration re-seed)."""
+        self.server.open_stream(stream_id, initial_scale=initial_scale)
         self._streams.add(stream_id)
 
     def close_stream(self, stream_id: int) -> None:
@@ -163,11 +164,12 @@ class ReplicaSpec:
         return pickle.loads(pickle.dumps(self)) == self
 
     def build(self, dataset_cls: type | None = None) -> InProcessReplica:
-        """Materialise the replica (in this process, for now).
+        """Materialise the replica in the calling process.
 
-        This is where a later PR swaps in process spawn: ship ``self`` to the
-        worker, run exactly this body there, and wrap the result in an IPC
-        proxy that satisfies the same replica surface.
+        :func:`~repro.cluster.procpool.replica_main` runs exactly this body
+        on the far side of a spawn boundary;
+        :class:`~repro.cluster.procpool.ProcessReplica` is the parent-side
+        IPC proxy that satisfies the same replica surface.
         """
         config = ExperimentConfig.from_dict(self.experiment)
         serving = ServingConfig.from_dict(self.serving)

@@ -11,7 +11,7 @@ so reports embed directly in ``BENCH_*.json`` artefacts and CI logs.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.cluster.governor import GovernorAction
 from repro.evaluation.reporting import format_float, format_table
@@ -44,6 +44,9 @@ class ShardReport:
     mean_queue_depth: float
     max_queue_depth: int
     final_scale_cap: int  # 0 = uncapped (full quality)
+    #: frames abandoned on this shard because their stream was re-homed
+    #: (process mode: crash/drain migration)
+    migrated: int = 0
 
     @classmethod
     def from_snapshot(
@@ -67,6 +70,7 @@ class ShardReport:
             mean_queue_depth=_clean(snapshot.mean_queue_depth),
             max_queue_depth=int(snapshot.max_queue_depth),
             final_scale_cap=int(final_scale_cap) if final_scale_cap is not None else 0,
+            migrated=int(snapshot.migrated),
         )
 
 
@@ -75,7 +79,7 @@ class ClusterReport:
     """Typed result of one cluster scenario run."""
 
     scenario: str
-    mode: str  # "simulate" | "inprocess"
+    mode: str  # "simulate" | "inprocess" | "process"
     num_shards: int
     shards: tuple[ShardReport, ...]
     completed: int
@@ -90,6 +94,14 @@ class ClusterReport:
     streams_opened: int
     streams_rejected: int
     frames_unrouted: int
+    #: shed frames keyed by cause — ``migrated`` vs ``dropped`` is the
+    #: resilience distinction: a migrated frame's stream continued elsewhere
+    shed_by_cause: dict = field(default_factory=dict)
+    #: process-mode resilience counters (zero in simulate/inprocess runs)
+    streams_migrated: int = 0
+    streams_stranded: int = 0
+    crashes: int = 0
+    respawns: int = 0
     timeline: tuple[GovernorAction, ...] = ()
     #: Telemetry span/instant events captured when the run was traced
     #: (attached by the api facade via ``dataclasses.replace``); empty when
@@ -107,8 +119,18 @@ class ClusterReport:
         streams_rejected: int,
         frames_unrouted: int,
         timeline: tuple[GovernorAction, ...] = (),
+        streams_migrated: int = 0,
+        streams_stranded: int = 0,
+        crashes: int = 0,
+        respawns: int = 0,
     ) -> "ClusterReport":
         """Aggregate shard snapshots into the cluster-level view."""
+        shed_by_cause: dict[str, int] = {}
+        for snapshot in snapshots.values():
+            for cause, count in snapshot.shed_by_cause.items():
+                shed_by_cause[cause] = shed_by_cause.get(cause, 0) + int(count)
+        if frames_unrouted:
+            shed_by_cause["unrouted"] = int(frames_unrouted)
         shards = tuple(
             ShardReport.from_snapshot(shard_id, snapshots[shard_id], scale_caps.get(shard_id))
             for shard_id in sorted(snapshots)
@@ -141,6 +163,11 @@ class ClusterReport:
             streams_opened=streams_opened,
             streams_rejected=streams_rejected,
             frames_unrouted=frames_unrouted,
+            shed_by_cause=shed_by_cause,
+            streams_migrated=int(streams_migrated),
+            streams_stranded=int(streams_stranded),
+            crashes=int(crashes),
+            respawns=int(respawns),
             timeline=timeline,
         )
 
@@ -163,6 +190,11 @@ class ClusterReport:
             "streams_opened": self.streams_opened,
             "streams_rejected": self.streams_rejected,
             "frames_unrouted": self.frames_unrouted,
+            "shed_by_cause": {key: int(value) for key, value in self.shed_by_cause.items()},
+            "streams_migrated": self.streams_migrated,
+            "streams_stranded": self.streams_stranded,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
             "shards": [
                 {key: _clean(value) if isinstance(value, float) else value
                  for key, value in asdict(shard).items()}
@@ -189,6 +221,23 @@ class ClusterReport:
              f"{format_float(self.p99_ms)}"],
             ["duration (s)", format_float(self.duration_s, 2)],
         ]
+        if self.shed_by_cause:
+            causes = ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(self.shed_by_cause.items())
+                if count
+            )
+            aggregate_rows.append(["shed by cause", causes or "none"])
+        if self.crashes or self.respawns or self.streams_migrated or self.streams_stranded:
+            aggregate_rows.append(
+                ["crashes / respawns", f"{self.crashes} / {self.respawns}"]
+            )
+            aggregate_rows.append(
+                [
+                    "streams migrated / stranded",
+                    f"{self.streams_migrated} / {self.streams_stranded}",
+                ]
+            )
         shard_rows = [
             [
                 str(shard.shard_id),

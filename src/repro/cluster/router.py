@@ -77,6 +77,7 @@ class Router:
         router = f"router-{next(_ROUTER_IDS)}"
         self._rejected_streams = rejected.labels(router=router, kind="streams")
         self._rejected_frames = rejected.labels(router=router, kind="frames")
+        self._stranded_streams = rejected.labels(router=router, kind="stranded")
 
     @property
     def rejected_streams(self) -> int:
@@ -87,6 +88,11 @@ class Router:
     def rejected_frames(self) -> int:
         """Frames refused because their stream was never admitted."""
         return int(self._rejected_frames.value)
+
+    @property
+    def stranded_streams(self) -> int:
+        """Live streams a reassignment could not re-home (shard crash/drain)."""
+        return int(self._stranded_streams.value)
 
     # -- placement -----------------------------------------------------------
     def assign(self, stream_id: int, shards: Sequence) -> object | None:
@@ -106,6 +112,37 @@ class Router:
         ]
         if not candidates:
             self._rejected_streams.inc()
+            return None
+        shard = self._policy(stream_id, candidates, hash_seed=self.config.hash_seed)
+        self._assignment[stream_id] = shard
+        return shard
+
+    def reassign(
+        self, stream_id: int, shards: Sequence, exclude: Sequence = ()
+    ) -> object | None:
+        """Re-home a *live* stream after a shard crash or drain.
+
+        Drops the current pin, then places the stream again among shards that
+        accept streams, are under the per-shard cap, and are in neither
+        ``exclude`` nor the stream's previous home.  Returns the new shard, or
+        None when no candidate exists — the stream is then **stranded** (its
+        pin is gone; subsequent frames count as unrouted) and the stranded
+        counter records it.  Migration is about streams, not frames: the
+        caller owns the accounting of whatever was in flight on the old shard.
+        """
+        previous = self._assignment.pop(stream_id, None)
+        excluded = {id(shard) for shard in exclude}
+        if previous is not None:
+            excluded.add(id(previous))
+        candidates = [
+            shard
+            for shard in shards
+            if shard.accepting
+            and id(shard) not in excluded
+            and shard.active_streams < self.config.max_streams_per_shard
+        ]
+        if not candidates:
+            self._stranded_streams.inc()
             return None
         shard = self._policy(stream_id, candidates, hash_seed=self.config.hash_seed)
         self._assignment[stream_id] = shard

@@ -53,6 +53,10 @@ class TelemetrySnapshot:
     rejected: int
     failed: int
     cancelled: int
+    #: frames abandoned on a shard because their stream was migrated away
+    #: (cluster process mode: crash/drain re-routing) — shed, but distinct
+    #: from ``dropped``: the stream itself continued elsewhere
+    migrated: int
     latency: RuntimeStats
     queue_wait: RuntimeStats
     service: RuntimeStats
@@ -66,8 +70,20 @@ class TelemetrySnapshot:
 
     @property
     def shed(self) -> int:
-        """Total frames not processed (dropped + expired + rejected + cancelled)."""
-        return self.dropped + self.expired + self.rejected + self.cancelled
+        """Total frames not processed (dropped/expired/rejected/cancelled/migrated)."""
+        return self.dropped + self.expired + self.rejected + self.cancelled + self.migrated
+
+    @property
+    def shed_by_cause(self) -> dict[str, int]:
+        """Shed counts keyed by cause (the cluster report's accounting split)."""
+        return {
+            "dropped": self.dropped,
+            "expired": self.expired,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "migrated": self.migrated,
+        }
 
     def format(self, title: str = "Serving telemetry") -> str:
         """Render the full telemetry report (the `serve` CLI output)."""
@@ -79,6 +95,7 @@ class TelemetrySnapshot:
             ["rejected", str(self.rejected)],
             ["failed", str(self.failed)],
             ["cancelled", str(self.cancelled)],
+            ["migrated", str(self.migrated)],
             ["wall time (s)", format_float(self.wall_s, 2)],
             ["throughput (frames/s)", format_float(self.throughput_fps, 2)],
             ["mean batch occupancy", format_float(self.mean_batch_size, 2)],
@@ -130,6 +147,7 @@ _FRAME_STATES = (
     "rejected",
     "failed",
     "cancelled",
+    "migrated",
 )
 
 _INSTANCE_IDS = itertools.count()
@@ -215,6 +233,10 @@ class ServerMetrics:
     def cancelled(self) -> int:
         return self._count("cancelled")
 
+    @property
+    def migrated(self) -> int:
+        return self._count("migrated")
+
     # -- hooks --------------------------------------------------------------
     def on_submitted(self) -> None:
         """Record one admission attempt."""
@@ -280,6 +302,23 @@ class ServerMetrics:
                 samples_s=list(self.latency.samples_s[-window:]), name="recent"
             )
 
+    # -- incremental views (cluster process-mode IPC) ------------------------
+    def batch_sizes_since(self, index: int) -> tuple[int, list[int]]:
+        """Batch-occupancy observations recorded at or after ``index``.
+
+        Returns ``(next_index, new_samples)`` — the watermark pattern a
+        process-mode replica uses to stream *deltas* of these observations to
+        its parent proxy instead of re-sending the whole history every
+        telemetry period.
+        """
+        with self._lock:
+            return len(self._batch_sizes), list(self._batch_sizes[index:])
+
+    def queue_depths_since(self, index: int) -> tuple[int, list[int]]:
+        """Queue-depth samples recorded at or after ``index`` (see above)."""
+        with self._lock:
+            return len(self._queue_depths), list(self._queue_depths[index:])
+
     # -- reporting ----------------------------------------------------------
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent copy of all counters and distributions.
@@ -321,6 +360,7 @@ class ServerMetrics:
                 rejected=self.rejected,
                 failed=self.failed,
                 cancelled=self.cancelled,
+                migrated=self.migrated,
                 latency=RuntimeStats(samples_s=list(self.latency.samples_s), name="end-to-end"),
                 queue_wait=RuntimeStats(
                     samples_s=list(self.queue_wait.samples_s), name="queue wait"

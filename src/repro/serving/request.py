@@ -41,6 +41,7 @@ class RequestStatus(Enum):
     REJECTED = "rejected"  # refused at admission (reject policy)
     CANCELLED = "cancelled"  # server stopped before execution
     FAILED = "failed"  # worker raised while executing
+    MIGRATED = "migrated"  # stream re-routed to another shard before execution
 
 
 @dataclass(frozen=True)

@@ -121,12 +121,23 @@ class InferenceServer:
         return self
 
     def stop(self, cancel_pending: bool = True, timeout: float | None = 10.0) -> None:
-        """Close the scheduler and join the workers."""
+        """Close the scheduler and join the workers (idempotent).
+
+        Safe to call any number of times, from signal handlers and ``atexit``
+        hooks included, and safe on a server that was never started — the
+        shutdown path a spawned replica process takes on SIGTERM must never
+        raise or hang on a second invocation.
+        """
         if self._stopped:
             return
         self._stopped = True
         self.scheduler.close(cancel_pending=cancel_pending)
-        self.pool.join(timeout=timeout)
+        if self._started:
+            self.pool.join(timeout=timeout)
+
+    def close(self) -> None:
+        """Idempotent alias of :meth:`stop` (cancels anything still queued)."""
+        self.stop(cancel_pending=True)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -135,8 +146,16 @@ class InferenceServer:
         self.stop()
 
     # -- streams ------------------------------------------------------------
-    def open_stream(self, stream_id: int | None = None) -> StreamSession:
-        """Register a new video stream and return its session."""
+    def open_stream(
+        self, stream_id: int | None = None, initial_scale: int | None = None
+    ) -> StreamSession:
+        """Register a new video stream and return its session.
+
+        ``initial_scale`` seeds the AdaScale feedback loop for the stream's
+        first frame — a cluster migration passes the last committed frame's
+        regressor output here so the re-homed stream continues the scale
+        chain instead of restarting at the configured default.
+        """
         with self._lock:
             if stream_id is None:
                 stream_id = max(self._sessions, default=-1) + 1
@@ -148,6 +167,7 @@ class InferenceServer:
                 serving_config=self.serving,
                 num_classes=self.bundle.config.detector.num_classes,
                 seqnms_config=self.seqnms_config,
+                initial_scale=initial_scale,
             )
             session.scale_cap = self._scale_cap
             self._sessions[stream_id] = session

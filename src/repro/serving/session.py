@@ -115,6 +115,7 @@ class StreamSession:
         serving_config: ServingConfig,
         num_classes: int,
         seqnms_config: SeqNMSConfig | None = None,
+        initial_scale: int | None = None,
     ) -> None:
         self.stream_id = stream_id
         self.adascale_config = adascale_config
@@ -123,10 +124,13 @@ class StreamSession:
         #: ScaleGovernor): the stream's effective scale is clamped to at most
         #: this value; ``None`` leaves AdaScale's choice untouched
         self.scale_cap: int | None = None
+        # Per-stream seed (a migration re-homing the stream mid-video) wins
+        # over the serving-wide default; both fall back to full quality.
+        seed_scale = (
+            initial_scale if initial_scale is not None else serving_config.initial_scale
+        )
         self._current_scale = (
-            int(serving_config.initial_scale)
-            if serving_config.initial_scale is not None
-            else adascale_config.max_scale
+            int(seed_scale) if seed_scale is not None else adascale_config.max_scale
         )
         self._next_key_scale = self._current_scale
         #: DFF key-frame cache; shared structurally with the offline DFF

@@ -7,8 +7,20 @@ training run happens per pytest session.
 
 from __future__ import annotations
 
+import faulthandler
+import os
+
 import numpy as np
 import pytest
+
+# CI hang guard: with REPRO_TEST_TIMEOUT set (seconds), any test session still
+# running at the deadline dumps every thread's stack and exits non-zero — a
+# hung spawned replica process then fails fast with a traceback instead of
+# eating the job's whole timeout budget silently.
+_TIMEOUT_S = os.environ.get("REPRO_TEST_TIMEOUT")
+if _TIMEOUT_S:
+    faulthandler.enable()
+    faulthandler.dump_traceback_later(float(_TIMEOUT_S), exit=True)
 
 from repro.config import (
     AdaScaleConfig,
@@ -92,6 +104,14 @@ def micro_val_dataset(micro_config: ExperimentConfig) -> SyntheticVID:
 def micro_bundle(micro_config: ExperimentConfig):
     """A fully trained (micro) experiment bundle shared by integration tests."""
     return AdaScalePipeline(micro_config).run()
+
+
+@pytest.fixture(scope="session")
+def micro_bundle_dir(micro_bundle, tmp_path_factory: pytest.TempPathFactory) -> str:
+    """The micro bundle saved to disk — what spawned replica processes load."""
+    directory = tmp_path_factory.mktemp("micro-bundle")
+    micro_bundle.save(directory)
+    return str(directory)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,350 @@
+"""Process-parallel shard backend: spawn seam, crash supervision, migration.
+
+Every test here crosses a real ``spawn`` process boundary — a replica child
+is built from a :class:`ReplicaSpec` pickled across the seam and loads the
+shared micro bundle from ``micro_bundle_dir``.  The fault-injection suite
+kills children at the three interesting moments (frames still queue-waiting,
+mid-batch with results flowing, and after a scale commit) and asserts the
+supervisor's contract: every future resolves, live streams migrate with
+their AdaScale scale re-seeded, nothing is stranded, and the shard respawns
+within the bounded backoff.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ProcessPoolConfig,
+    ProcessReplica,
+    ReplicaSpec,
+    ReplicaSupervisor,
+    Router,
+    RouterConfig,
+    parse_fault_spec,
+)
+from repro.config import ServingConfig
+from repro.serving.request import RequestStatus
+from repro.serving.server import InferenceServer
+
+#: one worker, singleton batches, no batch-wait: frame results are a pure
+#: function of (weights, frame, scale chain) — the determinism the
+#: bit-identical migration comparison relies on
+DETERMINISTIC_SERVING = ServingConfig(
+    num_workers=1, max_batch_size=1, queue_capacity=16, batch_wait_ms=0.0
+)
+#: tight bounds so crash→respawn cycles finish in test time
+FAST_RESPAWN = ProcessPoolConfig(respawn_backoff_s=0.05, respawn_backoff_max_s=0.2)
+
+
+@pytest.fixture(scope="module")
+def frames(micro_val_dataset):
+    """Six validation images shared by every test in this module."""
+    return [frame.image for snippet in micro_val_dataset for frame in snippet]
+
+
+def _spec(micro_config, micro_bundle_dir, shard_id=0, serving=DETERMINISTIC_SERVING):
+    return ReplicaSpec.for_bundle_dir(shard_id, micro_config, serving, micro_bundle_dir)
+
+
+def _wait_for(predicate, timeout=20.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.02)
+
+
+def _run_sequence(replica, frames, stream_id, frame_indices, timeout=60.0):
+    """Submit frames in order and return their terminal FrameResults."""
+    requests = [
+        replica.submit(stream_id, frames[index % len(frames)], index)
+        for index in frame_indices
+    ]
+    assert replica.drain(timeout=timeout)
+    return [request.result(timeout=5.0) for request in requests]
+
+
+class TestSpawnSeam:
+    def test_process_results_match_inprocess_bit_for_bit(
+        self, micro_config, micro_bundle_dir, frames
+    ):
+        """The same spec, built on either side of the boundary, is one replica.
+
+        Both backends load identical saved weights and run the identical
+        sequential schedule, so detections must agree to the bit — the proof
+        that ``replica_main`` really runs ``ReplicaSpec.build`` unchanged.
+        """
+        spec = _spec(micro_config, micro_bundle_dir)
+        assert spec.roundtrips_by_pickle()
+
+        reference = spec.build().start()
+        try:
+            reference.open_stream(0)
+            expected = _run_sequence(reference, frames, 0, range(6))
+        finally:
+            reference.stop()
+
+        replica = ProcessReplica(spec, FAST_RESPAWN).start()
+        try:
+            assert replica.alive and replica.pid not in (None, os.getpid())
+            replica.open_stream(0)
+            actual = _run_sequence(replica, frames, 0, range(6))
+        finally:
+            replica.stop()
+
+        assert [r.status for r in actual] == [RequestStatus.COMPLETED] * 6
+        for mine, theirs in zip(actual, expected):
+            assert mine.scale_used == theirs.scale_used
+            assert mine.is_key_frame == theirs.is_key_frame
+            np.testing.assert_array_equal(mine.detection.boxes, theirs.detection.boxes)
+            np.testing.assert_array_equal(mine.detection.scores, theirs.detection.scores)
+            np.testing.assert_array_equal(
+                mine.detection.class_ids, theirs.detection.class_ids
+            )
+        assert not replica.alive
+        assert replica._process.exitcode == 0
+
+    def test_sigterm_exits_cleanly_with_no_orphans(
+        self, micro_config, micro_bundle_dir
+    ):
+        """SIGTERM (the CI/pytest teardown signal) must mean exit 0, not -15."""
+        replica = ProcessReplica(_spec(micro_config, micro_bundle_dir), FAST_RESPAWN)
+        replica.start()
+        try:
+            os.kill(replica.pid, signal.SIGTERM)
+            replica._process.join(15.0)
+            assert replica._process.exitcode == 0
+        finally:
+            replica.stop()
+        assert replica._process not in multiprocessing.active_children()
+
+
+class TestServerClose:
+    def test_close_is_idempotent_started_or_not(self, micro_bundle):
+        never_started = InferenceServer(micro_bundle, serving=DETERMINISTIC_SERVING)
+        never_started.close()
+        never_started.close()  # second close on an un-started server: no-op
+
+        server = InferenceServer(micro_bundle, serving=DETERMINISTIC_SERVING).start()
+        server.close()
+        server.close()
+        server.stop()  # stop after close is equally harmless
+
+    def test_context_manager_survives_redundant_stop(self, micro_bundle):
+        with InferenceServer(micro_bundle, serving=DETERMINISTIC_SERVING) as server:
+            server.close()
+        server.close()
+
+
+def _fleet(micro_config, micro_bundle_dir, count=2):
+    """A started fleet + router + supervisor wired like the controller does."""
+    replicas = [
+        ProcessReplica(_spec(micro_config, micro_bundle_dir, shard_id), FAST_RESPAWN)
+        for shard_id in range(count)
+    ]
+    for replica in replicas:
+        replica.start(wait_ready=False)
+    for replica in replicas:
+        replica.wait_ready(ProcessPoolConfig().start_timeout_s)
+    router = Router(RouterConfig())
+    timeline = []
+    supervisor = ReplicaSupervisor(
+        replicas, router, FAST_RESPAWN, on_action=timeline.append
+    )
+    return replicas, router, supervisor, timeline
+
+
+def _shutdown_fleet(fleet):
+    for replica in fleet:
+        replica.stop()
+
+
+def _crash_and_recover(victim, fleet, supervisor, timeout=20.0):
+    """Drive the supervisor through crash → migrate → respawn → ready."""
+    _wait_for(lambda: victim.crashed, timeout, "crash detection")
+    supervisor.poll(now=0.0)  # detect + migrate + schedule respawn
+    supervisor.poll(now=FAST_RESPAWN.respawn_backoff_max_s)  # backoff elapsed
+    assert supervisor.respawns == 1
+    respawned = next(r for r in fleet if r.shard_id == victim.shard_id)
+    assert respawned is not victim
+    respawned.wait_ready(ProcessPoolConfig().start_timeout_s)
+    return respawned
+
+
+class TestFaultInjection:
+    def test_kill_while_frames_queue_wait(self, micro_config, micro_bundle_dir, frames):
+        """SIGKILL with a full queue: every waiting future resolves as migrated."""
+        fleet, router, supervisor, timeline = _fleet(micro_config, micro_bundle_dir)
+        try:
+            home = router.assign(0, fleet)
+            home.open_stream(0)
+            requests = [
+                home.submit(0, frames[index % len(frames)], index) for index in range(8)
+            ]
+            home.kill()  # most frames are still queue-waiting in the child
+
+            survivor = _crash_and_recover(home, fleet, supervisor)
+            results = [request.result(timeout=10.0) for request in requests]
+            assert all(
+                result.status in (RequestStatus.COMPLETED, RequestStatus.MIGRATED)
+                for result in results
+            )
+            assert any(result.status is RequestStatus.MIGRATED for result in results)
+
+            assert supervisor.crashes == 1
+            assert supervisor.migrated_streams == 1
+            assert supervisor.stranded_streams == 0
+            assert home.metrics.snapshot().shed_by_cause["migrated"] >= 1
+            assert [a.action for a in timeline].count("crash") == 1
+            assert "migrate" in [a.action for a in timeline]
+            assert "respawn" in [a.action for a in timeline]
+
+            # The stream lives on: its new home serves the next frame.
+            new_home = router.lookup(0)
+            assert new_home is not home and new_home in fleet
+            follow_up = new_home.submit(0, frames[0], 100)
+            assert follow_up.result(timeout=30.0).status is RequestStatus.COMPLETED
+            assert survivor.alive
+        finally:
+            _shutdown_fleet(fleet)
+
+    def test_kill_mid_batch_after_first_commit(
+        self, micro_config, micro_bundle_dir, frames
+    ):
+        """SIGKILL while results are flowing: completed frames stay completed,
+        the rest migrate, and the re-seed scale is the last committed one."""
+        fleet, router, supervisor, timeline = _fleet(micro_config, micro_bundle_dir)
+        try:
+            home = router.assign(0, fleet)
+            home.open_stream(0)
+            requests = [
+                home.submit(0, frames[index % len(frames)], index) for index in range(6)
+            ]
+            first = requests[0].result(timeout=30.0)  # ≥1 frame committed
+            assert first.status is RequestStatus.COMPLETED
+            committed_scale = home.last_scale(0)
+            assert committed_scale is not None
+            home.kill()
+
+            _crash_and_recover(home, fleet, supervisor)
+            statuses = [request.result(timeout=10.0).status for request in requests]
+            assert statuses[0] is RequestStatus.COMPLETED
+            assert all(
+                status in (RequestStatus.COMPLETED, RequestStatus.MIGRATED)
+                for status in statuses
+            )
+
+            new_home = router.lookup(0)
+            migrate = next(a for a in timeline if a.action == "migrate")
+            assert f"scale re-seeded to {home.last_scale(0)}" in migrate.reason
+            assert new_home.last_scale(0) == home.last_scale(0)
+            assert supervisor.stranded_streams == 0
+        finally:
+            _shutdown_fleet(fleet)
+
+    def test_post_commit_migration_is_bit_identical(
+        self, micro_config, micro_bundle_dir, frames
+    ):
+        """Kill between frames: the migrated tail matches an uninterrupted run.
+
+        With DFF off (``key_frame_interval=1``, the deterministic serving
+        default here) a frame's detection depends only on the weights and the
+        stream's scale chain.  Re-seeding the migrated stream with the last
+        committed scale therefore continues the chain exactly — the migrated
+        frames must be bit-identical to the same frames on an uninterrupted
+        single server.  (With DFF *on*, a non-key frame after migration would
+        be re-detected from a fresh key frame instead of flowed features —
+        correct but not bit-identical, which is why this test pins DFF off.)
+        """
+        spec = _spec(micro_config, micro_bundle_dir)
+        reference = spec.build().start()
+        try:
+            reference.open_stream(7)
+            expected = _run_sequence(reference, frames, 7, range(6))
+        finally:
+            reference.stop()
+
+        fleet, router, supervisor, _ = _fleet(micro_config, micro_bundle_dir)
+        try:
+            home = router.assign(7, fleet)
+            home.open_stream(7)
+            head = _run_sequence(home, frames, 7, range(3))
+            assert [r.status for r in head] == [RequestStatus.COMPLETED] * 3
+            home.kill()  # post-commit: nothing in flight, scale 3 committed
+
+            _crash_and_recover(home, fleet, supervisor)
+            new_home = router.lookup(7)
+            assert new_home is not home
+            tail = _run_sequence(new_home, frames, 7, range(3, 6))
+
+            assert [r.status for r in tail] == [RequestStatus.COMPLETED] * 3
+            for mine, theirs in zip(head + tail, expected):
+                assert mine.scale_used == theirs.scale_used
+                np.testing.assert_array_equal(
+                    mine.detection.boxes, theirs.detection.boxes
+                )
+                np.testing.assert_array_equal(
+                    mine.detection.scores, theirs.detection.scores
+                )
+                np.testing.assert_array_equal(
+                    mine.detection.class_ids, theirs.detection.class_ids
+                )
+            assert supervisor.migrated_streams == 1
+            assert supervisor.stranded_streams == 0
+        finally:
+            _shutdown_fleet(fleet)
+
+
+class TestProcessModeEndToEnd:
+    def test_scenario_with_injected_kill(
+        self, micro_bundle, micro_bundle_dir
+    ):
+        """The full stack: CLI-equivalent scenario run with a scheduled kill."""
+        import repro.api as api
+
+        cluster = api.Cluster(
+            bundle=micro_bundle,
+            cluster=ClusterConfig(
+                num_shards=2,
+                mode="process",
+                governor=ClusterConfig().governor.with_(enabled=False),
+            ),
+        )
+        cluster._bundle_dir = micro_bundle_dir
+        report = cluster.run_scenario(
+            "flash_crowd",
+            fault="kill-replica:shard=0,at=1.0",
+            time_scale=0.5,
+            duration_s=4.0,
+            num_streams=4,
+            rate_fps=6.0,
+        )
+
+        assert report.mode == "process"
+        assert report.completed > 0
+        assert report.crashes == 1
+        assert report.respawns >= 1
+        assert report.streams_migrated >= 1
+        assert report.streams_stranded == 0
+        assert report.shed_by_cause.get("migrated", 0) >= 0
+        actions = [action.action for action in report.timeline]
+        for expected in ("fault", "crash", "migrate", "respawn"):
+            assert expected in actions
+        # Conservation: every submitted frame reached exactly one terminal state.
+        assert report.submitted == report.completed + report.shed
+
+    def test_fault_spec_parsing_round_trip(self):
+        fault = parse_fault_spec("kill:shard=1,at=2.5")
+        assert (fault.kind, fault.shard_id, fault.at_s) == ("kill-replica", 1, 2.5)
+        with pytest.raises(ValueError):
+            parse_fault_spec("kill:shard=1,typo=2.5")
+        with pytest.raises(ValueError):
+            parse_fault_spec("unknown-kind")
