@@ -1,8 +1,8 @@
 """Cluster scaling + SLO benchmark (the load-bearing claims of ``repro.cluster``).
 
-Three experiments.  The first two run on the virtual-time engine with a
+Four experiments.  The first two run on the virtual-time engine with a
 service model *calibrated by timing this machine's real detector* (see
-:func:`repro.cluster.calibrate_service_model`); the third replays a real
+:func:`repro.cluster.calibrate_service_model`); the last two replay a real
 workload over real OS processes:
 
 * **Shard scaling** — one saturating steady trace replayed over 1, 2 and 4
@@ -24,6 +24,11 @@ workload over real OS processes:
   asserts only on runners with ≥4 cores, where the parallelism physically
   exists.  Structural gates (lossless, zero crashes, identical frame
   populations) hold everywhere.
+* **Fleet-tracing overhead** — the 2-shard process fleet twice per repeat,
+  untraced vs fully traced (child span shipping + metric federation over the
+  frame pipes), legs interleaved and the median taken.  The gate: tracing-on
+  wall fps ≥ 0.90× tracing-off, with zero spans shed at the IPC export
+  buffers (asserted unconditionally — losslessness is noise-free).
 
 Results land in ``benchmarks/results/BENCH_cluster_scaling.json``; the CI
 ``cluster-smoke`` job validates the artefact against the bench schema and
@@ -34,6 +39,8 @@ from __future__ import annotations
 
 import os
 
+import statistics
+
 from conftest import CACHE_DIR, FAST, write_result
 from repro import api
 from repro.cluster import (
@@ -43,7 +50,7 @@ from repro.cluster import (
     run_scaling_suite,
     run_slo_suite,
 )
-from repro.config import ServingConfig
+from repro.config import ServingConfig, TelemetryConfig
 from repro.evaluation import format_table
 from repro.evaluation.reporting import format_float
 
@@ -193,6 +200,56 @@ def test_cluster_scaling_and_slo(vid_bundle):
             "p95_ms": float(report.p95_ms),
         }
 
+    # -- experiment 4: fleet-tracing overhead in process mode ------------------
+    # The distributed tracer batches child spans over the telemetry cadence and
+    # federates metric deltas across the same pipes that carry frames, so the
+    # claim to defend is that a fully traced fleet serves frames at (nearly)
+    # the untraced rate.  Legs are interleaved and the median taken, exactly
+    # like the single-process telemetry A/B in BENCH_serving.
+    overhead_repeats = 2 if FAST else 3
+    telemetry = TelemetryConfig(enabled=True, ring_capacity=1 << 18)
+    untraced_samples: list[float] = []
+    traced_samples: list[float] = []
+    traced_drops = 0
+    for _ in range(overhead_repeats):
+        off = facade.run_scenario(
+            "steady",
+            shards=2,
+            time_scale=0.05,
+            num_streams=4,
+            duration_s=2.0,
+            rate_fps=float(capacity_1),
+        )
+        untraced_samples.append(off.throughput_fps)
+        on = facade.run_scenario(
+            "steady",
+            shards=2,
+            time_scale=0.05,
+            num_streams=4,
+            duration_s=2.0,
+            rate_fps=float(capacity_1),
+            telemetry=telemetry,
+        )
+        traced_samples.append(on.throughput_fps)
+        traced_drops += on.span_drops
+        assert on.shed == 0 and off.shed == 0
+        assert on.completed == off.completed
+    untraced_fps = statistics.median(untraced_samples)
+    traced_fps = statistics.median(traced_samples)
+    overhead_ratio = traced_fps / untraced_fps if untraced_fps > 0 else 0.0
+    overhead_rows = [
+        ["tracing off", format_float(untraced_fps, 1), "1.00x"],
+        ["full fleet tracing", format_float(traced_fps, 1),
+         format_float(overhead_ratio, 3) + "x"],
+    ]
+    process_data["telemetry_overhead"] = {
+        "repeats": overhead_repeats,
+        "untraced_wall_fps": float(untraced_fps),
+        "traced_wall_fps": float(traced_fps),
+        "traced_ratio": float(overhead_ratio),
+        "span_drops": int(traced_drops),
+    }
+
     scaling_table = format_table(
         ["Shards", "Served", "Shed", "Aggregate FPS", "p95 (ms)", "vs 1 shard"],
         scaling_rows,
@@ -217,11 +274,21 @@ def test_cluster_scaling_and_slo(vid_bundle):
             f"wall clock on {process_data['cpu_cores']} core(s)"
         ),
     )
+    overhead_table = format_table(
+        ["Fleet telemetry", "Wall FPS", "vs off"],
+        overhead_rows,
+        title=(
+            "Process-mode tracing overhead (2 shards) — median of "
+            f"{overhead_repeats} interleaved repeats"
+        ),
+    )
     model_lines = "Calibrated service model (real detector timings):\n" + "\n".join(
         f"  scale {scale:>4}: {ms:7.2f} ms/frame"
         for scale, ms in zip(model.scales, model.frame_ms)
     ) + f"\n  batch marginal: {model.batch_marginal:.2f}"
-    table = "\n\n".join([scaling_table, slo_table, process_table, model_lines])
+    table = "\n\n".join(
+        [scaling_table, slo_table, process_table, overhead_table, model_lines]
+    )
 
     write_result(
         "cluster_scaling",
@@ -257,7 +324,16 @@ def test_cluster_scaling_and_slo(vid_bundle):
         assert report.shed == 0
         assert report.crashes == 0 and report.streams_stranded == 0
         assert report.completed == process_reports[1].completed
+    # Tracing must stay off the hot path structurally: every child span either
+    # shipped or was counted, and nothing was counted.
+    assert traced_drops == 0, f"{traced_drops} spans shed at the IPC export buffer"
     # The wall-clock scaling gate needs real cores to schedule shards onto;
     # on fewer the artefact still records the honest ratio + core count.
     if (os.cpu_count() or 1) >= 4:
         assert wall_ratio >= 1.5, f"2-shard process-mode wall ratio only {wall_ratio:.2f}x"
+    # Tracing-overhead wall gate: only meaningful with interleaved repetitions
+    # (single FAST samples on a shared runner are noise-dominated).
+    if overhead_repeats >= 3:
+        assert traced_fps >= 0.90 * untraced_fps, (
+            f"fleet tracing cost {1.0 - overhead_ratio:.1%} of wall fps"
+        )

@@ -649,6 +649,16 @@ class Cluster:
         injection the same way.  ``telemetry`` traces the run
         (both backends emit the same event vocabulary); events come back on
         ``ClusterReport.trace_events``.
+
+        In process mode the telemetry config also ships to every spawned
+        replica (inside its :class:`~repro.cluster.ReplicaSpec`): each child
+        activates its own tracer, batches span events over IPC on the
+        telemetry cadence, and the parent rebases their timestamps onto its
+        monotonic clock (offset estimated by a ping/pong burst at handshake)
+        and re-namespaces their ids — so one traced run yields one coherent
+        fleet-wide timeline, supervisor crash→migrate→respawn spans included.
+        Span shipping never blocks serving; any events shed under pressure
+        are counted on ``ClusterReport.span_drops``.
         """
         cluster = self.cluster
         if shards is not None:

@@ -220,6 +220,30 @@ def build_parser() -> argparse.ArgumentParser:
             "streams share scheduler batch buckets"
         ),
     )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace the run: admission/queue/service spans and completions",
+    )
+    serve.add_argument(
+        "--telemetry-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of frames to trace, deterministic per admission (default: 1.0)",
+    )
+    serve.add_argument(
+        "--span-log",
+        type=Path,
+        default=None,
+        help="write every captured event as JSONL here (implies --telemetry)",
+    )
+    serve.add_argument(
+        "--export-trace",
+        type=Path,
+        default=None,
+        help="write a Chrome trace-event JSON of the run here (implies --telemetry)",
+    )
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -530,6 +554,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.unbatched:
         serving = serving.with_(batched_execution=False)
 
+    telemetry = None
+    if args.telemetry or args.span_log is not None or args.export_trace is not None:
+        try:
+            telemetry = pipeline.config.telemetry.with_(
+                enabled=True,
+                sample_rate=args.telemetry_sample,
+                jsonl_path=str(args.span_log) if args.span_log is not None else "",
+                # Exports want the whole run, not the last ring-full of it.
+                ring_capacity=max(pipeline.config.telemetry.ring_capacity, 262_144),
+            )
+            telemetry.validate()
+        except ValueError as exc:
+            raise SystemExit(f"repro serve: error: {exc}") from exc
+
     with api.Server(pipeline.bundle, serving=serving) as server:
         report = server.serve_load(
             streams=args.streams,
@@ -538,6 +576,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             rate_fps=args.rate,
             time_scale=args.time_scale,
             seed=args.seed if args.seed is not None else 0,
+            telemetry=telemetry,
         )
     print(
         report.format(
@@ -547,6 +586,13 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
         )
     )
+    if args.span_log is not None:
+        print(f"Wrote telemetry span log ({len(report.trace_events)} events) to {args.span_log}")
+    if args.export_trace is not None:
+        from repro.observability import write_chrome_trace
+
+        path = write_chrome_trace(args.export_trace, report.trace_events)
+        print(f"Wrote Chrome trace ({len(report.trace_events)} events) to {path}")
     return 0
 
 
@@ -751,6 +797,44 @@ def _run_obs(args: argparse.Namespace) -> int:
                 title="Shard rollup",
             )
         )
+
+    # Process-mode logs: rebased child events carry the worker's real OS pid
+    # and respawn generation, so the fleet shape is recoverable from the log.
+    fleet: dict[tuple[int, int, int], int] = {}
+    for event in events:
+        os_pid = event.attrs.get("os_pid")
+        if isinstance(os_pid, int) and os_pid > 0:
+            key = (event.shard_id, int(os_pid), int(event.attrs.get("generation", 0)))
+            fleet[key] = fleet.get(key, 0) + 1
+    if fleet:
+        sections.append(
+            format_table(
+                ["Shard", "Worker pid", "Generation", "Events"],
+                [
+                    [str(shard), str(pid), str(generation), str(count)]
+                    for (shard, pid, generation), count in sorted(fleet.items())
+                ],
+                title="Process fleet (from rebased child events)",
+            )
+        )
+
+    supervisor = [
+        event for event in events
+        if event.kind == "span" and event.name.startswith("supervisor/")
+    ]
+    if supervisor:
+        lines = []
+        for event in sorted(supervisor, key=lambda event: event.start_s):
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.attrs.items())
+                if value not in ("", None)
+            )
+            lines.append(
+                f"  t={event.start_s:12.2f}s shard {event.shard_id}: "
+                f"{event.name} ({event.duration_s * 1000.0:.1f} ms{', ' + detail if detail else ''})"
+            )
+        sections.append("Supervisor timeline (crash / migrate / respawn):\n" + "\n".join(lines))
 
     decisions = [event for event in events if event.kind == "decision"]
     if decisions:

@@ -38,6 +38,7 @@ from repro.cluster.scenarios import WorkloadTrace, build_scenario
 from repro.cluster.service_model import ServiceModel
 from repro.cluster.simulation import ClusterSimulation
 from repro.config import AdaScaleConfig, ServingConfig
+from repro.observability.trace import active_tracer
 from repro.registries import CLUSTER_AUTOSCALERS, CLUSTER_GOVERNORS
 from repro.serving.loadgen import round_robin_streams
 
@@ -241,6 +242,12 @@ class ClusterController:
         a saved bundle), the :class:`~repro.cluster.procpool.ReplicaSupervisor`
         in the tick loop (crash → migrate → respawn), the configured fault
         injector, and — because shard add/drain is real here — the autoscaler.
+
+        When a tracer is active, its config rides inside every spawned
+        replica's spec: the children trace their own serving stacks and ship
+        spans/metric deltas back over IPC, the proxies rebase them onto this
+        process's clock, and one ``cluster/run`` envelope span brackets the
+        whole run — so every rebased child timestamp must land inside it.
         """
         governor = _build_governor(self.cluster, self.ladder)
         autoscaler = _build_autoscaler(self.cluster)
@@ -251,10 +258,13 @@ class ClusterController:
             scratch_dir = tempfile.mkdtemp(prefix="repro-cluster-bundle-")
             self.bundle.save(scratch_dir)
             bundle_dir = scratch_dir
+        run_tracer = active_tracer()
+        run_start = time.monotonic()
 
         def spec_for(shard_id: int) -> ReplicaSpec:
             return ReplicaSpec.for_bundle_dir(
-                shard_id, self.bundle.config, self.serving, bundle_dir
+                shard_id, self.bundle.config, self.serving, bundle_dir,
+                telemetry=run_tracer.config if run_tracer is not None else None,
             )
 
         timeline: list[GovernorAction] = []
@@ -344,6 +354,19 @@ class ClusterController:
                 replica.stop()
             if scratch_dir is not None:
                 shutil.rmtree(scratch_dir, ignore_errors=True)
+        if run_tracer is not None:
+            # The run envelope: every child span, rebased, must land inside
+            # this window — the cross-process clock alignment's acceptance
+            # check, and Perfetto's outermost context for the fleet.
+            run_tracer.span(
+                "cluster/run",
+                start_s=run_start,
+                duration_s=time.monotonic() - run_start,
+                shard_id=-1,
+                scenario=name,
+                mode="process",
+                shards=self.cluster.num_shards,
+            )
         snapshots = {
             shard_id: metrics.snapshot()
             for shard_id, metrics in sorted(shard_metrics.items())
@@ -362,6 +385,8 @@ class ClusterController:
             streams_stranded=supervisor.stranded_streams,
             crashes=supervisor.crashes,
             respawns=supervisor.respawns,
+            span_drops=supervisor.span_drops
+            + sum(replica.span_drops for replica in fleet),
         )
 
 

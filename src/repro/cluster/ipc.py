@@ -38,6 +38,7 @@ from typing import Any, Protocol
 import numpy as np
 
 __all__ = [
+    "CLOCK_PROBES",
     "ChannelClosed",
     "DEFAULT_MAX_FRAME_BYTES",
     "FrameCorrupt",
@@ -48,18 +49,23 @@ __all__ = [
     "HEADER",
     "MAGIC",
     "PROTOCOL_VERSION",
+    "SPANS_PER_MESSAGE",
     "BufferStream",
     "PipeStream",
     "decode_frame",
     "encode_frame",
     # message vocabulary
+    "ClockPing",
+    "ClockPong",
     "CloseStream",
     "Done",
     "Hello",
+    "MetricFamilies",
     "OpenStream",
     "SetMaxBatchSize",
     "SetScaleCap",
     "Shutdown",
+    "Spans",
     "Submit",
     "Telemetry",
 ]
@@ -393,4 +399,66 @@ class Telemetry:
     max_batch_size: int = 0
     batch_sizes: tuple[int, ...] = field(default=())
     queue_depths: tuple[int, ...] = field(default=())
+    final: bool = False
+
+
+#: Number of clock probes the parent fires at handshake.  The offset estimate
+#: keeps the minimum-RTT sample (NTP style), so a few probes suffice to dodge
+#: a single scheduling hiccup.
+CLOCK_PROBES = 5
+
+#: Upper bound on span-event dicts per :class:`Spans` message.  Events are
+#: small dicts, so this keeps each frame far under ``DEFAULT_MAX_FRAME_BYTES``
+#: while amortising the framing/pickling cost across a batch.
+SPANS_PER_MESSAGE = 512
+
+
+@dataclass(frozen=True)
+class ClockPing:
+    """Parent → child: one monotonic-clock probe (``sent_s`` = parent clock)."""
+
+    sent_s: float
+
+
+@dataclass(frozen=True)
+class ClockPong:
+    """Child → parent: probe echo with the child's own monotonic reading.
+
+    The parent estimates ``offset = child_s - (sent_s + recv_s) / 2`` with
+    uncertainty ``rtt / 2`` and rebases every child span timestamp by
+    subtracting the offset — one timeline for the whole fleet.
+    """
+
+    sent_s: float
+    child_s: float
+
+
+@dataclass(frozen=True)
+class Spans:
+    """Child → parent: a batch of span events from the child's tracer.
+
+    ``events`` are :meth:`~repro.observability.trace.SpanEvent.to_dict`
+    payloads (plain dicts keep the wire inspectable); timestamps and ids are
+    still in the *child's* clock/id space — the parent rebases both on
+    receipt.  ``dropped`` is the child buffer's cumulative overflow count:
+    span shipping never blocks the serving hot path, it sheds and counts.
+    """
+
+    events: tuple[dict, ...] = field(default=())
+    dropped: int = 0
+    final: bool = False
+
+
+@dataclass(frozen=True)
+class MetricFamilies:
+    """Child → parent: metric-family deltas since the previous report.
+
+    ``families`` maps family name to ``{"type", "help", "cells": [...]}``
+    where each cell carries its label dict plus an ``inc`` (counter delta),
+    ``set`` (gauge level) or ``count``/``sum`` (histogram delta) payload —
+    see :func:`repro.observability.metrics.diff_snapshots`.  The parent
+    merges them into its registry under shard/pid/generation labels.
+    """
+
+    families: dict = field(default_factory=dict)
     final: bool = False

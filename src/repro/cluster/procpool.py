@@ -36,36 +36,46 @@ pickled-config spawn seam — into real OS processes.  Three pieces:
 
 from __future__ import annotations
 
+import itertools
 import math
 import multiprocessing
 import os
 import signal
 import threading
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.cluster.config import ProcessPoolConfig
 from repro.cluster.governor import GovernorAction
 from repro.cluster.ipc import (
+    CLOCK_PROBES,
+    SPANS_PER_MESSAGE,
     ChannelClosed,
+    ClockPing,
+    ClockPong,
     CloseStream,
     Done,
     FrameError,
     FramedChannel,
     Hello,
+    MetricFamilies,
     OpenStream,
     PipeStream,
     SetMaxBatchSize,
     SetScaleCap,
     Shutdown,
+    Spans,
     Submit,
     Telemetry,
 )
 from repro.cluster.replica import ReplicaSpec
-from repro.config import ServingConfig
+from repro.config import ServingConfig, TelemetryConfig
 from repro.detection.rfcn import DetectionResult
-from repro.observability.trace import active_tracer
+from repro.observability.metrics import MetricsRegistry, diff_snapshots, get_registry
+from repro.observability.sinks import SpanExportBuffer
+from repro.observability.trace import SpanEvent, Tracer, active_tracer
 from repro.registries import SHARD_BACKENDS
 from repro.serving.metrics import ServerMetrics
 from repro.serving.request import FrameRequest, FrameResult, RequestStatus
@@ -87,10 +97,19 @@ def replica_main(spec: ReplicaSpec, connection, metrics_interval_s: float = 0.2)
     """Entry point of one spawned replica process.
 
     Builds the replica from ``spec`` (bundle loaded from ``spec.bundle_dir``),
-    announces readiness with ``Hello``, then serves the message loop until a
-    ``Shutdown`` message, SIGTERM, or parent death.  Always stops the server
-    before returning, so worker threads never outlive the message loop; a
-    clean path exits with status 0.
+    announces readiness with ``Hello``, answers the parent's clock probes,
+    then serves the message loop until a ``Shutdown`` message, SIGTERM, or
+    parent death.  Always stops the server before returning, so worker
+    threads never outlive the message loop; a clean path exits with status 0.
+
+    When ``spec.telemetry`` is set the child activates its *own* tracer: the
+    serving stack's instrumentation sites light up exactly as they would
+    in-process, spans land in a bounded :class:`SpanExportBuffer` (overflow
+    sheds and counts, never blocks admission or workers), and the buffer is
+    drained into batched ``Spans`` messages on the telemetry cadence — plus
+    one final flush after the server stops, so crash-free shutdowns lose
+    nothing.  Metric-family deltas of the child's default registry ship the
+    same way (``MetricFamilies``).
     """
     stop_requested = threading.Event()
 
@@ -172,16 +191,91 @@ def replica_main(spec: ReplicaSpec, connection, metrics_interval_s: float = 0.2)
             final=final,
         )
 
+    # Child-side telemetry: the spec carries the run's TelemetryConfig, so
+    # the serving stack's instrumentation lights up in this process too.
+    telemetry_config = (
+        TelemetryConfig.from_dict(spec.telemetry) if spec.telemetry else None
+    )
+    tracer: Tracer | None = None
+    span_buffer: SpanExportBuffer | None = None
+    registry = get_registry()
+    registry_mark: dict = {}
+    drops_shipped = 0
+    if telemetry_config is not None and telemetry_config.enabled:
+        # The parent owns the span log and ring; here the ring is just a
+        # local debugging aid and the export buffer is the real sink.
+        tracer = Tracer(telemetry_config.with_(jsonl_path=""))
+        span_buffer = SpanExportBuffer(
+            capacity=max(telemetry_config.ring_capacity, 4096)
+        )
+        tracer.add_sink(span_buffer)
+        tracer.__enter__()
+    drop_counter = registry.counter(
+        "repro_trace_span_drops_total",
+        help="Spans shed at the replica's IPC export buffer (overflow)",
+    ).labels(shard=str(spec.shard_id))
+
+    def _ship_spans(final: bool = False) -> None:
+        """Drain the export buffer into batched Spans messages (off hot path)."""
+        nonlocal drops_shipped
+        if span_buffer is None:
+            return
+        dropped = span_buffer.dropped
+        if dropped > drops_shipped:
+            drop_counter.inc(dropped - drops_shipped)
+            drops_shipped = dropped
+        payloads = [event.to_dict() for event in span_buffer.drain()]
+        if not payloads and not final:
+            return
+        for start in range(0, max(len(payloads), 1), SPANS_PER_MESSAGE):
+            chunk = tuple(payloads[start:start + SPANS_PER_MESSAGE])
+            last = start + SPANS_PER_MESSAGE >= len(payloads)
+            _send(Spans(events=chunk, dropped=dropped, final=final and last))
+
+    def _ship_metrics(final: bool = False) -> None:
+        """Ship the registry's family deltas since the previous cadence."""
+        nonlocal registry_mark
+        if telemetry_config is None:
+            return
+        current = registry.snapshot()
+        delta = diff_snapshots(registry_mark, current)
+        registry_mark = current
+        if delta or final:
+            _send(MetricFamilies(families=delta, final=final))
+
     _send(Hello(shard_id=spec.shard_id, pid=os.getpid()))
+    # Clock handshake: the parent fires CLOCK_PROBES pings right after Hello
+    # (before it routes any traffic here), so answering them first gives the
+    # tightest possible RTT — and pipe FIFO ordering guarantees every pong
+    # reaches the parent before the first shipped span needs rebasing.
+    pending: list = []
+    probes = 0
+    while probes < CLOCK_PROBES and not stop_requested.is_set():
+        if not channel.poll(0.05):
+            continue
+        try:
+            message = channel.recv()
+        except FrameError:
+            stop_requested.set()
+            break
+        if isinstance(message, ClockPing):
+            _send(ClockPong(sent_s=message.sent_s, child_s=time.monotonic()))
+            probes += 1
+        else:
+            pending.append(message)  # early control traffic: handled below
     cancel_pending = False
     next_report = time.monotonic() + metrics_interval_s
     try:
         while not stop_requested.is_set():
-            if channel.poll(0.05):
+            message = None
+            if pending:
+                message = pending.pop(0)
+            elif channel.poll(0.05):
                 try:
                     message = channel.recv()
                 except FrameError:
                     break  # parent is gone (or corrupted): shut down
+            if message is not None:
                 if isinstance(message, Submit):
                     request = server.submit(
                         message.stream_id, message.image, frame_index=message.frame_index
@@ -202,6 +296,8 @@ def replica_main(spec: ReplicaSpec, connection, metrics_interval_s: float = 0.2)
                     server.set_scale_cap(message.scale_cap)
                 elif isinstance(message, SetMaxBatchSize):
                     server.set_max_batch_size(message.max_batch_size)
+                elif isinstance(message, ClockPing):
+                    _send(ClockPong(sent_s=message.sent_s, child_s=time.monotonic()))
                 elif isinstance(message, Shutdown):
                     cancel_pending = message.cancel_pending
                     break
@@ -209,15 +305,28 @@ def replica_main(spec: ReplicaSpec, connection, metrics_interval_s: float = 0.2)
             if now >= next_report:
                 next_report = now + metrics_interval_s
                 _send(_telemetry())
+                _ship_spans()
+                _ship_metrics()
     finally:
         # Stop first: cancelled/served futures fire their callbacks, so every
-        # Done reaches the parent before the final telemetry frame.
+        # Done — and every span those completions emit — reaches the parent
+        # before the final telemetry/span/metrics flush.
         server.stop(cancel_pending=cancel_pending)
         _send(_telemetry(final=True))
+        _ship_metrics(final=True)
+        _ship_spans(final=True)
+        if tracer is not None:
+            tracer.__exit__(None, None, None)
         channel.close()
 
 
 # -- parent side ---------------------------------------------------------------
+#: Each spawned replica (per generation) gets a disjoint id namespace so the
+#: merged fleet trace never collides two children's sequential trace/span ids.
+_TRACE_NAMESPACES = itertools.count(1)
+_TRACE_NAMESPACE_BITS = 32
+
+
 @SHARD_BACKENDS.register("process")
 class ProcessReplica:
     """Parent-side proxy for one spawned replica process.
@@ -226,7 +335,17 @@ class ProcessReplica:
     surface; per-frame results resolve the same ``FrameRequest`` futures the
     in-process backend returns.  ``metrics`` accepts an existing
     :class:`~repro.serving.metrics.ServerMetrics` so a respawned shard keeps
-    accumulating into its predecessor's counters.
+    accumulating into its predecessor's counters; ``registry`` (default: the
+    process-wide one) receives the child's shipped metric-family deltas under
+    ``shard``/``pid``/``generation`` labels, and ``generation`` counts
+    respawns of the same shard id.
+
+    On the child's ``Hello`` the proxy fires :data:`CLOCK_PROBES` clock pings
+    and keeps the minimum-RTT sample: ``clock_offset_s`` (child minus parent
+    monotonic clock) ± ``clock_uncertainty_s``.  Every shipped child span is
+    rebased onto the parent timeline with that offset, re-namespaced, tagged
+    with ``os_pid``/``generation`` attrs and ingested into the parent's
+    active tracer — one coherent trace for the whole fleet.
     """
 
     def __init__(
@@ -234,6 +353,8 @@ class ProcessReplica:
         spec: ReplicaSpec,
         procpool: ProcessPoolConfig | None = None,
         metrics: ServerMetrics | None = None,
+        registry: MetricsRegistry | None = None,
+        generation: int = 0,
     ) -> None:
         self.spec = spec
         self.procpool = procpool if procpool is not None else ProcessPoolConfig()
@@ -241,6 +362,14 @@ class ProcessReplica:
         self.serving = ServingConfig.from_dict(spec.serving)
         self.baseline_batch_size = self.serving.max_batch_size
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.registry = registry if registry is not None else get_registry()
+        self.generation = int(generation)
+        self.clock_offset_s: float | None = None
+        self.clock_uncertainty_s: float | None = None
+        self._clock_samples: list[tuple[float, float]] = []
+        self._trace_namespace = next(_TRACE_NAMESPACES)
+        self._pending_spans: list[dict] = []
+        self._span_drops = 0
         #: deadlock-freedom invariant: everything the parent has in flight
         #: always fits the child's queue, so child-side admission never blocks
         self.max_inflight = min(
@@ -320,10 +449,13 @@ class ProcessReplica:
             if self._process.is_alive():  # pragma: no cover - last resort
                 self._process.kill()
                 self._process.join(2.0)
-        if self._channel is not None:
-            self._channel.close()
+        # Join the reader *before* closing the channel: the child's exit
+        # guarantees EOF, and the reader must drain the buffered final
+        # telemetry/span/metric flush rather than have the pipe yanked away.
         if self._reader is not None and self._reader is not threading.current_thread():
             self._reader.join(2.0)
+        if self._channel is not None:
+            self._channel.close()
         # Anything still unresolved (child died mid-shutdown) must not hang
         # a caller blocked on request.result().
         for stream_id in self.assigned_streams():
@@ -346,21 +478,116 @@ class ProcessReplica:
                 message = self._channel.recv()
                 if isinstance(message, Hello):
                     self.pid = message.pid
+                    if self.spec.telemetry:
+                        # Pre-register the drop counter under this replica's
+                        # fleet labels: the child only ships *changed* cells,
+                        # so a lossless run would otherwise never export the
+                        # zero that proves it lossless.
+                        self.registry.counter(
+                            "repro_trace_span_drops_total",
+                            help="Spans shed at the replica's IPC export buffer (overflow)",
+                        ).labels(
+                            shard=str(self.shard_id),
+                            pid=str(message.pid),
+                            generation=str(self.generation),
+                        )
+                    # Clock probes go out *before* accepting flips, so they
+                    # hit the child's dedicated handshake loop back-to-back
+                    # (minimum RTT) and precede any control/data traffic.
+                    for _ in range(CLOCK_PROBES):
+                        self._send_quietly(ClockPing(sent_s=time.monotonic()))
                     self.accepting = True
                     self._ready.set()
                 elif isinstance(message, Done):
                     self._on_done(message)
                 elif isinstance(message, Telemetry):
                     self._on_telemetry(message)
+                elif isinstance(message, ClockPong):
+                    self._on_clock_pong(message)
+                elif isinstance(message, Spans):
+                    self._on_spans(message)
+                elif isinstance(message, MetricFamilies):
+                    self._on_metric_families(message)
         except FrameError:
             pass  # EOF / truncation: orderly close or a crash — decided below
         finally:
+            self._finalize_clock()
             with self._turn:
                 if not self._closing:
                     self.crashed = True
                 self.accepting = False
                 self._turn.notify_all()
             self._ready.set()
+
+    # -- clock offset / span rebasing ----------------------------------------
+    def _on_clock_pong(self, pong: ClockPong) -> None:
+        recv_s = time.monotonic()
+        rtt = max(recv_s - pong.sent_s, 0.0)
+        # The child read its clock somewhere inside [sent, recv]; assuming
+        # the midpoint bounds the error by half the round trip (NTP's rule).
+        offset = pong.child_s - 0.5 * (pong.sent_s + recv_s)
+        self._clock_samples.append((rtt, offset))
+        if len(self._clock_samples) >= CLOCK_PROBES:
+            self._finalize_clock()
+
+    def _finalize_clock(self) -> None:
+        if self.clock_offset_s is not None or not self._clock_samples:
+            return
+        rtt, offset = min(self._clock_samples)
+        self.clock_offset_s = offset
+        self.clock_uncertainty_s = rtt / 2.0
+        pending, self._pending_spans = self._pending_spans, []
+        for payload in pending:
+            self._ingest_span(payload)
+
+    def _on_spans(self, message: Spans) -> None:
+        self._span_drops = max(self._span_drops, int(message.dropped))
+        for payload in message.events:
+            if self.clock_offset_s is None:
+                # Pipe FIFO makes this unreachable in practice (pongs precede
+                # spans), but a lost probe must not lose spans: hold them
+                # until the offset lands (or the reader's final flush).
+                self._pending_spans.append(payload)
+            else:
+                self._ingest_span(payload)
+
+    def _ingest_span(self, payload: dict) -> None:
+        """Rebase one child event onto the parent timeline and re-emit it."""
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        offset = self.clock_offset_s if self.clock_offset_s is not None else 0.0
+        base = self._trace_namespace << _TRACE_NAMESPACE_BITS
+        event = SpanEvent.from_dict(payload)
+        tracer.ingest(
+            replace(
+                event,
+                trace_id=event.trace_id + base if event.trace_id > 0 else event.trace_id,
+                span_id=event.span_id + base,
+                parent_id=None if event.parent_id is None else event.parent_id + base,
+                start_s=event.start_s - offset,
+                attrs={
+                    **dict(event.attrs),
+                    "os_pid": self.pid if self.pid is not None else -1,
+                    "generation": self.generation,
+                },
+            )
+        )
+
+    def _on_metric_families(self, message: MetricFamilies) -> None:
+        self.registry.merge_delta(
+            message.families,
+            extra_labels={
+                "shard": str(self.shard_id),
+                "pid": str(self.pid if self.pid is not None else -1),
+                "generation": str(self.generation),
+            },
+        )
+
+    @property
+    def span_drops(self) -> int:
+        """Spans the child shed at its export buffer (cumulative; 0 = lossless)."""
+        return self._span_drops
 
     def _on_done(self, message: Done) -> None:
         status = RequestStatus(message.status)
@@ -597,6 +824,13 @@ class ReplicaSupervisor:
     references).  ``poll`` is called from the controller's tick loop; it is
     cheap when nothing is wrong.  All times are the controller's relative
     clock (seconds since run start), matching the report timeline.
+
+    When tracing is on, supervision gets its own swimlane: crash handling,
+    each stream's migration, and the crash→respawn outage window are emitted
+    as first-class duration spans (``supervisor/*``, parent monotonic clock —
+    the same timeline child spans are rebased onto) alongside the existing
+    ``cluster/*`` decision events, with injected faults annotated on the
+    crash span they caused.
     """
 
     def __init__(
@@ -614,9 +848,14 @@ class ReplicaSupervisor:
         self.respawns = 0
         self.migrated_streams = 0
         self.stranded_streams = 0
+        #: spans shed by replicas this supervisor already reaped (the live
+        #: fleet's counters are read separately at report time)
+        self.span_drops = 0
         self._attempts: dict[int, int] = {}
         self._respawn_at: dict[int, tuple[float, ProcessReplica]] = {}
         self._handled: set[int] = set()
+        self._fault_notes: dict[int, str] = {}
+        self._crash_abs: dict[int, float] = {}
 
     # -- the watch loop ------------------------------------------------------
     def poll(self, now: float) -> None:
@@ -629,9 +868,11 @@ class ReplicaSupervisor:
             self._respawn(shard_id, now)
 
     def _handle_crash(self, replica: ProcessReplica, now: float) -> None:
+        crash_abs = time.monotonic()
         self.crashes += 1
         replica.accepting = False
         exitcode = replica._process.exitcode if replica._process is not None else None
+        fault = self._fault_notes.pop(replica.shard_id, None)
         _LOGGER.warning(
             "shard %d: replica process died (pid %s, exitcode %s)",
             replica.shard_id, replica.pid, exitcode,
@@ -642,6 +883,8 @@ class ReplicaSupervisor:
         )
         self._migrate_streams(replica, now, cause="crash")
         replica.stop()  # reap the corpse; the channel is already dead
+        self.span_drops += replica.span_drops
+        self._crash_abs[replica.shard_id] = crash_abs
         attempts = self._attempts.get(replica.shard_id, 0) + 1
         self._attempts[replica.shard_id] = attempts
         if attempts <= self.config.max_respawns:
@@ -655,10 +898,24 @@ class ReplicaSupervisor:
                 now, replica.shard_id, "abandon", "process", 1, 0,
                 reason=f"crash {attempts} exceeds max_respawns={self.config.max_respawns}",
             )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.span(
+                "supervisor/crash",
+                start_s=crash_abs,
+                duration_s=time.monotonic() - crash_abs,
+                shard_id=replica.shard_id,
+                pid=replica.pid if replica.pid is not None else -1,
+                generation=replica.generation,
+                exitcode=exitcode if exitcode is not None else 0,
+                fault=fault if fault is not None else "",
+            )
 
     def _migrate_streams(self, replica: ProcessReplica, now: float, cause: str) -> None:
         """Re-home every live stream of ``replica``; account the in-flight loss."""
+        tracer = active_tracer()
         for stream_id in self.router.streams_on(replica):
+            move_abs = time.monotonic()
             scale = replica.last_scale(stream_id)
             target = self.router.reassign(stream_id, self.fleet, exclude=(replica,))
             if target is not None:
@@ -675,20 +932,49 @@ class ReplicaSupervisor:
                         f"scale re-seeded to {scale})"
                     ),
                 )
+                if tracer is not None:
+                    tracer.span(
+                        "supervisor/migrate",
+                        start_s=move_abs,
+                        duration_s=time.monotonic() - move_abs,
+                        shard_id=target.shard_id,
+                        stream_id=stream_id,
+                        from_shard=replica.shard_id,
+                        to_shard=target.shard_id,
+                        frames_abandoned=abandoned,
+                        cause=cause,
+                    )
             else:
-                replica.fail_stream_inflight(stream_id, RequestStatus.DROPPED)
+                abandoned = replica.fail_stream_inflight(stream_id, RequestStatus.DROPPED)
                 self.stranded_streams += 1
                 self._emit(
                     now, replica.shard_id, "strand", "stream",
                     replica.shard_id, -1,
                     reason=f"stream {stream_id} stranded after {cause}: no live shard has room",
                 )
+                if tracer is not None:
+                    tracer.span(
+                        "supervisor/strand",
+                        start_s=move_abs,
+                        duration_s=time.monotonic() - move_abs,
+                        shard_id=replica.shard_id,
+                        stream_id=stream_id,
+                        frames_abandoned=abandoned,
+                        cause=cause,
+                    )
 
     def _respawn(self, shard_id: int, now: float) -> None:
         due, dead = self._respawn_at.pop(shard_id)
-        # Same spec, same parent-side metrics: the respawned shard continues
-        # its predecessor's counters, so per-shard reporting spans the crash.
-        fresh = ProcessReplica(dead.spec, self.config, metrics=dead.metrics)
+        # Same spec, same parent-side metrics and registry: the respawned
+        # shard continues its predecessor's counters (per-shard reporting
+        # spans the crash) while its bumped generation keeps the fleet
+        # registry's per-process label sets distinct.
+        fresh = ProcessReplica(
+            dead.spec, self.config,
+            metrics=dead.metrics,
+            registry=dead.registry,
+            generation=dead.generation + 1,
+        )
         fresh.start(wait_ready=False)  # accepting flips on Hello, async
         self.fleet[self.fleet.index(dead)] = fresh
         self.respawns += 1
@@ -699,6 +985,19 @@ class ReplicaSupervisor:
                 f"after bounded backoff"
             ),
         )
+        tracer = active_tracer()
+        if tracer is not None:
+            # The span covers the whole outage window: crash detection
+            # through bounded backoff to the fresh process's spawn call.
+            start_abs = self._crash_abs.pop(shard_id, time.monotonic())
+            tracer.span(
+                "supervisor/respawn",
+                start_s=start_abs,
+                duration_s=time.monotonic() - start_abs,
+                shard_id=shard_id,
+                attempt=self._attempts[shard_id],
+                generation=fresh.generation,
+            )
 
     # -- autoscaler integration ----------------------------------------------
     def spawn_shard(self, spec: ReplicaSpec, now: float) -> ProcessReplica:
@@ -720,6 +1019,7 @@ class ReplicaSupervisor:
         difference from the crash path), then the shard's streams re-home
         with their committed scales and the process shuts down.
         """
+        drain_abs = time.monotonic()
         replica.accepting = False
         self._emit(
             now, replica.shard_id, "drain", "shards",
@@ -729,11 +1029,29 @@ class ReplicaSupervisor:
         replica.drain(timeout=timeout)
         self._migrate_streams(replica, now, cause="drain")
         replica.stop()
+        self.span_drops += replica.span_drops
         if replica in self.fleet:
             self.fleet.remove(replica)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.span(
+                "supervisor/drain",
+                start_s=drain_abs,
+                duration_s=time.monotonic() - drain_abs,
+                shard_id=replica.shard_id,
+                pid=replica.pid if replica.pid is not None else -1,
+                generation=replica.generation,
+            )
 
     def note_fault(self, now: float, replica: ProcessReplica, kind: str) -> None:
-        """Record an injected fault on the timeline (the injector's hook)."""
+        """Record an injected fault on the timeline (the injector's hook).
+
+        The note also annotates the crash span the fault is about to cause:
+        when this shard's death is detected, its ``supervisor/crash`` span
+        carries ``fault=<kind>`` so a trace distinguishes injected chaos from
+        organic failures.
+        """
+        self._fault_notes[replica.shard_id] = kind
         self._emit(
             now, replica.shard_id, "fault", "process", 1, 0,
             reason=f"injected {kind} (pid {replica.pid})",

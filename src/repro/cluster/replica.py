@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.config import ExperimentConfig, ServingConfig
+from repro.config import ExperimentConfig, ServingConfig, TelemetryConfig
 from repro.core.pipeline import ExperimentBundle
 from repro.serving.server import InferenceServer
 
@@ -142,6 +142,11 @@ class ReplicaSpec:
     experiment: dict
     serving: dict
     bundle_dir: str
+    #: telemetry config for the spawned side (plain dict; None = tracing off).
+    #: When set, :func:`~repro.cluster.procpool.replica_main` activates a
+    #: child-local tracer and ships its spans back over IPC — the parent owns
+    #: the span log / ring, so the child's own ``jsonl_path`` is cleared.
+    telemetry: dict | None = None
 
     @classmethod
     def for_bundle_dir(
@@ -150,6 +155,7 @@ class ReplicaSpec:
         config: ExperimentConfig,
         serving: ServingConfig,
         bundle_dir: str | Path,
+        telemetry: TelemetryConfig | None = None,
     ) -> "ReplicaSpec":
         """Build a spec from live config objects (serialised immediately)."""
         return cls(
@@ -157,6 +163,11 @@ class ReplicaSpec:
             experiment=config.to_dict(),
             serving=serving.to_dict(),
             bundle_dir=str(bundle_dir),
+            telemetry=(
+                None
+                if telemetry is None or not telemetry.enabled
+                else telemetry.with_(jsonl_path="").to_dict()
+            ),
         )
 
     def roundtrips_by_pickle(self) -> bool:

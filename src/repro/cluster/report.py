@@ -102,6 +102,9 @@ class ClusterReport:
     streams_stranded: int = 0
     crashes: int = 0
     respawns: int = 0
+    #: child span events shed at the process boundary (export buffer full);
+    #: zero means the merged trace is complete
+    span_drops: int = 0
     timeline: tuple[GovernorAction, ...] = ()
     #: Telemetry span/instant events captured when the run was traced
     #: (attached by the api facade via ``dataclasses.replace``); empty when
@@ -123,6 +126,7 @@ class ClusterReport:
         streams_stranded: int = 0,
         crashes: int = 0,
         respawns: int = 0,
+        span_drops: int = 0,
     ) -> "ClusterReport":
         """Aggregate shard snapshots into the cluster-level view."""
         shed_by_cause: dict[str, int] = {}
@@ -168,6 +172,7 @@ class ClusterReport:
             streams_stranded=int(streams_stranded),
             crashes=int(crashes),
             respawns=int(respawns),
+            span_drops=int(span_drops),
             timeline=timeline,
         )
 
@@ -195,6 +200,7 @@ class ClusterReport:
             "streams_stranded": self.streams_stranded,
             "crashes": self.crashes,
             "respawns": self.respawns,
+            "span_drops": self.span_drops,
             "shards": [
                 {key: _clean(value) if isinstance(value, float) else value
                  for key, value in asdict(shard).items()}
@@ -238,6 +244,8 @@ class ClusterReport:
                     f"{self.streams_migrated} / {self.streams_stranded}",
                 ]
             )
+        if self.span_drops:
+            aggregate_rows.append(["trace spans dropped", str(self.span_drops)])
         shard_rows = [
             [
                 str(shard.shard_id),

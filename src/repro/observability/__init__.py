@@ -36,8 +36,13 @@ from repro.observability.export import (
     validate_prometheus_text,
     write_chrome_trace,
 )
-from repro.observability.metrics import MetricsRegistry, get_registry
-from repro.observability.sinks import JsonlSpanSink, RingBufferSink, load_span_log
+from repro.observability.metrics import MetricsRegistry, diff_snapshots, get_registry
+from repro.observability.sinks import (
+    JsonlSpanSink,
+    RingBufferSink,
+    SpanExportBuffer,
+    load_span_log,
+)
 from repro.observability.trace import SpanEvent, TraceContext, Tracer, active_tracer
 
 __all__ = [
@@ -45,11 +50,13 @@ __all__ = [
     "MetricsRegistry",
     "RingBufferSink",
     "SpanEvent",
+    "SpanExportBuffer",
     "TelemetryConfig",
     "TraceContext",
     "Tracer",
     "active_tracer",
     "burn_rate_series",
+    "diff_snapshots",
     "events_to_metrics",
     "get_registry",
     "load_span_log",

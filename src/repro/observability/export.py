@@ -60,17 +60,38 @@ def to_chrome_trace(events: Sequence[SpanEvent]) -> dict[str, Any]:
     instants and decisions become ``"i"`` events.  ``pid`` is the shard id
     and ``tid`` the stream id, which gives Perfetto one swimlane per stream
     grouped under its shard; decisions are process-scoped markers.
+
+    Process-mode fleet traces carry the real worker OS pid in each rebased
+    child event's ``os_pid`` attr — those events use it as the Chrome ``pid``
+    so the viewer shows one true process per replica (respawned generations
+    included), and ``"M"`` metadata records name every process lane
+    (``shard N worker (pid P, gen G)`` / ``control plane``) plus the
+    supervisor/governor thread.  Single-process traces keep the plain
+    shard-as-pid mapping with no metadata.
     """
     trace_events: list[dict[str, Any]] = []
+    worker_labels: dict[int, str] = {}
+    control_pids: set[int] = set()
     for event in events:
         args: dict[str, Any] = dict(event.attrs)
         args["trace_id"] = event.trace_id
         if event.frame_index >= 0:
             args["frame_index"] = event.frame_index
+        os_pid = event.attrs.get("os_pid")
+        if isinstance(os_pid, int) and os_pid > 0:
+            pid = os_pid
+            worker_labels.setdefault(
+                os_pid,
+                f"shard {event.shard_id} worker "
+                f"(pid {os_pid}, gen {event.attrs.get('generation', 0)})",
+            )
+        else:
+            pid = event.shard_id if event.shard_id >= 0 else 0
+            control_pids.add(pid)
         record: dict[str, Any] = {
             "name": event.name,
             "cat": event.kind,
-            "pid": event.shard_id if event.shard_id >= 0 else 0,
+            "pid": pid,
             "tid": event.stream_id if event.stream_id >= 0 else 0,
             "ts": event.start_s * 1e6,
             "args": args,
@@ -84,7 +105,21 @@ def to_chrome_trace(events: Sequence[SpanEvent]) -> dict[str, Any]:
             # their own thread (stream) lane.
             record["s"] = "p" if event.kind == "decision" else "t"
         trace_events.append(record)
+    if worker_labels:
+        metadata: list[dict[str, Any]] = []
+        for pid in sorted(control_pids):
+            label = "control plane" if pid <= 0 else f"control plane (shard {pid})"
+            metadata.append(_metadata("process_name", pid, name=label))
+            metadata.append(_metadata("thread_name", pid, name="supervisor/governor"))
+        for pid, label in sorted(worker_labels.items()):
+            metadata.append(_metadata("process_name", pid, name=label))
+        trace_events = metadata + trace_events
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def _metadata(kind: str, pid: int, **args: Any) -> dict[str, Any]:
+    """One Chrome ``"M"`` metadata record (process/thread naming)."""
+    return {"name": kind, "ph": "M", "ts": 0, "pid": pid, "tid": 0, "args": args}
 
 
 def write_chrome_trace(path: str | Path, events: Sequence[SpanEvent]) -> Path:

@@ -33,6 +33,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "diff_snapshots",
     "get_registry",
 ]
 
@@ -103,12 +104,14 @@ class _GaugeCell:
 class _HistogramCell:
     """One labeled histogram: per-thread sample lists, merged at read time."""
 
-    __slots__ = ("_lock", "_local", "_shards")
+    __slots__ = ("_lock", "_local", "_merged_count", "_merged_sum", "_shards")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._shards: list[list[float]] = []
+        self._merged_count = 0.0
+        self._merged_sum = 0.0
 
     def observe(self, value: float) -> None:
         shard = getattr(self._local, "shard", None)
@@ -117,6 +120,18 @@ class _HistogramCell:
             with self._lock:
                 self._shards.append(shard)
         shard.append(float(value))
+
+    def merge_summary(self, count: float, total: float) -> None:
+        """Fold in a pre-aggregated ``(count, sum)`` delta from another process.
+
+        Cross-process federation ships histogram *summaries*, not samples, so
+        a merged-into cell carries exact count/sum while its quantiles keep
+        reflecting only locally-observed samples (0.0 when there are none) —
+        the same compromise Prometheus makes for summary-type metrics.
+        """
+        with self._lock:
+            self._merged_count += float(count)
+            self._merged_sum += float(total)
 
     def values(self) -> list[float]:
         """Merged copy of every thread's samples (unordered across threads)."""
@@ -129,14 +144,18 @@ class _HistogramCell:
 
     @property
     def count(self) -> int:
-        return len(self.values())
+        with self._lock:
+            merged = self._merged_count
+        return len(self.values()) + int(merged)
 
     def summary(self) -> dict[str, float]:
         """count / sum / quantiles of the samples at this instant."""
         ordered = sorted(self.values())
+        with self._lock:
+            merged_count, merged_sum = self._merged_count, self._merged_sum
         stats: dict[str, float] = {
-            "count": float(len(ordered)),
-            "sum": float(sum(ordered)),
+            "count": float(len(ordered)) + merged_count,
+            "sum": float(sum(ordered)) + merged_sum,
         }
         for q in _QUANTILES:
             stats[f"p{int(q * 100)}"] = _percentile(ordered, q)
@@ -242,6 +261,86 @@ class MetricsRegistry:
                 "samples": samples,
             }
         return result
+
+    def merge_delta(
+        self,
+        families: Mapping[str, Mapping[str, Any]],
+        extra_labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Fold :func:`diff_snapshots` output from another process into here.
+
+        ``extra_labels`` (typically ``shard`` / ``pid`` / ``generation``) are
+        appended to every cell's label set, so fleet-level Prometheus
+        exposition distinguishes each replica process — and a respawned
+        generation — without the children coordinating label schemes.
+        Counter cells receive ``inc`` deltas, gauges are ``set`` to the
+        shipped level, histograms fold ``count``/``sum`` summaries.
+        """
+        extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for name, family in families.items():
+            kind = str(family.get("type", "counter"))
+            if kind not in _KINDS:
+                raise ValueError(f"family {name!r} has unknown type {kind!r}")
+            instrument = self._get_or_create(name, kind, str(family.get("help", "")))
+            for sample in family.get("cells", ()):
+                labels = {**dict(sample.get("labels", {})), **extra}
+                cell = instrument.labels(**labels)
+                if kind == "counter":
+                    cell.inc(float(sample["inc"]))
+                elif kind == "gauge":
+                    cell.set(float(sample["set"]))
+                else:
+                    cell.merge_summary(float(sample["count"]), float(sample["sum"]))
+
+
+def diff_snapshots(
+    previous: Mapping[str, Mapping[str, Any]],
+    current: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Family deltas between two :meth:`MetricsRegistry.snapshot` calls.
+
+    The child side of cross-process federation: computed on the replica's
+    telemetry cadence and shipped over IPC, so the wire carries what *changed*
+    rather than ever-growing totals.  Returns
+    ``{name: {"type", "help", "cells": [{"labels", inc|set|count+sum}]}}``
+    with unchanged cells omitted and empty families dropped — an idle replica
+    ships nothing.
+    """
+
+    def _index(family: Mapping[str, Any]) -> dict[tuple, Mapping[str, Any]]:
+        return {
+            tuple(sorted(sample.get("labels", {}).items())): sample
+            for sample in family.get("samples", ())
+        }
+
+    delta: dict[str, dict[str, Any]] = {}
+    for name, family in current.items():
+        kind = str(family.get("type", "counter"))
+        before = _index(previous.get(name, {}))
+        cells: list[dict[str, Any]] = []
+        for key, sample in _index(family).items():
+            prior = before.get(key, {})
+            labels = dict(sample.get("labels", {}))
+            if kind == "counter":
+                inc = float(sample["value"]) - float(prior.get("value", 0.0))
+                if inc != 0.0:
+                    cells.append({"labels": labels, "inc": inc})
+            elif kind == "gauge":
+                level = float(sample["value"])
+                if "value" not in prior or level != float(prior["value"]):
+                    cells.append({"labels": labels, "set": level})
+            else:
+                count = float(sample["count"]) - float(prior.get("count", 0.0))
+                total = float(sample["sum"]) - float(prior.get("sum", 0.0))
+                if count != 0.0 or total != 0.0:
+                    cells.append({"labels": labels, "count": count, "sum": total})
+        if cells:
+            delta[name] = {
+                "type": kind,
+                "help": str(family.get("help", "")),
+                "cells": cells,
+            }
+    return delta
 
 
 #: The process-default registry library components register into.

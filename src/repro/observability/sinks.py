@@ -24,11 +24,20 @@ from typing import TYPE_CHECKING
 
 from repro.config import TelemetryConfig
 from repro.registries import TELEMETRY_SINKS
+from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observability.trace import SpanEvent
 
-__all__ = ["JsonlSpanSink", "RingBufferSink", "build_sinks", "load_span_log"]
+__all__ = [
+    "JsonlSpanSink",
+    "RingBufferSink",
+    "SpanExportBuffer",
+    "build_sinks",
+    "load_span_log",
+]
+
+_LOGGER = get_logger("observability.sinks")
 
 
 @TELEMETRY_SINKS.register("ring")
@@ -82,6 +91,46 @@ class JsonlSpanSink:
                 self._handle.close()
 
 
+class SpanExportBuffer:
+    """Bounded staging buffer between a tracer and a span-shipping loop.
+
+    The cluster's process mode attaches one of these to the *child* tracer:
+    emission is an O(1) locked append that **never blocks** the serving hot
+    path — at capacity the newest event is shed and counted in ``dropped``
+    instead.  A shipping loop (the replica's telemetry cadence) calls
+    :meth:`drain` to take everything accumulated so far and forwards it over
+    IPC; the cumulative drop counter rides along so the parent can export it.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: list[SpanEvent] = []
+        self.dropped = 0
+
+    def emit(self, event: "SpanEvent") -> None:
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def drain(self) -> list["SpanEvent"]:
+        """Take (and clear) everything buffered, oldest first."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        """Nothing owned; whatever is still buffered stays drainable."""
+
+
 def build_sinks(config: TelemetryConfig) -> tuple[RingBufferSink, list]:
     """The sink set a :class:`~repro.observability.trace.Tracer` writes to.
 
@@ -96,13 +145,33 @@ def build_sinks(config: TelemetryConfig) -> tuple[RingBufferSink, list]:
 
 
 def load_span_log(path: str | Path) -> tuple["SpanEvent", ...]:
-    """Read a JSONL span log written by :class:`JsonlSpanSink`."""
+    """Read a JSONL span log written by :class:`JsonlSpanSink`.
+
+    A *truncated final line* — the writer crashed or was SIGKILLed mid-write,
+    an expected event now that fault injection kills replicas on purpose — is
+    tolerated: the valid prefix is returned and a warning logged.  A malformed
+    line anywhere *before* the end still raises, because that is corruption,
+    not truncation.
+    """
     from repro.observability.trace import SpanEvent
 
+    path = Path(path)
+    lines = [
+        (number, stripped)
+        for number, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1)
+        if (stripped := raw.strip())
+    ]
     events: list[SpanEvent] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(SpanEvent.from_dict(json.loads(line)))
+    for position, (number, line) in enumerate(lines):
+        try:
+            events.append(SpanEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if position == len(lines) - 1:
+                _LOGGER.warning(
+                    "%s: final line %d is truncated/malformed (%s); "
+                    "returning the %d valid event(s) before it",
+                    path, number, exc, len(events),
+                )
+                break
+            raise ValueError(f"{path}: malformed span-log line {number}: {exc}") from exc
     return tuple(events)

@@ -292,6 +292,43 @@ class Tracer:
             )
         )
 
+    def span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        *,
+        trace_id: int = 0,
+        stream_id: int = -1,
+        frame_index: int = -1,
+        shard_id: int = -1,
+        **attrs: Any,
+    ) -> None:
+        """Record a duration span not tied to a frame's trace context.
+
+        Control-plane work — the supervisor's crash→migrate→respawn window,
+        the controller's run envelope — has real durations but no admitted
+        frame to hang them on; these spans share ``trace_id`` 0 with decision
+        events unless the caller supplies one.
+        """
+        if not self.config.spans:
+            return
+        self._emit(
+            SpanEvent(
+                name=name,
+                kind="span",
+                trace_id=trace_id,
+                span_id=next(self._span_ids),
+                parent_id=None,
+                start_s=float(start_s),
+                duration_s=max(float(duration_s), 0.0),
+                stream_id=stream_id,
+                frame_index=frame_index,
+                shard_id=shard_id,
+                attrs=attrs,
+            )
+        )
+
     def decision(self, action: "GovernorAction") -> None:
         """Record a control-plane decision (governor/autoscaler action).
 
@@ -321,6 +358,22 @@ class Tracer:
                 },
             )
         )
+
+    def ingest(self, event: SpanEvent) -> None:
+        """Feed an already-built event into this tracer's sinks verbatim.
+
+        The cross-process merge path: a parent-side
+        :class:`~repro.cluster.procpool.ProcessReplica` rebases a child
+        replica's shipped events (clock offset, id namespace) and ingests
+        them here, so ``events()`` / the JSONL log / every exporter see one
+        fleet-wide timeline.  No sampling or gating is applied — the side
+        that *produced* the event already applied its own config.
+        """
+        self._emit(event)
+
+    def add_sink(self, sink) -> None:
+        """Attach an extra sink (e.g. a process-boundary export buffer)."""
+        self._sinks.append(sink)
 
     def _emit(self, event: SpanEvent) -> None:
         for sink in self._sinks:

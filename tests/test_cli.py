@@ -59,6 +59,27 @@ class TestParser:
         assert args.streams == 4
         assert args.pattern == "poisson"
         assert args.policy is None
+        assert args.telemetry is False
+        assert args.telemetry_sample == 1.0
+        assert args.span_log is None and args.export_trace is None
+
+    def test_serve_and_cluster_share_telemetry_flags(self):
+        """Flag parity: serve accepts the same tracing surface as cluster."""
+        parser = build_parser()
+        for command in ("serve", "cluster"):
+            args = parser.parse_args(
+                [
+                    command,
+                    "--telemetry",
+                    "--telemetry-sample", "0.5",
+                    "--span-log", "spans.jsonl",
+                    "--export-trace", "trace.json",
+                ]
+            )
+            assert args.telemetry is True
+            assert args.telemetry_sample == 0.5
+            assert str(args.span_log) == "spans.jsonl"
+            assert str(args.export_trace) == "trace.json"
 
     def test_set_is_repeatable(self):
         args = build_parser().parse_args(
@@ -154,6 +175,36 @@ class TestCommands:
         assert "throughput" in captured.out
         assert "Adaptive-scale traces" in captured.out
 
+    def test_serve_traced_writes_span_log_and_chrome_trace(
+        self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch
+    ):
+        """`serve --span-log/--export-trace` produce loadable artefacts."""
+        from repro.observability import load_span_log, validate_chrome_trace
+
+        bundle_dir = tmp_path / "bundle"
+        micro_bundle.save(bundle_dir)
+        _point_tiny_at_micro(monkeypatch, micro_config)
+        span_log = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "trace.json"
+        exit_code = main(
+            [
+                "serve",
+                "--bundle", str(bundle_dir),
+                "--streams", "2",
+                "--frames", "2",
+                "--span-log", str(span_log),
+                "--export-trace", str(chrome),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Wrote telemetry span log" in captured.out
+        assert "Wrote Chrome trace" in captured.out
+        events = load_span_log(span_log)
+        assert events
+        assert "serving/complete_frame" in {event.name for event in events}
+        assert validate_chrome_trace(json.loads(chrome.read_text())) == []
+
     def test_serve_accepts_set_overrides(self, micro_bundle, micro_config, tmp_path, capsys, monkeypatch):
         bundle_dir = tmp_path / "bundle"
         micro_bundle.save(bundle_dir)
@@ -176,6 +227,80 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "policy drop-oldest" in captured.out
+
+
+class TestObsCommand:
+    def _fleet_span_log(self, path):
+        """A hand-built process-mode span log: child spans + supervisor lane."""
+        base = 1 << 32
+        events = [
+            {
+                "name": "serving/service", "kind": "span",
+                "trace_id": base + 1, "span_id": base + 2, "parent_id": base + 1,
+                "start_s": 1.0, "duration_s": 0.02, "stream_id": 3,
+                "frame_index": 0, "shard_id": 0,
+                "attrs": {"os_pid": 4242, "generation": 0},
+            },
+            {
+                "name": "serving/service", "kind": "span",
+                "trace_id": 2 * base + 1, "span_id": 2 * base + 2,
+                "parent_id": 2 * base + 1,
+                "start_s": 2.0, "duration_s": 0.02, "stream_id": 3,
+                "frame_index": 1, "shard_id": 0,
+                "attrs": {"os_pid": 4301, "generation": 1},
+            },
+            {
+                "name": "supervisor/crash", "kind": "span",
+                "trace_id": 0, "span_id": 7, "parent_id": None,
+                "start_s": 1.5, "duration_s": 0.1, "stream_id": -1,
+                "frame_index": -1, "shard_id": 0,
+                "attrs": {"fault": "kill-replica", "exitcode": -9},
+            },
+            {
+                "name": "supervisor/respawn", "kind": "span",
+                "trace_id": 0, "span_id": 8, "parent_id": None,
+                "start_s": 1.5, "duration_s": 0.4, "stream_id": -1,
+                "frame_index": -1, "shard_id": 0,
+                "attrs": {"attempt": 1, "generation": 1},
+            },
+        ]
+        path.write_text("".join(json.dumps(event) + "\n" for event in events))
+        return path
+
+    def test_summarize_shows_fleet_table_and_supervisor_timeline(
+        self, tmp_path, capsys
+    ):
+        span_log = self._fleet_span_log(tmp_path / "spans.jsonl")
+        exit_code = main(["obs", "summarize", str(span_log)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Process fleet" in captured.out
+        assert "4242" in captured.out and "4301" in captured.out
+        assert "Supervisor timeline" in captured.out
+        assert "supervisor/crash" in captured.out
+        assert "fault=kill-replica" in captured.out
+        assert "supervisor/respawn" in captured.out
+
+    def test_summarize_single_process_log_omits_fleet_sections(
+        self, tmp_path, capsys
+    ):
+        span_log = tmp_path / "spans.jsonl"
+        span_log.write_text(
+            json.dumps(
+                {
+                    "name": "serving/admit", "kind": "instant",
+                    "trace_id": 1, "span_id": 1, "parent_id": None,
+                    "start_s": 0.0, "duration_s": 0.0, "stream_id": 0,
+                    "frame_index": 0, "shard_id": 0, "attrs": {},
+                }
+            )
+            + "\n"
+        )
+        exit_code = main(["obs", "summarize", str(span_log)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Process fleet" not in captured.out
+        assert "Supervisor timeline" not in captured.out
 
 
 class TestRunCommand:

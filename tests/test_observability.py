@@ -28,13 +28,16 @@ from repro.observability import (
     MetricsRegistry,
     RingBufferSink,
     SpanEvent,
+    SpanExportBuffer,
     Tracer,
     active_tracer,
     burn_rate_series,
+    diff_snapshots,
     events_to_metrics,
     load_span_log,
     shard_rollup,
     stage_rollup,
+    to_chrome_trace,
     to_prometheus_text,
     validate_chrome_trace,
     validate_prometheus_text,
@@ -363,6 +366,240 @@ class TestJsonlRoundTrip:
     def test_event_dict_round_trip(self):
         event = _completion(7, 1.25, latency_ms=42.0, stream_id=3, shard_id=2)
         assert SpanEvent.from_dict(json.loads(json.dumps(event.to_dict()))) == event
+
+    def test_truncated_final_line_returns_valid_prefix(self, tmp_path):
+        """A SIGKILLed writer leaves half a line; the prefix must still load."""
+        log_path = tmp_path / "spans.jsonl"
+        good = [_completion(i, float(i), latency_ms=10.0) for i in range(3)]
+        text = "".join(json.dumps(e.to_dict()) + "\n" for e in good)
+        log_path.write_text(text + '{"name": "serving/compl')  # cut mid-write
+        loaded = load_span_log(log_path)
+        assert loaded == tuple(good)
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        log_path = tmp_path / "spans.jsonl"
+        good = _completion(1, 0.0, latency_ms=10.0)
+        log_path.write_text(
+            json.dumps(good.to_dict()) + "\n"
+            + "not json at all\n"
+            + json.dumps(good.to_dict()) + "\n"
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            load_span_log(log_path)
+
+    def test_truncated_final_line_alone_yields_no_events(self, tmp_path):
+        log_path = tmp_path / "spans.jsonl"
+        log_path.write_text('{"half a rec')
+        assert load_span_log(log_path) == ()
+
+
+# -- span export buffer (the process-boundary staging sink) --------------------
+class TestSpanExportBuffer:
+    def test_emit_drain_preserves_order(self):
+        buffer = SpanExportBuffer(capacity=8)
+        events = [_completion(i, float(i), latency_ms=1.0) for i in range(5)]
+        for event in events:
+            buffer.emit(event)
+        assert len(buffer) == 5
+        assert buffer.drain() == events
+        assert len(buffer) == 0
+        assert buffer.drain() == []
+
+    def test_overflow_sheds_and_counts_instead_of_blocking(self):
+        buffer = SpanExportBuffer(capacity=2)
+        for i in range(5):
+            buffer.emit(_completion(i, float(i), latency_ms=1.0))
+        assert len(buffer) == 2
+        assert buffer.dropped == 3
+        # The survivors are the oldest two — drain frees room again.
+        kept = buffer.drain()
+        assert [e.trace_id for e in kept] == [0, 1]
+        buffer.emit(_completion(9, 9.0, latency_ms=1.0))
+        assert len(buffer) == 1
+        assert buffer.dropped == 3  # drop counter is cumulative, not reset
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanExportBuffer(capacity=0)
+
+    def test_attaches_to_tracer_as_extra_sink(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        buffer = SpanExportBuffer(capacity=16)
+        tracer.add_sink(buffer)
+        context = tracer.begin_trace(stream_id=0, frame_index=0, now=0.0)
+        tracer.emit_span("serving/service", context, 0.0, 0.01)
+        drained = buffer.drain()
+        assert [e.name for e in drained] == ["serving/admit", "serving/service"]
+        assert drained == list(tracer.events())
+
+
+# -- free-standing spans and cross-process ingestion ---------------------------
+class TestTracerSpanAndIngest:
+    def test_span_emits_free_standing_duration_event(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        tracer.span(
+            "supervisor/respawn", start_s=2.0, duration_s=0.5,
+            shard_id=1, attempt=1, generation=1,
+        )
+        (event,) = tracer.events()
+        assert event.kind == "span"
+        assert event.trace_id == 0 and event.parent_id is None
+        assert event.start_s == 2.0 and event.duration_s == 0.5
+        assert event.shard_id == 1
+        assert event.attrs == {"attempt": 1, "generation": 1}
+
+    def test_span_respects_spans_toggle(self):
+        tracer = Tracer(TelemetryConfig(enabled=True, spans=False))
+        tracer.span("supervisor/crash", start_s=0.0, duration_s=0.1)
+        assert tracer.events() == ()
+
+    def test_ingest_bypasses_gating_and_hits_every_sink(self):
+        # The producer already applied its own config; the merge side must
+        # not re-sample or re-gate the shipped event.
+        tracer = Tracer(TelemetryConfig(enabled=True, spans=False, sample_rate=0.0))
+        foreign = _completion(5, 1.0, latency_ms=3.0)
+        tracer.ingest(foreign)
+        assert tracer.events() == (foreign,)
+
+
+# -- cross-process metric federation -------------------------------------------
+class TestMetricFederation:
+    def _child_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        frames = registry.counter("frames_total", help="frames")
+        depth = registry.gauge("queue_depth")
+        latency = registry.histogram("latency_seconds")
+        frames.labels(state="completed").inc(3)
+        depth.labels().set(4)
+        latency.labels().observe(0.25)
+        latency.labels().observe(0.75)
+        return registry
+
+    def test_diff_snapshots_ships_only_changes(self):
+        registry = self._child_registry()
+        first = registry.snapshot()
+        delta = diff_snapshots({}, first)
+        assert delta["frames_total"]["cells"] == [
+            {"labels": {"state": "completed"}, "inc": 3.0}
+        ]
+        assert delta["queue_depth"]["cells"] == [{"labels": {}, "set": 4.0}]
+        assert delta["latency_seconds"]["cells"] == [
+            {"labels": {}, "count": 2.0, "sum": 1.0}
+        ]
+        # Nothing changed since: the next cadence ships nothing at all.
+        assert diff_snapshots(first, registry.snapshot()) == {}
+        registry.counter("frames_total").labels(state="completed").inc()
+        next_delta = diff_snapshots(first, registry.snapshot())
+        assert next_delta["frames_total"]["cells"] == [
+            {"labels": {"state": "completed"}, "inc": 1.0}
+        ]
+        assert "queue_depth" not in next_delta  # gauge level unchanged
+
+    def test_merge_delta_applies_extra_labels(self):
+        child = self._child_registry()
+        parent = MetricsRegistry()
+        parent.merge_delta(
+            diff_snapshots({}, child.snapshot()),
+            extra_labels={"shard": "0", "pid": "123", "generation": "0"},
+        )
+        snapshot = parent.snapshot()
+        (counter_cell,) = snapshot["frames_total"]["samples"]
+        assert counter_cell["labels"] == {
+            "state": "completed", "shard": "0", "pid": "123", "generation": "0",
+        }
+        assert counter_cell["value"] == 3.0
+        (gauge_cell,) = snapshot["queue_depth"]["samples"]
+        assert gauge_cell["value"] == 4.0
+        (histogram_cell,) = snapshot["latency_seconds"]["samples"]
+        assert histogram_cell["count"] == 2.0
+        assert histogram_cell["sum"] == 1.0
+
+    def test_repeated_deltas_accumulate_counters(self):
+        child = self._child_registry()
+        parent = MetricsRegistry()
+        mark: dict = {}
+        for _ in range(2):
+            current = child.snapshot()
+            parent.merge_delta(
+                diff_snapshots(mark, current), extra_labels={"shard": "1"}
+            )
+            mark = current
+            child.counter("frames_total").labels(state="completed").inc(2)
+        parent.merge_delta(diff_snapshots(mark, child.snapshot()), {"shard": "1"})
+        (cell,) = parent.snapshot()["frames_total"]["samples"]
+        assert cell["value"] == 7.0  # 3 + 2 + 2, no double counting
+
+    def test_respawn_generations_stay_distinct_label_sets(self):
+        parent = MetricsRegistry()
+        for generation in ("0", "1"):
+            child = self._child_registry()
+            parent.merge_delta(
+                diff_snapshots({}, child.snapshot()),
+                extra_labels={"shard": "0", "generation": generation},
+            )
+        cells = parent.snapshot()["frames_total"]["samples"]
+        generations = {cell["labels"]["generation"] for cell in cells}
+        assert generations == {"0", "1"}
+
+    def test_unknown_family_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge_delta({"x": {"type": "wat", "cells": []}})
+
+    def test_merged_summary_renders_in_prometheus_text(self):
+        parent = MetricsRegistry()
+        parent.merge_delta(
+            diff_snapshots({}, self._child_registry().snapshot()),
+            extra_labels={"shard": "0"},
+        )
+        text = to_prometheus_text(parent.snapshot())
+        assert validate_prometheus_text(text) == []
+        assert 'latency_seconds_count{shard="0"} 2' in text
+
+
+# -- multi-process Chrome trace shape ------------------------------------------
+class TestChromeFleetShape:
+    def _fleet_events(self) -> list[SpanEvent]:
+        rebased_child = SpanEvent(
+            name="serving/service", kind="span", trace_id=(1 << 32) + 1,
+            span_id=(1 << 32) + 2, parent_id=(1 << 32) + 1,
+            start_s=1.0, duration_s=0.01, stream_id=3, frame_index=0,
+            shard_id=0, attrs={"os_pid": 4242, "generation": 0},
+        )
+        supervisor = SpanEvent(
+            name="supervisor/crash", kind="span", trace_id=0, span_id=9,
+            parent_id=None, start_s=1.5, duration_s=0.2, shard_id=0,
+            attrs={"fault": "kill-replica"},
+        )
+        decision = SpanEvent(
+            name="cluster/crash", kind="decision", trace_id=0, span_id=10,
+            parent_id=None, start_s=1.5, duration_s=0.0, shard_id=0, attrs={},
+        )
+        return [rebased_child, supervisor, decision]
+
+    def test_os_pid_events_become_real_chrome_processes(self):
+        payload = to_chrome_trace(self._fleet_events())
+        assert validate_chrome_trace(payload) == []
+        records = payload["traceEvents"]
+        metadata = [r for r in records if r["ph"] == "M"]
+        names = {
+            (r["pid"], r["args"]["name"])
+            for r in metadata if r["name"] == "process_name"
+        }
+        assert (4242, "shard 0 worker (pid 4242, gen 0)") in names
+        assert any(label.startswith("control plane") for _, label in names)
+        child = next(r for r in records if r["name"] == "serving/service")
+        assert child["pid"] == 4242 and child["tid"] == 3
+        crash = next(r for r in records if r["name"] == "supervisor/crash")
+        assert crash["pid"] == 0  # control-plane lane keeps the shard mapping
+
+    def test_single_process_trace_keeps_plain_shape(self):
+        tracer = Tracer(TelemetryConfig(enabled=True))
+        context = tracer.begin_trace(stream_id=1, frame_index=0, shard_id=0, now=0.0)
+        tracer.emit_span("serving/service", context, 0.0, 0.01)
+        payload = to_chrome_trace(tracer.events())
+        assert validate_chrome_trace(payload) == []
+        assert all(r["ph"] != "M" for r in payload["traceEvents"])
+        assert {r["pid"] for r in payload["traceEvents"]} == {0}
 
 
 # -- cluster decision events ---------------------------------------------------

@@ -30,7 +30,8 @@ from repro.cluster import (
     RouterConfig,
     parse_fault_spec,
 )
-from repro.config import ServingConfig
+from repro.config import ServingConfig, TelemetryConfig
+from repro.observability import MetricsRegistry, Tracer
 from repro.serving.request import RequestStatus
 from repro.serving.server import InferenceServer
 
@@ -303,11 +304,175 @@ class TestFaultInjection:
             _shutdown_fleet(fleet)
 
 
+class TestFleetTracing:
+    def test_child_spans_ship_rebased_into_parent_trace(
+        self, micro_config, micro_bundle_dir, frames
+    ):
+        """A traced replica's serving spans land in the parent tracer, rebased.
+
+        The child runs its own tracer on its own monotonic clock; what the
+        parent's trace must show is the fleet view — timestamps on the parent
+        timeline, ids disjoint from any other child, the worker's real OS pid
+        attached, and zero spans lost on an orderly shutdown.
+        """
+        spec = ReplicaSpec.for_bundle_dir(
+            0, micro_config, DETERMINISTIC_SERVING, micro_bundle_dir,
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        assert spec.telemetry is not None and spec.telemetry["jsonl_path"] == ""
+        registry = MetricsRegistry()
+        with Tracer(TelemetryConfig(enabled=True)) as tracer:
+            parent_start = time.monotonic()
+            replica = ProcessReplica(spec, FAST_RESPAWN, registry=registry).start()
+            try:
+                replica.open_stream(0)
+                results = _run_sequence(replica, frames, 0, range(4))
+            finally:
+                replica.stop()
+            parent_end = time.monotonic()
+        assert [r.status for r in results] == [RequestStatus.COMPLETED] * 4
+
+        # NTP-style handshake produced a bounded offset estimate.
+        assert replica.clock_offset_s is not None
+        assert replica.clock_uncertainty_s is not None
+        assert replica.clock_uncertainty_s >= 0.0
+        assert replica.span_drops == 0
+        assert replica._pending_spans == []
+
+        child_events = [
+            e for e in tracer.events() if e.attrs.get("os_pid") == replica.pid
+        ]
+        names = {e.name for e in child_events}
+        assert {"serving/admit", "serving/queue_wait", "serving/service",
+                "serving/backbone_batch", "serving/complete_frame"} <= names
+        slack = replica.clock_uncertainty_s + 0.05
+        base = 1 << 32
+        for event in child_events:
+            assert event.attrs["generation"] == 0
+            assert event.span_id >= base  # re-namespaced parent-side
+            if event.trace_id > 0:
+                assert event.trace_id >= base
+            # Rebased onto the parent clock: inside the parent-side window.
+            assert parent_start - slack <= event.start_s
+            assert event.start_s + event.duration_s <= parent_end + slack
+        completions = [e for e in child_events if e.name == "serving/complete_frame"]
+        assert len(completions) == 4
+
+        # The child's metric families federated under fleet labels.
+        snapshot = registry.snapshot()
+        cells = snapshot["repro_serving_frames_total"]["samples"]
+        fleet_cells = [
+            c for c in cells
+            if c["labels"].get("shard") == "0"
+            and c["labels"].get("pid") == str(replica.pid)
+            and c["labels"].get("generation") == "0"
+        ]
+        completed = sum(
+            c["value"] for c in fleet_cells if c["labels"]["state"] == "completed"
+        )
+        assert completed == 4.0
+        drops = snapshot["repro_trace_span_drops_total"]["samples"]
+        assert all(cell["value"] == 0.0 for cell in drops)
+
+    def test_untraced_replica_ships_nothing(self, micro_config, micro_bundle_dir, frames):
+        registry = MetricsRegistry()
+        replica = ProcessReplica(
+            _spec(micro_config, micro_bundle_dir), FAST_RESPAWN, registry=registry
+        ).start()
+        try:
+            replica.open_stream(0)
+            _run_sequence(replica, frames, 0, range(2))
+        finally:
+            replica.stop()
+        assert replica.span_drops == 0
+        assert registry.snapshot() == {}  # no telemetry in the spec: no deltas
+
+    def test_metrics_continuity_across_respawn_generations(
+        self, micro_config, micro_bundle_dir, frames
+    ):
+        """One shard's story spans its crash: counters continue, labels fork.
+
+        The respawned replica reuses its predecessor's parent-side
+        ServerMetrics (per-shard reporting never resets) while the fleet
+        registry keeps generation-0 and generation-1 cells distinct.
+        """
+        registry = MetricsRegistry()
+        replicas = [
+            ProcessReplica(
+                ReplicaSpec.for_bundle_dir(
+                    shard_id, micro_config, DETERMINISTIC_SERVING, micro_bundle_dir,
+                    telemetry=TelemetryConfig(enabled=True),
+                ),
+                FAST_RESPAWN,
+                registry=registry,
+            )
+            for shard_id in range(2)
+        ]
+        for replica in replicas:
+            replica.start(wait_ready=False)
+        for replica in replicas:
+            replica.wait_ready(ProcessPoolConfig().start_timeout_s)
+        router = Router(RouterConfig())
+        supervisor = ReplicaSupervisor(replicas, router, FAST_RESPAWN)
+        try:
+            home = router.assign(0, replicas)
+            home.open_stream(0)
+            head = _run_sequence(home, frames, 0, range(2))
+            assert [r.status for r in head] == [RequestStatus.COMPLETED] * 2
+
+            def _gen_shipped(generation: str) -> bool:
+                family = registry.snapshot().get("repro_serving_frames_total", {})
+                return any(
+                    sample["labels"].get("shard") == str(home.shard_id)
+                    and sample["labels"].get("generation") == generation
+                    for sample in family.get("samples", ())
+                )
+
+            # SIGKILL loses anything not yet shipped, so wait out one metrics
+            # cadence — generation 0 must be on the books before it dies.
+            _wait_for(lambda: _gen_shipped("0"), 10.0, "generation-0 metric delta")
+            # Queue more work, then kill: the in-flight frames migrate.
+            requests = [home.submit(0, frames[i % len(frames)], 10 + i) for i in range(4)]
+            home.kill()
+            _crash_and_recover(home, replicas, supervisor)
+            statuses = [r.result(timeout=10.0).status for r in requests]
+            assert RequestStatus.MIGRATED in statuses
+
+            respawned = next(r for r in replicas if r.shard_id == home.shard_id)
+            assert respawned is not home
+            assert respawned.metrics is home.metrics  # continuity across the crash
+            assert respawned.generation == home.generation + 1
+
+            respawned.open_stream(5)
+            tail = _run_sequence(respawned, frames, 5, range(3))
+            assert [r.status for r in tail] == [RequestStatus.COMPLETED] * 3
+
+            # The shared snapshot merges both generations' completions and
+            # keeps the migrated-vs-dropped shed distinction.
+            merged = respawned.metrics.snapshot()
+            assert merged.completed >= 5  # 2 before the crash + 3 after
+            assert merged.shed_by_cause.get("migrated", 0) >= 1
+            assert merged.shed == sum(merged.shed_by_cause.values())
+        finally:
+            _shutdown_fleet(replicas)
+        assert supervisor.span_drops + sum(r.span_drops for r in replicas) == 0
+
+        cells = registry.snapshot()["repro_serving_frames_total"]["samples"]
+        crashed_shard = [
+            c["labels"] for c in cells
+            if c["labels"].get("shard") == str(home.shard_id)
+        ]
+        generations = {labels["generation"] for labels in crashed_shard}
+        assert {"0", "1"} <= generations
+        pids = {labels["pid"] for labels in crashed_shard}
+        assert len(pids) >= 2  # the respawn really was a fresh OS process
+
+
 class TestProcessModeEndToEnd:
-    def test_scenario_with_injected_kill(
+    def test_traced_scenario_with_injected_kill(
         self, micro_bundle, micro_bundle_dir
     ):
-        """The full stack: CLI-equivalent scenario run with a scheduled kill."""
+        """The full stack, traced: scheduled kill, one coherent fleet trace."""
         import repro.api as api
 
         cluster = api.Cluster(
@@ -326,6 +491,7 @@ class TestProcessModeEndToEnd:
             duration_s=4.0,
             num_streams=4,
             rate_fps=6.0,
+            telemetry=TelemetryConfig(enabled=True, ring_capacity=1 << 18),
         )
 
         assert report.mode == "process"
@@ -340,6 +506,58 @@ class TestProcessModeEndToEnd:
             assert expected in actions
         # Conservation: every submitted frame reached exactly one terminal state.
         assert report.submitted == report.completed + report.shed
+
+        # -- the fleet trace ------------------------------------------------
+        events = report.trace_events
+        assert events
+        # (b) supervision is a first-class swimlane, fault annotated.
+        spans = {e.name for e in events if e.kind == "span"}
+        assert {"supervisor/crash", "supervisor/migrate", "supervisor/respawn"} <= spans
+        crash = next(e for e in events if e.name == "supervisor/crash")
+        assert crash.attrs["fault"] == "kill-replica"
+        respawn = next(e for e in events if e.name == "supervisor/respawn")
+        assert respawn.attrs["generation"] == 1
+
+        # (a) detector-stage spans arrived from real worker processes of
+        # both shards — each tagged with its worker's OS pid.
+        child_events = [
+            e for e in events
+            if isinstance(e.attrs.get("os_pid"), int) and e.attrs["os_pid"] > 0
+        ]
+        assert child_events
+        child_shards = {e.shard_id for e in child_events}
+        assert child_shards == {0, 1}
+        stage_pids = {
+            e.attrs["os_pid"] for e in child_events
+            if e.name in ("serving/service", "serving/backbone_batch")
+        }
+        assert len(stage_pids) >= 2
+        parent_pid = os.getpid()
+        assert parent_pid not in stage_pids
+
+        # (c) every rebased child timestamp sits inside the parent's run
+        # envelope (small slack for the clock-offset uncertainty).
+        run = next(e for e in events if e.name == "cluster/run")
+        assert run.attrs["mode"] == "process" and run.attrs["shards"] == 2
+        lo, hi = run.start_s - 0.1, run.start_s + run.duration_s + 0.1
+        for event in child_events:
+            assert lo <= event.start_s <= hi
+            assert event.start_s + event.duration_s <= hi
+
+        # Shipping never blocked and never shed: the trace is complete.
+        assert report.span_drops == 0
+        assert report.to_dict()["span_drops"] == 0
+
+        # The run is exportable as one valid multi-process Chrome trace.
+        from repro.observability import to_chrome_trace, validate_chrome_trace
+
+        payload = to_chrome_trace(events)
+        assert validate_chrome_trace(payload) == []
+        chrome_pids = {
+            r["pid"] for r in payload["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "process_name"
+        }
+        assert stage_pids <= chrome_pids
 
     def test_fault_spec_parsing_round_trip(self):
         fault = parse_fault_spec("kill:shard=1,at=2.5")
